@@ -1,0 +1,15 @@
+"""Benchmark-harness helpers.
+
+Every bench prints the paper-artifact table it regenerates (visible with
+``pytest benchmarks/ --benchmark-only -s``) and times the underlying
+computation through the ``benchmark`` fixture, so ``--benchmark-only``
+runs double as the reproduction harness.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled artifact block (shown with -s)."""
+    print(f"\n=== {title} ===")
+    print(body)

@@ -1,0 +1,66 @@
+"""THM6 — Theorem 6: Algorithm BCAST runs in exactly f_lambda(n) and is
+optimal.
+
+Three independent computations must agree at every grid point:
+the BCAST schedule's completion time, f_lambda(n), and the split dynamic
+program (which never touches F_lambda).  The latency-oblivious binomial
+tree is included to show the gap BCAST closes.
+"""
+
+from fractions import Fraction
+
+from repro.algorithms.baselines import binomial_schedule
+from repro.core.bcast import bcast_schedule
+from repro.core.fibfunc import postal_f
+from repro.core.optimal import opt_broadcast_time
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+LAMBDAS = [Fraction(1), Fraction(2), Fraction(5, 2), Fraction(5), Fraction(10)]
+NS = [2, 4, 8, 16, 64, 256, 1024, 4096]
+
+
+def _table():
+    rows = []
+    for lam in LAMBDAS:
+        for n in NS:
+            t_bcast = bcast_schedule(n, lam, validate=False).completion_time()
+            t_f = postal_f(lam, n)
+            t_binom = binomial_schedule(n, lam, validate=False).completion_time()
+            assert t_bcast == t_f
+            rows.append(
+                [lam, n, t_bcast, t_binom, f"{float(t_binom / t_bcast):.3f}x"]
+            )
+    return rows
+
+
+def test_bcast_equals_f_and_beats_binomial(benchmark):
+    rows = benchmark(_table)
+    emit(
+        "Theorem 6: T_B(n, lambda) = f_lambda(n); binomial tree for contrast",
+        format_table(
+            ["lambda", "n", "BCAST=f_lambda(n)", "binomial", "binom/opt"], rows
+        ),
+    )
+    # the binomial tree is never better, and strictly worse somewhere for
+    # every lambda > 1
+    for lam in LAMBDAS:
+        ratios = [
+            binomial_schedule(n, lam, validate=False).completion_time()
+            / postal_f(lam, n)
+            for n in NS
+        ]
+        assert all(r >= 1 for r in ratios)
+        if lam > 1:
+            assert any(r > 1 for r in ratios)
+
+
+def test_brute_force_optimality(benchmark):
+    def check():
+        for lam in LAMBDAS:
+            for n in range(1, 31):
+                assert opt_broadcast_time(n, lam) == postal_f(lam, n)
+        return True
+
+    assert benchmark(check)

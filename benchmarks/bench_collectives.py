@@ -1,0 +1,158 @@
+"""EXT — collectives and Section-5 extensions: reduction optimality,
+gossip gap (the paper's open problem), hierarchy gains, adaptive-latency
+gains, and the LogP identity."""
+
+from fractions import Fraction
+
+from repro.collectives.allgather import AllgatherProtocol, allgather_time
+from repro.collectives.gossip import (
+    GossipRingProtocol,
+    gossip_lower_bound,
+    gossip_ring_time,
+)
+from repro.collectives.reduce import ReduceProtocol, reduce_time
+from repro.core.fibfunc import postal_f
+from repro.extensions.adaptive import (
+    LatencyProfile,
+    adaptive_bcast_time,
+    static_tree_under_profile,
+)
+from repro.extensions.hierarchical import (
+    HierarchicalSystem,
+    flat_bcast_time,
+    hierarchical_bcast_time,
+)
+from repro.extensions.logp import LogPParams, logp_bcast_time, postal_lambda_of
+from repro.postal import run_protocol
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+
+def test_reduce_is_broadcast_reversed(benchmark):
+    def run():
+        rows = []
+        for lam in (Fraction(1), Fraction(5, 2), Fraction(6)):
+            for n in (8, 32):
+                res = run_protocol(ReduceProtocol(n, lam))
+                assert res.completion_time == reduce_time(n, lam) == postal_f(lam, n)
+                rows.append([lam, n, res.completion_time])
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "Combining (ref [6]): optimal reduction == f_lambda(n)",
+        format_table(["lambda", "n", "reduce time"], rows),
+    )
+
+
+def test_gossip_gap_open_problem(benchmark):
+    from repro.collectives.bruck import bruck_time
+
+    def run():
+        rows = []
+        for lam in (Fraction(1), Fraction(5, 2), Fraction(10)):
+            for n in (8, 16):
+                ring = gossip_ring_time(n, lam)
+                tree = allgather_time(n, lam)
+                bruck = bruck_time(n, lam)
+                lb = gossip_lower_bound(n, lam)
+                rows.append([lam, n, lb, ring, tree, bruck])
+                assert min(ring, tree, bruck) >= lb
+                # Bruck dominates the ring whenever lambda > 1
+                if lam > 1:
+                    assert bruck < ring
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "Gossip (open problem, Section 5): ring vs gather+pipeline vs "
+        "Bruck vs LB",
+        format_table(
+            ["lambda", "n", "LB", "ring", "gather+pipeline", "Bruck"], rows
+        ),
+    )
+
+
+def test_allgather_simulated(benchmark):
+    def run():
+        proto = AllgatherProtocol(16, Fraction(5, 2))
+        res = run_protocol(proto)
+        assert res.completion_time == allgather_time(16, Fraction(5, 2))
+        assert all(len(k) == 16 for k in proto.known.values())
+        return res.completion_time
+
+    benchmark(run)
+
+
+def test_gossip_ring_simulated(benchmark):
+    def run():
+        proto = GossipRingProtocol(16, Fraction(5, 2))
+        res = run_protocol(proto)
+        assert res.completion_time == gossip_ring_time(16, Fraction(5, 2))
+        return res.completion_time
+
+    benchmark(run)
+
+
+def test_hierarchy_gain(benchmark):
+    def run():
+        rows = []
+        for k, c, ll, lg in ((8, 32, 1, 12), (16, 16, 2, 8), (4, 64, 1, 30)):
+            sys_ = HierarchicalSystem.of(k, c, ll, lg)
+            hier = hierarchical_bcast_time(sys_)
+            seq = hierarchical_bcast_time(sys_, overlap=False)
+            flat = flat_bcast_time(sys_)
+            assert hier <= seq
+            assert hier < flat
+            rows.append([k, c, ll, lg, flat, seq, hier])
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "Section 5 extension: hierarchical latency broadcast",
+        format_table(
+            ["k", "c", "lam_loc", "lam_glob", "flat", "two-phase", "overlapped"],
+            rows,
+        ),
+    )
+
+
+def test_adaptive_gain(benchmark):
+    def run():
+        rows = []
+        n = 64
+        for true_lam in (2, 4, 8):
+            profile = LatencyProfile.constant(true_lam)
+            eager = adaptive_bcast_time(n, profile)
+            misplanned = static_tree_under_profile(n, 1, profile)
+            assert eager == postal_f(true_lam, n)
+            assert misplanned >= eager
+            rows.append([true_lam, eager, misplanned])
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "Section 5 extension: adaptive (eager) vs tree planned for lambda=1",
+        format_table(["true lambda", "eager (optimal)", "misplanned tree"], rows),
+    )
+
+
+def test_logp_identity(benchmark):
+    def run():
+        rows = []
+        for L in (0, 2, 6):
+            for P in (16, 64):
+                params = LogPParams.of(L, 1, 1, P)
+                t_logp = logp_bcast_time(params)
+                lam = postal_lambda_of(params)
+                t_postal = postal_f(lam, P)
+                assert t_logp == t_postal
+                rows.append([L, P, lam, t_logp])
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "LogP correspondence (g=o): optimal LogP broadcast == f_{(L+2o)/o}(P)",
+        format_table(["L", "P", "postal lambda", "time"], rows),
+    )

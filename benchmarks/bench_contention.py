@@ -1,0 +1,61 @@
+"""Ablation — strict vs queued receive-port contention policies.
+
+The paper's model assumes algorithms never collide (strict mode enforces
+it); the queued policy models a NIC input queue.  For the paper's
+algorithms the two must coincide exactly (they are collision-free); for
+the deliberately colliding eager reduction, queueing absorbs the collision
+at a measurable cost.
+"""
+
+from fractions import Fraction
+
+from repro.algorithms import BcastProtocol, PipelineProtocol
+from repro.collectives.reduce import ReduceProtocol, reduce_time
+from repro.postal import ContentionPolicy, run_protocol
+
+from benchmarks._utils import emit
+
+
+def test_paper_algorithms_identical_under_both_policies(benchmark):
+    def check():
+        out = []
+        for lam in (Fraction(1), Fraction(5, 2)):
+            for proto_cls, args in (
+                (BcastProtocol, (40, lam)),
+                (PipelineProtocol, (20, 5, lam)),
+            ):
+                strict = run_protocol(
+                    proto_cls(*args), policy=ContentionPolicy.STRICT
+                ).completion_time
+                queued = run_protocol(
+                    proto_cls(*args), policy=ContentionPolicy.QUEUED
+                ).completion_time
+                assert strict == queued
+                out.append(strict)
+        return out
+
+    benchmark(check)
+
+
+def test_eager_reduce_queued_cost(benchmark):
+    """Eager reduction collides at plateaus; the queue absorbs it.  The
+    queued completion can exceed the paced optimum — the measured price of
+    skipping the pacing analysis."""
+
+    def run():
+        results = []
+        for n, lam in ((3, Fraction(5, 2)), (9, Fraction(5, 2)), (14, 3)):
+            proto = ReduceProtocol(n, lam, eager=True)
+            res = run_protocol(proto, policy=ContentionPolicy.QUEUED)
+            results.append((n, lam, res.completion_time, reduce_time(n, lam)))
+            assert res.completion_time >= reduce_time(n, lam)
+        return results
+
+    rows = benchmark(run)
+    emit(
+        "Ablation: eager reduction under the queued policy vs optimum",
+        "\n".join(
+            f"n={n} lambda={lam}: eager-queued={t} vs optimal={opt}"
+            for n, lam, t, opt in rows
+        ),
+    )

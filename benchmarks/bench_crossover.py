@@ -1,0 +1,81 @@
+"""XOVER — the Section 4 narrative as a crossover map: which algorithm
+family is fastest at each (n, m, lambda).
+
+The paper's qualitative claims that must hold in the map:
+* m = 1: PIPELINE (== BCAST) is optimal everywhere;
+* growing m with fixed (n, lambda): the winner drifts toward
+  PIPELINE / DTREE-LINE;
+* growing lambda with small m: PACK / star-like trees become competitive.
+"""
+
+from fractions import Fraction
+
+from repro.core.analysis import algorithm_times, best_algorithm, bcast_time
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+LAMBDAS = [Fraction(1), Fraction(5, 2), Fraction(8), Fraction(32)]
+NS = [8, 32]
+MS = [1, 4, 16, 64, 256]
+
+
+def _map_rows():
+    rows = []
+    for lam in LAMBDAS:
+        for n in NS:
+            for m in MS:
+                name, t = best_algorithm(n, m, lam)
+                rows.append([lam, n, m, name, t])
+    return rows
+
+
+def test_crossover_map(benchmark):
+    rows = benchmark(_map_rows)
+    emit(
+        "Crossover map: fastest family per (lambda, n, m)",
+        format_table(["lambda", "n", "m", "winner", "time"], rows),
+    )
+    # m=1 winner always achieves the optimal f_lambda(n)
+    for lam in LAMBDAS:
+        for n in NS:
+            _, t = best_algorithm(n, 1, lam)
+            assert t == bcast_time(n, lam)
+    # large m: a pipelining family wins (LINE / PIPELINE; the binary tree
+    # can still hold on at very high lambda until m grows further)
+    for lam in LAMBDAS:
+        for n in NS:
+            name, _ = best_algorithm(n, 256, lam)
+            assert name in ("DTREE-LINE", "PIPELINE", "DTREE-BINARY"), (lam, n, name)
+    # asymptotic m with n, lambda fixed: the line is near-optimal and wins
+    name, t = best_algorithm(6, 5000, Fraction(5, 2))
+    assert name in ("DTREE-LINE", "PIPELINE")
+    from repro.core.analysis import multi_lower_bound
+
+    assert float(t) / float(multi_lower_bound(6, 5000, Fraction(5, 2))) < 1.02
+
+
+def test_phase_diagram(benchmark):
+    from repro.report.phase import phase_diagram
+
+    text = benchmark(
+        phase_diagram,
+        16,
+        [1, 4, 16, 64],
+        [Fraction(1), Fraction(5, 2), Fraction(8)],
+    )
+    emit("Winner phase diagram, n=16", text)
+    assert "legend:" in text
+
+
+def test_family_times_full_grid(benchmark):
+    def compute():
+        return [
+            algorithm_times(n, m, lam)
+            for lam in LAMBDAS
+            for n in NS
+            for m in (1, 16, 256)
+        ]
+
+    tables = benchmark(compute)
+    assert len(tables) == len(LAMBDAS) * len(NS) * 3

@@ -1,0 +1,56 @@
+"""L18 — Algorithm DTREE: simulated times vs the Lemma 18 bound for the
+paper's named degrees (line, binary, latency-matched, star)."""
+
+from fractions import Fraction
+
+from repro.core.analysis import dtree_upper, multi_lower_bound
+from repro.core.dtree import DTreeShape, dtree_schedule, resolve_degree
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+GRID = [
+    (n, m, lam)
+    for lam in (Fraction(1), Fraction(5, 2), Fraction(8))
+    for n in (16, 64)
+    for m in (1, 8, 32)
+]
+SHAPES = [DTreeShape.LINE, DTreeShape.BINARY, DTreeShape.LATENCY, DTreeShape.STAR]
+
+
+def _table():
+    rows = []
+    for n, m, lam in GRID:
+        row = [lam, n, m, multi_lower_bound(n, m, lam)]
+        for shape in SHAPES:
+            d = resolve_degree(shape, n, lam)
+            t = dtree_schedule(n, m, lam, d, validate=False).completion_time()
+            assert t <= dtree_upper(n, m, lam, d), (shape, n, m, lam)
+            row.append(t)
+        rows.append(row)
+    return rows
+
+
+def test_dtree_times_and_lemma18(benchmark):
+    rows = benchmark(_table)
+    emit(
+        "Lemma 18 / Section 4.3: DTREE completion times by degree "
+        "(all <= d(m-1) + (d-1+lambda)ceil(log_d n))",
+        format_table(
+            ["lambda", "n", "m", "Lemma8 LB", "d=1 line", "d=2 binary",
+             "d=ceil(lam)+1", "d=n-1 star"],
+            rows,
+        ),
+    )
+
+
+def test_dtree_bound_check_sweep(benchmark):
+    def check():
+        for n, m, lam in GRID:
+            for d in (1, 2, 3, 5, 9, n - 1):
+                d = max(1, min(d, n - 1))
+                t = dtree_schedule(n, m, lam, d, validate=False).completion_time()
+                assert t <= dtree_upper(n, m, lam, d)
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,135 @@
+"""S43 — Section 4.3's approximation-factor claims for Algorithm DTREE.
+
+* line (d=1): ratio -> 1 as m -> infinity (lambda, n fixed);
+* star (d=n-1): ratio -> 1 as lambda -> infinity (n, m fixed);
+* binary (d=2): within max{2, log(ceil(lambda)+1)} of optimal;
+* d = ceil(lambda)+1: within max{2, ceil(lambda)+1}; within 3 when
+  m <= log n / log(ceil(lambda)+1);
+* best-of-the-family is within the factor 7 of [13] over a broad grid.
+"""
+
+import math
+from fractions import Fraction
+
+from repro.core.analysis import (
+    dtree_factor_binary,
+    dtree_factor_latency,
+    multi_lower_bound,
+)
+from repro.core.dtree import DTreeShape, dtree_schedule, resolve_degree
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+
+def _ratio(n, m, lam, d):
+    t = dtree_schedule(n, m, lam, d, validate=False).completion_time()
+    return float(t) / float(multi_lower_bound(n, m, lam))
+
+
+def test_line_ratio_tends_to_one(benchmark):
+    def rows():
+        out = []
+        n, lam = 6, Fraction(5, 2)
+        for m in (1, 10, 100, 1000):
+            out.append([m, _ratio(n, m, lam, 1)])
+        return out
+
+    table = benchmark(rows)
+    emit(
+        "S4.3: line (d=1) ratio vs m (n=6, lambda=5/2) — tends to 1",
+        format_table(["m", "line/LB"], table),
+    )
+    ratios = [r for _, r in table]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] < 1.05
+
+
+def test_star_ratio_tends_to_one(benchmark):
+    def rows():
+        out = []
+        n, m = 6, 3
+        for lam in (1, 10, 100, 1000):
+            out.append([lam, _ratio(n, m, Fraction(lam), n - 1)])
+        return out
+
+    table = benchmark(rows)
+    emit(
+        "S4.3: star (d=n-1) ratio vs lambda (n=6, m=3) — tends to 1",
+        format_table(["lambda", "star/LB"], table),
+    )
+    ratios = [r for _, r in table]
+    assert ratios[-1] < 1.05
+
+
+def test_binary_and_latency_factors(benchmark):
+    def rows():
+        out = []
+        for lam in (Fraction(1), Fraction(5, 2), Fraction(8), Fraction(20)):
+            worst2 = worstL = 0.0
+            for n in (8, 64, 256):
+                for m in (1, 4, 16):
+                    worst2 = max(worst2, _ratio(n, m, lam, 2))
+                    dl = resolve_degree(DTreeShape.LATENCY, n, lam)
+                    worstL = max(worstL, _ratio(n, m, lam, dl))
+            out.append(
+                [lam, worst2, dtree_factor_binary(lam), worstL,
+                 dtree_factor_latency(lam)]
+            )
+            assert worst2 <= dtree_factor_binary(lam) * (1 + 1e-9)
+            assert worstL <= dtree_factor_latency(lam) * (1 + 1e-9)
+        return out
+
+    table = benchmark(rows)
+    emit(
+        "S4.3: observed worst ratios vs the paper's stated factors",
+        format_table(
+            ["lambda", "binary worst", "max{2,log(ceil+1)}",
+             "latency-d worst", "max{2,ceil(lam)+1}"],
+            table,
+        ),
+    )
+
+
+def test_factor3_for_few_messages(benchmark):
+    def check():
+        worst = 0.0
+        for lam in (Fraction(2), Fraction(5, 2), Fraction(8)):
+            for n in (64, 256, 1024):
+                mmax = int(math.log2(n) / math.log2(math.ceil(lam) + 1))
+                for m in sorted({1, mmax // 2, mmax} - {0}):
+                    dl = resolve_degree(DTreeShape.LATENCY, n, lam)
+                    worst = max(worst, _ratio(n, m, lam, dl))
+        assert worst <= 3 * (1 + 1e-9)
+        return worst
+
+    worst = benchmark(check)
+    emit(
+        "S4.3: d=ceil(lambda)+1 with m <= log n/log(ceil(lambda)+1)",
+        f"worst observed ratio = {worst:.3f}  (claimed <= 3)",
+    )
+
+
+def test_factor7_best_of_family(benchmark):
+    def check():
+        worst = (0.0, None)
+        for lam in (Fraction(1), Fraction(5, 2), Fraction(8), Fraction(32)):
+            for n in (4, 16, 64, 256):
+                for m in (1, 4, 16, 64, 256):
+                    lb = float(multi_lower_bound(n, m, lam))
+                    degrees = {1, 2, math.ceil(lam) + 1, n - 1}
+                    best = min(
+                        _ratio(n, m, lam, max(1, min(d, n - 1)))
+                        for d in degrees
+                    )
+                    if best > worst[0]:
+                        worst = (best, (lam, n, m))
+        assert worst[0] <= 7
+        return worst
+
+    worst, at = benchmark(check)
+    emit(
+        "S4.3 / [13]: best fixed-d DTREE vs Lemma 8 over the whole grid",
+        f"worst best-of-family ratio = {worst:.3f} at (lambda, n, m) = {at} "
+        "(claimed <= 7)",
+    )

@@ -1,0 +1,45 @@
+"""FIG1 — Figure 1 of the paper: the generalized Fibonacci broadcast tree
+for MPS(14, 2.5), height 7.5, root's first send to p9.
+
+Regenerates the tree (both by the static builder and by full event-driven
+simulation), asserts the paper's annotations, and prints the ASCII
+rendering.
+"""
+
+from fractions import Fraction
+
+from repro.algorithms import BcastProtocol
+from repro.core.bcast import bcast_schedule, bcast_tree
+from repro.core.fibfunc import postal_f
+from repro.postal import run_protocol
+from repro.report.render import render_gantt, render_tree
+
+from benchmarks._utils import emit
+
+LAM = Fraction(5, 2)
+N = 14
+
+
+def test_fig1_builder(benchmark):
+    tree = benchmark(bcast_tree, N, LAM)
+    assert tree.height() == Fraction(15, 2)
+    assert tree.children_of(0)[0] == 9
+    assert tree.node(9).informed_at == Fraction(5, 2)
+    # p9's subtree is exactly p9..p13, as drawn in the figure
+    covered, stack = set(), [9]
+    while stack:
+        p = stack.pop()
+        covered.add(p)
+        stack.extend(tree.children_of(p))
+    assert covered == {9, 10, 11, 12, 13}
+    emit("Figure 1: generalized Fibonacci tree, MPS(14, 5/2)", render_tree(tree))
+    emit(
+        "Figure 1 timeline (S=send unit, R=receive unit)",
+        render_gantt(bcast_schedule(N, LAM, validate=False)),
+    )
+
+
+def test_fig1_simulated(benchmark):
+    res = benchmark(run_protocol, BcastProtocol(N, LAM))
+    assert res.completion_time == postal_f(LAM, N) == Fraction(15, 2)
+    assert res.sends == N - 1

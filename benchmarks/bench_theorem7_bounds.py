@@ -1,0 +1,92 @@
+"""THM7 — Theorem 7: bounds on F_lambda(t) and f_lambda(n).
+
+Prints the sandwich tables for parts (1)-(2) over a (lambda, t/n) grid and
+checks the large-lambda asymptotic parts (3)-(4) with their technical
+Claims 23-24.
+"""
+
+from fractions import Fraction
+
+from repro.core.bounds import (
+    F_lower_asymptotic,
+    F_lower_exact,
+    F_upper_exact,
+    claim23_lhs,
+    claim24_holds,
+    f_lower_log,
+    f_upper_asymptotic,
+    f_upper_log,
+)
+from repro.core.fibfunc import postal_F, postal_f
+from repro.report.tables import format_table
+
+from benchmarks._utils import emit
+
+LAMBDAS = [Fraction(1), Fraction(5, 2), Fraction(4), Fraction(10)]
+
+
+def _part1_rows():
+    rows = []
+    for lam in LAMBDAS:
+        for t in (0, 2, 5, 10, 20, 40):
+            t = Fraction(t)
+            lo, F, hi = (
+                F_lower_exact(lam, t),
+                postal_F(lam, t),
+                F_upper_exact(lam, t),
+            )
+            assert lo <= F <= hi
+            rows.append([lam, t, lo, F, hi])
+    return rows
+
+
+def _part2_rows():
+    rows = []
+    for lam in LAMBDAS:
+        for n in (2, 14, 100, 10**4, 10**8):
+            lo, f, hi = (
+                f_lower_log(lam, n),
+                float(postal_f(lam, n)),
+                f_upper_log(lam, n),
+            )
+            assert lo - 1e-9 <= f <= hi + 1e-9
+            rows.append([lam, n, lo, f, hi])
+    return rows
+
+
+def test_part1_F_sandwich(benchmark):
+    rows = benchmark(_part1_rows)
+    emit(
+        "Theorem 7(1): (ceil(lam)+1)^(t/2lam) <= F_lam(t) <= (ceil(lam)+1)^(t/lam)",
+        format_table(["lambda", "t", "lower", "F_lambda(t)", "upper"], rows),
+    )
+
+
+def test_part2_f_sandwich(benchmark):
+    rows = benchmark(_part2_rows)
+    emit(
+        "Theorem 7(2): lam*log(n)/log(ceil(lam)+1) <= f_lam(n) <= 2lam + 2lam*log(n)/log(ceil(lam)+1)",
+        format_table(["lambda", "n", "lower", "f_lambda(n)", "upper"], rows),
+    )
+
+
+def test_parts3_4_asymptotics(benchmark):
+    def check():
+        rows = []
+        for lam in (128, 512, 2048):
+            assert claim23_lhs(lam) <= 1
+            assert claim24_holds(lam)
+            for t in (0, lam, 4 * lam, 10 * lam):
+                assert postal_F(lam, t) >= F_lower_asymptotic(lam, t) * (1 - 1e-9)
+            n = 2**64
+            f = float(postal_f(lam, n))
+            ub = f_upper_asymptotic(lam, n)
+            rows.append([lam, n, f, ub])
+            assert f <= ub + 1e-6
+        return rows
+
+    rows = benchmark(check)
+    emit(
+        "Theorem 7(3)-(4): large-lambda asymptotics (n = 2^64)",
+        format_table(["lambda", "n", "f_lambda(n)", "(1+h)*lam*log n/log(lam+1)"], rows),
+    )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Broadcasting when the mail can get lost.
+
+The postal model assumes perfect delivery.  This example drops each
+message with probability `loss` (deterministic seeded PRNG) and runs the
+optimal generalized-Fibonacci broadcast hardened with pipelined per-edge
+acknowledgements: parents retransmit until each child confirms.
+
+Shown below: the lossless overhead of the ACK machinery (at most one send
+unit per tree level), the degradation curve as loss grows, and a replayed
+run's retransmission ledger.
+
+Run:  python examples/unreliable_network.py
+"""
+
+from fractions import Fraction
+
+from repro import postal_f, time_repr
+from repro.core.bcast import bcast_tree
+from repro.extensions.faulty import default_rto, run_reliable_bcast
+from repro.report.tables import format_table
+
+N = 32
+LAM = Fraction(5, 2)
+
+
+def main() -> None:
+    f = postal_f(LAM, N)
+    tree = bcast_tree(N, LAM)
+    depth = max(tree.depth_of(p) for p in range(N))
+    print(
+        f"Machine: MPS({N}, {time_repr(LAM)}); loss-free optimum "
+        f"f = {time_repr(f)}, tree depth = {depth}, "
+        f"retransmission timeout = {time_repr(default_rto(LAM))}\n"
+    )
+
+    rows = []
+    for loss in (0.0, 0.05, 0.15, 0.3, 0.5):
+        seeds = (0,) if loss == 0 else tuple(range(6))
+        runs = [run_reliable_bcast(N, LAM, loss=loss, seed=s) for s in seeds]
+        avg_t = sum(float(t) for t, _, _ in runs) / len(runs)
+        avg_rtx = sum(r for _, r, _ in runs) / len(runs)
+        avg_drop = sum(d for _, _, d in runs) / len(runs)
+        rows.append([f"{loss:.0%}", f"{avg_t:.1f}", f"{avg_t / float(f):.2f}x",
+                     f"{avg_rtx:.1f}", f"{avg_drop:.1f}"])
+    print(format_table(
+        ["loss", "avg completion", "vs optimum", "avg retransmits", "avg drops"],
+        rows,
+    ))
+
+    t, rtx, drops = run_reliable_bcast(N, LAM, loss=0.3, seed=7)
+    t2, rtx2, drops2 = run_reliable_bcast(N, LAM, loss=0.3, seed=7)
+    assert (t, rtx, drops) == (t2, rtx2, drops2)
+    print(
+        f"\nReplay determinism: seed 7 at 30% loss always completes at "
+        f"t = {time_repr(t)} with {rtx} retransmissions covering {drops} drops."
+    )
+    print(
+        "\nTakeaway: the optimal tree plus per-edge stop-and-wait keeps the\n"
+        "lossless overhead to one send unit per level, and degrades smoothly\n"
+        "(roughly one RTO per lost edge message) instead of failing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable installs cannot build; this shim lets
+``pip install -e . --no-build-isolation`` (and plain ``pip install -e .``
+on older pips) take the classic ``setup.py develop`` path.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

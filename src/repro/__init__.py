@@ -1,0 +1,110 @@
+"""repro — Postal-model broadcasting (Bar-Noy & Kipnis, SPAA 1992).
+
+A complete reproduction of *"Designing Broadcasting Algorithms in the
+Postal Model for Message-Passing Systems"*: the generalized Fibonacci
+machinery (``F_lambda`` / ``f_lambda``), the optimal single-message
+Algorithm BCAST, the multi-message Algorithms REPEAT / PACK / PIPELINE /
+DTREE with their exact running-time formulas, a ``Fraction``-exact
+discrete-event simulator of ``MPS(n, lambda)`` the event-driven protocol
+versions run on, plus collectives and Section-5 extensions (adaptive
+latency, hierarchies, LogP).
+
+Quick start::
+
+    from repro import postal_f, bcast_schedule, SimComm
+
+    postal_f("5/2", 14)          # Fraction(15, 2) — Theorem 6
+    bcast_schedule(14, "5/2")    # the Figure 1 schedule
+    SimComm(14, "5/2").bcast(x)  # simulate it end to end
+
+See README.md for the architecture overview and DESIGN.md / EXPERIMENTS.md
+for the paper-reproduction index.
+"""
+
+from repro.types import Time, as_time, time_repr
+from repro.errors import (
+    InvalidParameterError,
+    ModelError,
+    OrderViolationError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SimultaneousIOError,
+)
+from repro.core.fibfunc import GeneralizedFibonacci, postal_F, postal_f
+from repro.core.schedule import Schedule, SendEvent
+from repro.core.bcast import BroadcastTree, bcast_schedule, bcast_tree
+from repro.core.multi import pack_schedule, pipeline_schedule, repeat_schedule
+from repro.core.dtree import DTreeShape, dtree_schedule
+from repro.core import analysis
+from repro.core.analysis import (
+    algorithm_times,
+    bcast_time,
+    best_algorithm,
+    multi_lower_bound,
+    pack_time,
+    pipeline_time,
+    repeat_time,
+)
+from repro.postal import ContentionPolicy, PostalSystem, run_protocol
+from repro.algorithms import (
+    BcastProtocol,
+    BinomialProtocol,
+    DTreeProtocol,
+    PackProtocol,
+    PipelineProtocol,
+    RepeatProtocol,
+    StarProtocol,
+)
+from repro.mpi import SimComm
+from repro.report import render_gantt, render_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Time",
+    "as_time",
+    "time_repr",
+    "ReproError",
+    "InvalidParameterError",
+    "ModelError",
+    "ScheduleError",
+    "SimultaneousIOError",
+    "OrderViolationError",
+    "SimulationError",
+    "GeneralizedFibonacci",
+    "postal_F",
+    "postal_f",
+    "Schedule",
+    "SendEvent",
+    "BroadcastTree",
+    "bcast_schedule",
+    "bcast_tree",
+    "repeat_schedule",
+    "pack_schedule",
+    "pipeline_schedule",
+    "dtree_schedule",
+    "DTreeShape",
+    "analysis",
+    "bcast_time",
+    "repeat_time",
+    "pack_time",
+    "pipeline_time",
+    "multi_lower_bound",
+    "algorithm_times",
+    "best_algorithm",
+    "PostalSystem",
+    "ContentionPolicy",
+    "run_protocol",
+    "BcastProtocol",
+    "RepeatProtocol",
+    "PackProtocol",
+    "PipelineProtocol",
+    "DTreeProtocol",
+    "StarProtocol",
+    "BinomialProtocol",
+    "SimComm",
+    "render_tree",
+    "render_gantt",
+    "__version__",
+]

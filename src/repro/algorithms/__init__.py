@@ -1,0 +1,38 @@
+"""Event-driven distributed implementations of the paper's algorithms.
+
+Every algorithm exists twice in this library: as a *static schedule
+builder* (:mod:`repro.core`) and as a *distributed event-driven protocol*
+here — per-processor generator programs that run on a live
+:class:`~repro.postal.machine.PostalSystem` and only learn their role from
+the messages they receive, exactly as the paper describes.  The two paths
+share no scheduling code, and the integration tests assert they realize
+identical schedules.
+
+* :class:`~repro.algorithms.bcast_protocol.BcastProtocol` — Algorithm BCAST.
+* :class:`~repro.algorithms.repeat_protocol.RepeatProtocol` — REPEAT.
+* :class:`~repro.algorithms.pack_protocol.PackProtocol` — PACK.
+* :class:`~repro.algorithms.pipeline_protocol.PipelineProtocol` — PIPELINE.
+* :class:`~repro.algorithms.dtree_protocol.DTreeProtocol` — DTREE.
+* :mod:`repro.algorithms.baselines` — star/sequential and telephone-model
+  binomial-tree baselines.
+"""
+
+from repro.algorithms.base import Protocol
+from repro.algorithms.bcast_protocol import BcastProtocol
+from repro.algorithms.repeat_protocol import RepeatProtocol
+from repro.algorithms.pack_protocol import PackProtocol
+from repro.algorithms.pipeline_protocol import PipelineProtocol
+from repro.algorithms.dtree_protocol import DTreeProtocol
+from repro.algorithms.baselines import BinomialProtocol, StarProtocol, binomial_schedule
+
+__all__ = [
+    "Protocol",
+    "BcastProtocol",
+    "RepeatProtocol",
+    "PackProtocol",
+    "PipelineProtocol",
+    "DTreeProtocol",
+    "BinomialProtocol",
+    "StarProtocol",
+    "binomial_schedule",
+]

@@ -1,0 +1,93 @@
+"""The distributed-protocol interface.
+
+A :class:`Protocol` describes what each processor *does*: ``program(proc,
+system)`` returns the generator that processor ``proc`` runs on the postal
+machine (or ``None`` if the processor is passive).  Programs communicate
+only through ``system.send`` / ``system.recv`` — there is no global clock
+access and no shared state, so a protocol here is a faithful rendition of
+the paper's "practical event-driven algorithms".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator
+
+from repro.errors import InvalidParameterError
+from repro.postal.machine import PostalSystem
+from repro.postal.message import Message
+from repro.sim.engine import Event
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = ["Protocol", "InboxBuffer"]
+
+
+class Protocol(ABC):
+    """A distributed algorithm over ``MPS(n, lambda)`` broadcasting ``m``
+    messages from processor ``root`` (always ``p_0`` in the paper)."""
+
+    #: Human-readable algorithm name (class attribute).
+    name: str = "?"
+
+    #: What the runner should validate the trace as: ``"broadcast"``
+    #: (root-to-all delivery of all m messages — the default) or a custom
+    #: label (e.g. ``"reduction"``), for which only the port audit applies.
+    semantics: str = "broadcast"
+
+    def __init__(self, n: int, m: int, lam: TimeLike):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+        if m < 1:
+            raise InvalidParameterError(f"need m >= 1 messages, got {m}")
+        lam = as_time(lam)
+        if lam < 1:
+            raise InvalidParameterError(
+                f"the postal model requires lambda >= 1, got {lam}"
+            )
+        self.n = n
+        self.m = m
+        self.lam = lam
+        self.root: ProcId = 0
+
+    @abstractmethod
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        """The generator processor *proc* runs, or ``None`` if passive."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n}, m={self.m}, "
+            f"lambda={self.lam})"
+        )
+
+
+class InboxBuffer:
+    """Helper for programs that need message *k* specifically: pulls from
+    the system inbox on demand and buffers out-of-order arrivals.
+
+    (The paper's algorithms all deliver in order, so the buffer rarely
+    holds more than the message being waited for — but the helper keeps
+    protocol code honest rather than assuming order.)
+    """
+
+    def __init__(self, system: PostalSystem, proc: ProcId):
+        self._system = system
+        self._proc = proc
+        self._have: dict[int, Message] = {}
+
+    def __contains__(self, msg: int) -> bool:
+        return msg in self._have
+
+    def get(self, msg: int) -> Generator[Event, Any, Message]:
+        """Generator: wait until message index *msg* has arrived."""
+        while msg not in self._have:
+            received = yield self._system.recv(self._proc)
+            self._have[received.msg] = received
+        return self._have[msg]
+
+    def next(self) -> Generator[Event, Any, Message]:
+        """Generator: wait for the next (any-index) arrival."""
+        received = yield self._system.recv(self._proc)
+        self._have[received.msg] = received
+        return received

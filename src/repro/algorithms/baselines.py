@@ -1,0 +1,124 @@
+"""Baseline broadcast algorithms the paper's approach is measured against.
+
+* :class:`StarProtocol` / :func:`star_schedule` — the naive sequential
+  broadcast: the originator sends to every processor itself.  Time
+  ``(n - 2) + lambda`` for one message; the DTREE ``d = n-1`` case.
+* :class:`BinomialProtocol` / :func:`binomial_schedule` — the classic
+  binomial tree, which is *optimal in the telephone model* (``lambda = 1``,
+  where BCAST degenerates to it) but latency-oblivious: run under
+  ``lambda > 1`` it demonstrates exactly the gap the postal model exposes
+  and generalized Fibonacci trees close.
+
+Both compile to the standard :class:`~repro.core.schedule.Schedule` IR and
+exist as event-driven protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import InvalidParameterError
+from repro.postal.machine import PostalSystem
+from repro.sim.engine import Event
+from repro.types import ProcId, Time, TimeLike, ZERO, as_time
+
+__all__ = [
+    "star_schedule",
+    "binomial_schedule",
+    "StarProtocol",
+    "BinomialProtocol",
+]
+
+
+def star_schedule(n: int, lam: TimeLike, *, validate: bool = True) -> Schedule:
+    """One-message star broadcast: ``p_0`` sends to ``p_1 .. p_{n-1}`` in
+    order.  Completion time ``(n - 2) + lambda`` for ``n >= 2``."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    events = [SendEvent(Time(i - 1), 0, 0, i) for i in range(1, n)]
+    return Schedule(n, lam, events, m=1, validate=validate)
+
+
+def binomial_schedule(n: int, lam: TimeLike, *, validate: bool = True) -> Schedule:
+    """One-message binomial-tree broadcast run in ``MPS(n, lambda)``.
+
+    The tree is the ``lambda = 1`` optimum; under larger ``lambda`` each of
+    its ``ceil(log2 n)`` rounds still pays the full latency, so its time is
+    roughly ``log2(n) * lambda`` versus BCAST's
+    ``lambda*log(n)/log(lambda+1)``.
+
+    Note the recipient may start forwarding only after arrival; the builder
+    therefore stamps each child range's sends at ``parent_send + max(1,
+    lambda)`` — with ``lambda >= 1`` this is arrival time, the earliest
+    legal moment.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    lam_t = as_time(lam)
+    events: list[SendEvent] = []
+    stack: list[tuple[ProcId, int, Time]] = [(0, n, ZERO)]
+    while stack:
+        base, size, t = stack.pop()
+        if size == 1:
+            continue
+        half = 1
+        while half * 2 < size:
+            half *= 2
+        j = size - half
+        events.append(SendEvent(t, base, 0, base + j))
+        stack.append((base, j, t + 1))
+        stack.append((base + j, half, t + lam_t))
+    return Schedule(n, lam, events, m=1, validate=validate)
+
+
+class StarProtocol(Protocol):
+    """Event-driven star broadcast of ``m`` messages (root does all work)."""
+
+    name = "STAR"
+
+    def __init__(self, n: int, m: int, lam: TimeLike):
+        super().__init__(n, m, lam)
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        if proc != self.root:
+            return None
+        return self._root_program(system)
+
+    def _root_program(self, system: PostalSystem):
+        for k in range(self.m):
+            for dst in range(1, self.n):
+                yield system.send(self.root, dst, k)
+
+
+class BinomialProtocol(Protocol):
+    """Event-driven binomial-tree broadcast of one message."""
+
+    name = "BINOMIAL"
+
+    def __init__(self, n: int, lam: TimeLike):
+        super().__init__(n, 1, lam)
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        if proc == self.root:
+            return self._originate(system, self.root, self.n)
+        return self._other_program(proc, system)
+
+    def _other_program(self, proc: ProcId, system: PostalSystem):
+        message = yield system.recv(proc)
+        me, size = message.payload
+        yield from self._originate(system, me, size)
+
+    def _originate(self, system: PostalSystem, me: ProcId, size: int):
+        while size > 1:
+            half = 1
+            while half * 2 < size:
+                half *= 2
+            j = size - half
+            yield system.send(me, me + j, 0, payload=(me + j, half))
+            size = j

@@ -1,0 +1,60 @@
+"""Algorithm DTREE as a distributed event-driven program (Section 4.3).
+
+The degree-``d`` left-to-right almost-full tree is a fixed, globally known
+structure (node ``v``'s children are ``d*v+1 .. d*v+d``), so no payload is
+needed: the root pumps each message to its children left-to-right; every
+other node forwards each arriving message to its children left-to-right,
+naturally queueing behind its own earlier sends at the send port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.dtree import DTreeShape, dtree_children, resolve_degree
+from repro.postal.machine import PostalSystem
+from repro.sim.engine import Event
+from repro.types import ProcId, TimeLike
+
+__all__ = ["DTreeProtocol"]
+
+
+class DTreeProtocol(Protocol):
+    """Event-driven Algorithm DTREE for ``m`` messages over a degree-``d``
+    tree (accepts an explicit degree or a :class:`DTreeShape` preset)."""
+
+    name = "DTREE"
+
+    def __init__(
+        self, n: int, m: int, lam: TimeLike, shape: "DTreeShape | int"
+    ):
+        super().__init__(n, m, lam)
+        self.d = resolve_degree(shape, n, lam)
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        children = dtree_children(proc, self.d, self.n)
+        if proc == self.root:
+            return self._root_program(system, children)
+        if not children:
+            return self._leaf_program(proc, system)
+        return self._inner_program(proc, system, children)
+
+    def _root_program(self, system: PostalSystem, children: list[ProcId]):
+        for k in range(self.m):
+            for child in children:
+                yield system.send(self.root, child, k)
+
+    def _inner_program(
+        self, proc: ProcId, system: PostalSystem, children: list[ProcId]
+    ):
+        for _ in range(self.m):
+            message = yield system.recv(proc)
+            for child in children:
+                yield system.send(proc, child, message.msg)
+
+    def _leaf_program(self, proc: ProcId, system: PostalSystem):
+        for _ in range(self.m):
+            yield system.recv(proc)

@@ -1,0 +1,343 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``fib``      — evaluate ``F_lambda(t)`` and/or ``f_lambda(n)``.
+* ``tree``     — print the generalized Fibonacci broadcast tree (Figure 1
+  style), optionally as JSON.
+* ``gantt``    — print the port timeline of an algorithm's schedule.
+* ``simulate`` — run an algorithm event-driven on ``MPS(n, lambda)`` and
+  report completion time / sends; optionally export the realized schedule
+  as JSON.
+* ``compare``  — exact running time of every algorithm family at
+  ``(n, m, lambda)`` plus the Lemma 8 lower bound and the winner.
+* ``bounds``   — the Theorem 7 sandwich at given ``(lambda, t, n)``.
+* ``collectives`` — optimal/measured times of every collective at
+  ``(n, lambda)``.
+* ``phase``    — ASCII winner phase diagram over the (m, lambda) plane.
+* ``reliable`` — reliable broadcast over a lossy network (seeded,
+  replayable).
+
+All latency/time arguments accept ints, decimals, or ratios (``5/2``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.analysis import algorithm_times, best_algorithm, multi_lower_bound
+from repro.core.bcast import bcast_schedule, bcast_tree
+from repro.core.bounds import (
+    F_lower_exact,
+    F_upper_exact,
+    f_lower_log,
+    f_upper_log,
+)
+from repro.core.dtree import dtree_schedule
+from repro.core.fibfunc import postal_F, postal_f
+from repro.core.multi import pack_schedule, pipeline_schedule, repeat_schedule
+from repro.core.serialize import dumps_schedule, tree_to_dict
+from repro.report.render import render_gantt, render_tree
+from repro.report.tables import format_table
+from repro.types import as_time, time_repr
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_schedule(algorithm: str, n: int, m: int, lam):
+    """Resolve an algorithm name to its builder schedule."""
+    algorithm = algorithm.lower()
+    if algorithm == "bcast":
+        if m != 1:
+            raise SystemExit("bcast broadcasts one message; use -m 1")
+        return bcast_schedule(n, lam, validate=False)
+    if algorithm == "repeat":
+        return repeat_schedule(n, m, lam, validate=False)
+    if algorithm == "pack":
+        return pack_schedule(n, m, lam, validate=False)
+    if algorithm == "pipeline":
+        return pipeline_schedule(n, m, lam, validate=False)
+    if algorithm.startswith("dtree-"):
+        return dtree_schedule(n, m, lam, int(algorithm[6:]), validate=False)
+    if algorithm == "star":
+        return dtree_schedule(n, m, lam, max(1, n - 1), validate=False)
+    if algorithm == "binomial":
+        from repro.algorithms.baselines import binomial_schedule
+
+        if m != 1:
+            raise SystemExit("the binomial baseline broadcasts one message")
+        return binomial_schedule(n, lam, validate=False)
+    raise SystemExit(
+        f"unknown algorithm {algorithm!r} (try: bcast, repeat, pack, "
+        f"pipeline, dtree-<d>, star, binomial)"
+    )
+
+
+def _protocol_for(algorithm: str, n: int, m: int, lam):
+    from repro.algorithms import (
+        BcastProtocol,
+        BinomialProtocol,
+        DTreeProtocol,
+        PackProtocol,
+        PipelineProtocol,
+        RepeatProtocol,
+    )
+
+    algorithm = algorithm.lower()
+    if algorithm == "bcast":
+        return BcastProtocol(n, lam)
+    if algorithm == "repeat":
+        return RepeatProtocol(n, m, lam)
+    if algorithm == "pack":
+        return PackProtocol(n, m, lam)
+    if algorithm == "pipeline":
+        return PipelineProtocol(n, m, lam)
+    if algorithm.startswith("dtree-"):
+        return DTreeProtocol(n, m, lam, int(algorithm[6:]))
+    if algorithm == "star":
+        return DTreeProtocol(n, m, lam, max(1, n - 1))
+    if algorithm == "binomial":
+        return BinomialProtocol(n, lam)
+    raise SystemExit(f"unknown algorithm {algorithm!r}")
+
+
+# ------------------------------------------------------------- commands
+
+
+def cmd_fib(args: argparse.Namespace) -> int:
+    lam = as_time(args.lam)
+    if args.t is None and args.n is None:
+        raise SystemExit("fib: provide --t and/or --n")
+    if args.t is not None:
+        t = as_time(args.t)
+        print(f"F_{time_repr(lam)}({time_repr(t)}) = {postal_F(lam, t)}")
+    if args.n is not None:
+        print(f"f_{time_repr(lam)}({args.n}) = {time_repr(postal_f(lam, args.n))}")
+    return 0
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    tree = bcast_tree(args.n, as_time(args.lam))
+    if args.json:
+        import json
+
+        print(json.dumps(tree_to_dict(tree), indent=2))
+    else:
+        print(render_tree(tree))
+        print(f"\nheight (completion time): {time_repr(tree.height())}")
+    return 0
+
+
+def cmd_gantt(args: argparse.Namespace) -> int:
+    sched = _build_schedule(args.algorithm, args.n, args.m, as_time(args.lam))
+    print(render_gantt(sched))
+    print(f"\ncompletion: {time_repr(sched.completion_time())}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.postal import run_protocol
+
+    proto = _protocol_for(args.algorithm, args.n, args.m, as_time(args.lam))
+    result = run_protocol(proto)
+    print(f"algorithm : {proto.name}")
+    print(f"machine   : MPS(n={args.n}, lambda={time_repr(as_time(args.lam))})")
+    print(f"messages  : {proto.m}")
+    print(f"completion: {time_repr(result.completion_time)}")
+    print(f"sends     : {result.sends}")
+    lb = multi_lower_bound(args.n, proto.m, as_time(args.lam))
+    if lb > 0:
+        print(f"Lemma 8 LB: {time_repr(lb)}  "
+              f"(ratio {float(result.completion_time / lb):.3f})")
+    if args.export:
+        with open(args.export, "w") as fh:
+            fh.write(dumps_schedule(result.schedule, indent=2))
+        print(f"schedule exported to {args.export}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    lam = as_time(args.lam)
+    times = algorithm_times(args.n, args.m, lam)
+    lb = multi_lower_bound(args.n, args.m, lam)
+    rows = [
+        [name, t, f"{float(t / lb):.3f}x" if lb > 0 else "-"]
+        for name, t in sorted(times.items(), key=lambda kv: kv[1])
+    ]
+    print(
+        format_table(["algorithm", "time", "vs Lemma 8"], rows)
+    )
+    winner, t = best_algorithm(args.n, args.m, lam)
+    print(f"\nwinner: {winner} at t = {time_repr(t)} "
+          f"(lower bound {time_repr(lb)})")
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    lam = as_time(args.lam)
+    if args.t is not None:
+        t = as_time(args.t)
+        print(
+            f"Theorem 7(1) at t={time_repr(t)}:  "
+            f"{F_lower_exact(lam, t)} <= F = {postal_F(lam, t)} <= "
+            f"{F_upper_exact(lam, t)}"
+        )
+    if args.n is not None:
+        f = postal_f(lam, args.n)
+        print(
+            f"Theorem 7(2) at n={args.n}:  "
+            f"{f_lower_log(lam, args.n):.4f} <= f = {time_repr(f)} <= "
+            f"{f_upper_log(lam, args.n):.4f}"
+        )
+    if args.t is None and args.n is None:
+        raise SystemExit("bounds: provide --t and/or --n")
+    return 0
+
+
+def cmd_phase(args: argparse.Namespace) -> int:
+    from repro.report.phase import phase_diagram
+
+    ms = [int(v) for v in args.ms.split(",")]
+    lams = args.lams.split(",")
+    print(phase_diagram(args.n, ms, lams, show_ratio=args.ratio))
+    return 0
+
+
+def cmd_reliable(args: argparse.Namespace) -> int:
+    from repro.extensions.faulty import run_reliable_bcast
+
+    lam = as_time(args.lam)
+    t, rtx, drops = run_reliable_bcast(
+        args.n, lam, loss=args.loss, seed=args.seed
+    )
+    f = postal_f(lam, args.n)
+    print(f"machine     : MPS(n={args.n}, lambda={time_repr(lam)})")
+    print(f"loss rate   : {args.loss:.0%}  (seed {args.seed})")
+    print(f"completion  : {time_repr(t)}  "
+          f"(loss-free optimum {time_repr(f)}, "
+          f"ratio {float(t / f):.2f})")
+    print(f"drops       : {drops}")
+    print(f"retransmits : {rtx}")
+    return 0
+
+
+def cmd_collectives(args: argparse.Namespace) -> int:
+    from repro.collectives import (
+        allgather_time,
+        allreduce_time,
+        alltoall_time,
+        barrier_time,
+        gather_time,
+        gossip_ring_time,
+        reduce_time,
+        scatter_time,
+    )
+
+    n, lam = args.n, as_time(args.lam)
+    rows = [
+        ["broadcast (BCAST)", postal_f(lam, n), "optimal (Thm 6)"],
+        ["reduce/combine", reduce_time(n, lam), "optimal (reversal)"],
+        ["scatter", scatter_time(n, lam), "optimal (direct)"],
+        ["gather", gather_time(n, lam), "optimal (direct)"],
+        ["alltoall", alltoall_time(n, lam), "optimal (rotation)"],
+        ["allreduce", allreduce_time(n, lam), "2x combine LB"],
+        ["allgather", allgather_time(n, lam), "heuristic (open)"],
+        ["gossip ring", gossip_ring_time(n, lam), "heuristic (open)"],
+        ["barrier", barrier_time(n, lam), "combine+notify"],
+    ]
+    print(f"Collective costs on MPS(n={n}, lambda={time_repr(lam)}):\n")
+    print(format_table(["collective", "time", "status"], rows))
+    return 0
+
+
+# --------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Postal-model broadcasting (Bar-Noy & Kipnis, SPAA 1992)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fib", help="evaluate F_lambda(t) / f_lambda(n)")
+    p.add_argument("--lam", required=True, help="latency lambda >= 1 (e.g. 5/2)")
+    p.add_argument("--t", help="evaluate F_lambda at this time")
+    p.add_argument("--n", type=int, help="evaluate f_lambda at this size")
+    p.set_defaults(func=cmd_fib)
+
+    p = sub.add_parser("tree", help="print the Fibonacci broadcast tree")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.add_argument("--json", action="store_true", help="emit JSON instead of ASCII")
+    p.set_defaults(func=cmd_tree)
+
+    p = sub.add_parser("gantt", help="print a schedule's port timeline")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.add_argument("--m", type=int, default=1)
+    p.add_argument("--algorithm", default="bcast")
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser("simulate", help="run an algorithm on the simulated machine")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.add_argument("--m", type=int, default=1)
+    p.add_argument("--algorithm", default="bcast")
+    p.add_argument("--export", help="write the realized schedule JSON here")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="compare all algorithm families")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.add_argument("--m", type=int, default=1)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("bounds", help="Theorem 7 sandwich at (lambda, t, n)")
+    p.add_argument("--lam", required=True)
+    p.add_argument("--t")
+    p.add_argument("--n", type=int)
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("collectives", help="collective costs at (n, lambda)")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.set_defaults(func=cmd_collectives)
+
+    p = sub.add_parser(
+        "phase", help="winner phase diagram over the (m, lambda) plane"
+    )
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument(
+        "--ms", default="1,2,4,8,16,32,64", help="comma-separated m values"
+    )
+    p.add_argument(
+        "--lams",
+        default="1,3/2,2,5/2,4,8,16",
+        help="comma-separated lambda values",
+    )
+    p.add_argument("--ratio", action="store_true", help="show winner/LB ratios")
+    p.set_defaults(func=cmd_phase)
+
+    p = sub.add_parser(
+        "reliable", help="reliable broadcast over a lossy network"
+    )
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.add_argument("--loss", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_reliable)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

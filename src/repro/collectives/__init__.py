@@ -1,0 +1,65 @@
+"""Collective operations in the postal model beyond broadcast.
+
+Section 5 of the paper lists gossiping, combining, permuting, and sorting
+as open directions; reference [6] (Cidon-Gopal-Kutten) solves *combining*
+with the same generalized-Fibonacci machinery.  This package provides:
+
+* :mod:`repro.collectives.reduce` — combining/reduction to the root via the
+  time-reversed generalized Fibonacci tree; optimal at ``f_lambda(n)``.
+* :mod:`repro.collectives.gossip` — all-to-all rumor spreading: a pipelined
+  ring (time ``(n-1)*lambda``) and gather-then-pipeline-broadcast.
+* :mod:`repro.collectives.scatter` — personalized one-to-all: the direct
+  star is optimal for atomic messages (``n - 2 + lambda``).
+* :mod:`repro.collectives.gather` — personalized all-to-one: the direct
+  schedule is optimal (``n - 2 + lambda``), mirroring scatter.
+* :mod:`repro.collectives.alltoall` — personalized exchange: the rotation
+  schedule is optimal (``n - 2 + lambda``).
+* :mod:`repro.collectives.allgather` — gather + multi-message broadcast.
+* :mod:`repro.collectives.allreduce` — combine + broadcast,
+  ``2*f_lambda(n)``.
+* :mod:`repro.collectives.barrier` — combine-then-notify, ``2*f_lambda(n)``.
+"""
+
+from repro.collectives.reduce import ReduceProtocol, reduce_schedule, reduce_time
+from repro.collectives.gossip import GossipRingProtocol, gossip_ring_time
+from repro.collectives.scatter import ScatterProtocol, scatter_schedule, scatter_time
+from repro.collectives.gather import GatherProtocol, gather_schedule, gather_time
+from repro.collectives.alltoall import (
+    AllToAllProtocol,
+    alltoall_schedule,
+    alltoall_time,
+)
+from repro.collectives.allgather import (
+    AllgatherProtocol,
+    allgather_time,
+    allgather_time_estimate,
+)
+from repro.collectives.allreduce import AllreduceProtocol, allreduce_time
+from repro.collectives.bruck import BruckAllgatherProtocol, bruck_time
+from repro.collectives.barrier import BarrierProtocol, barrier_time
+
+__all__ = [
+    "ReduceProtocol",
+    "reduce_schedule",
+    "reduce_time",
+    "GossipRingProtocol",
+    "gossip_ring_time",
+    "ScatterProtocol",
+    "scatter_schedule",
+    "scatter_time",
+    "GatherProtocol",
+    "gather_schedule",
+    "gather_time",
+    "AllToAllProtocol",
+    "alltoall_schedule",
+    "alltoall_time",
+    "AllgatherProtocol",
+    "allgather_time",
+    "allgather_time_estimate",
+    "AllreduceProtocol",
+    "allreduce_time",
+    "BruckAllgatherProtocol",
+    "bruck_time",
+    "BarrierProtocol",
+    "barrier_time",
+]

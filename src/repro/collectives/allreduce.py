@@ -1,0 +1,105 @@
+"""Allreduce (combine + redistribute) in the postal model.
+
+Every processor contributes a value; afterwards every processor holds the
+combined result.  The natural composition is combine-then-broadcast —
+partial values flow up the time-reversed generalized Fibonacci tree
+(``f_lambda(n)``, optimal combining) and the result flows back down via
+Algorithm BCAST (``f_lambda(n)``, optimal broadcast) — for a total of
+exactly ``2 * f_lambda(n)``.
+
+Lower bound context: any allreduce needs at least ``f_lambda(n)`` (some
+processor must learn a function of all ``n`` inputs, which is combining)
+plus at least ``lambda`` more to ship that result to anyone else, so the
+composition is within a factor of 2 of optimal and asymptotically tight in
+``n``.  Whether ``2 f_lambda(n)`` can be beaten in the postal model is
+open, alongside gossiping (Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.bcast import BroadcastTree, bcast_schedule
+from repro.core.fibfunc import postal_f
+from repro.postal.machine import PostalSystem
+from repro.sim.engine import Event
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = ["allreduce_time", "allreduce_lower_bound", "AllreduceProtocol"]
+
+
+def allreduce_time(n: int, lam: TimeLike) -> Time:
+    """Completion time of combine-then-broadcast: ``2 * f_lambda(n)``."""
+    return 2 * postal_f(as_time(lam), n)
+
+
+def allreduce_lower_bound(n: int, lam: TimeLike) -> Time:
+    """``f_lambda(n) + lambda`` for ``n >= 2`` (combining is necessary;
+    shipping the result somewhere costs at least ``lambda`` more)."""
+    lam_t = as_time(lam)
+    if n <= 1:
+        return Time(0)
+    return postal_f(lam_t, n) + lam_t
+
+
+class AllreduceProtocol(Protocol):
+    """Event-driven combine-then-broadcast allreduce.
+
+    Structurally a :class:`~repro.collectives.reduce.ReduceProtocol`
+    followed by a :class:`~repro.algorithms.bcast_protocol.BcastProtocol`
+    fused into one per-processor program (the root pivots from combining
+    to broadcasting the result with no idle time).  After the run,
+    :attr:`results` maps every processor to the combined value.
+    """
+
+    name = "ALLREDUCE"
+    semantics = "allreduce"
+
+    def __init__(
+        self,
+        n: int,
+        lam: TimeLike,
+        *,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        values: list[Any] | None = None,
+    ):
+        super().__init__(n, 1, lam)
+        self._op = op
+        self._values = list(values) if values is not None else list(range(n))
+        if len(self._values) != n:
+            raise ValueError(f"need exactly {n} initial values")
+        self._tree = BroadcastTree.of(bcast_schedule(n, lam, validate=False))
+        self._half = postal_f(self.lam, n)
+        self.results: dict[ProcId, Any] = {}
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        return self._node_program(proc, system)
+
+    def _node_program(self, proc: ProcId, system: PostalSystem):
+        env = system.env
+        children = self._tree.children_of(proc)
+        parent = self._tree.parent_of(proc)
+
+        # ---- combine phase (time-reversed tree, paced like REDUCE)
+        acc = self._values[proc]
+        for _ in children:
+            message = yield system.recv(proc)
+            acc = self._op(acc, message.payload)
+        if parent is not None:
+            depart = self._half - self._tree.node(proc).informed_at
+            gap = depart - env.now
+            if gap > 0:
+                yield env.timeout(gap)
+            yield system.send(proc, parent, 0, payload=acc)
+            # ---- broadcast phase (as recipient): the result comes back
+            message = yield system.recv(proc)
+            result = message.payload
+        else:
+            result = acc
+        self.results[proc] = result
+        # relay the result down the BCAST tree, children in send order
+        for child in children:
+            yield system.send(proc, child, 0, payload=result)

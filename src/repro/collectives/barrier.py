@@ -1,0 +1,89 @@
+"""Barrier synchronization in the postal model.
+
+A barrier is a combine followed by a broadcast: partial "I arrived"
+tokens flow up the time-reversed generalized Fibonacci tree (optimal
+combining, ``f_lambda(n)``), and the root's release message flows back
+down via Algorithm BCAST (optimal broadcast, ``f_lambda(n)``) — so a full
+barrier completes in exactly ``2 * f_lambda(n)``.
+
+Processors may arrive at the barrier at different times; the combine
+phase paces itself relative to the *latest* arrival that actually gates
+each subtree, so the ``2*f_lambda(n)`` figure holds when everyone arrives
+at ``t = 0`` (the benchmarked case) and degrades gracefully otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.bcast import BroadcastTree, bcast_schedule
+from repro.core.fibfunc import postal_f
+from repro.postal.machine import PostalSystem
+from repro.sim.engine import Event
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = ["barrier_time", "BarrierProtocol"]
+
+
+def barrier_time(n: int, lam: TimeLike) -> Time:
+    """Barrier completion when all processors arrive at ``t = 0``:
+    ``2 * f_lambda(n)``."""
+    lam_t = as_time(lam)
+    return 2 * postal_f(lam_t, n)
+
+
+class BarrierProtocol(Protocol):
+    """Event-driven combine-then-release barrier.
+
+    *arrivals* optionally delays each processor's arrival at the barrier
+    (default: everyone at ``t = 0``).  After the run, :attr:`released`
+    maps each processor to the time it left the barrier.
+    """
+
+    name = "BARRIER"
+    semantics = "barrier"
+
+    def __init__(
+        self, n: int, lam: TimeLike, *, arrivals: list[TimeLike] | None = None
+    ):
+        super().__init__(n, 1, lam)
+        if arrivals is None:
+            self._arrivals = [Time(0)] * n
+        else:
+            if len(arrivals) != n:
+                raise ValueError(f"need exactly {n} arrival times")
+            self._arrivals = [as_time(a) for a in arrivals]
+        self._tree = BroadcastTree.of(bcast_schedule(n, lam, validate=False))
+        self._total = postal_f(self.lam, n)
+        self.released: dict[ProcId, Time] = {}
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        return self._node_program(proc, system)
+
+    def _node_program(self, proc: ProcId, system: PostalSystem):
+        env = system.env
+        # arrive at the barrier
+        if self._arrivals[proc] > 0:
+            yield env.timeout(self._arrivals[proc])
+
+        # ---- combine phase: tokens up the reversed tree
+        children = self._tree.children_of(proc)
+        for _ in children:
+            yield system.recv(proc)
+        parent = self._tree.parent_of(proc)
+        if parent is not None:
+            # paced at the reversed slot, but never before we are ready
+            depart = self._total - self._tree.node(proc).informed_at
+            gap = depart - env.now
+            if gap > 0:
+                yield env.timeout(gap)
+            yield system.send(proc, parent, 0, payload="token")
+            # wait for the release and relay it down (BCAST shape)
+            yield system.recv(proc)
+        # root falls through once all tokens are in
+        for child in children:
+            yield system.send(proc, child, 0, payload="release")
+        self.released[proc] = env.now

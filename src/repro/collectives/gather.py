@@ -1,0 +1,85 @@
+"""Gather (personalized all-to-one) in the postal model.
+
+The mirror image of scatter: every processor owns one *distinct* atomic
+message that must reach the root.  The root must receive all ``n - 1``
+messages through its single receive port, one unit each, so
+``T >= (n - 2) + lambda``; the direct schedule — processor ``p_i`` sends at
+time ``i - 1``, arrivals land back to back — achieves it, making gather a
+second collective (after scatter) whose postal-optimal algorithm is the
+naive one.
+
+(That direct schedule is also exactly the gather phase of
+:class:`repro.collectives.allgather.AllgatherProtocol`.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.schedule import SendEvent
+from repro.errors import InvalidParameterError
+from repro.postal.machine import PostalSystem
+from repro.sim.engine import Event
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = ["gather_time", "gather_schedule", "GatherProtocol"]
+
+
+def gather_time(n: int, lam: TimeLike) -> Time:
+    """Optimal gather time: ``(n - 2) + lambda`` for ``n >= 2``, else 0."""
+    lam_t = as_time(lam)
+    if n <= 1:
+        return Time(0)
+    return Time(n - 2) + lam_t
+
+
+def gather_schedule(n: int, lam: TimeLike) -> list[SendEvent]:
+    """The optimal direct gather: ``p_i`` sends its private message (index
+    ``i - 1``) to the root at time ``i - 1``; the root's receive windows
+    abut perfectly."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    as_time(lam)  # validate
+    return [SendEvent(Time(i - 1), i, i - 1, 0) for i in range(1, n)]
+
+
+class GatherProtocol(Protocol):
+    """Event-driven optimal gather.
+
+    ``values[i]`` is ``p_i``'s contribution.  After the run,
+    :attr:`collected` holds the root's view: ``collected[i] == values[i]``
+    for every rank.
+    """
+
+    name = "GATHER"
+    semantics = "gather"
+
+    def __init__(self, n: int, lam: TimeLike, *, values: list[Any] | None = None):
+        super().__init__(n, 1, lam)
+        self._values = list(values) if values is not None else list(range(n))
+        if len(self._values) != n:
+            raise ValueError(f"need exactly {n} values")
+        self.collected: dict[ProcId, Any] = {0: self._values[0]}
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        if proc == self.root:
+            if self.n == 1:
+                return None
+            return self._root_program(system)
+        return self._leaf_program(proc, system)
+
+    def _root_program(self, system: PostalSystem):
+        for _ in range(self.n - 1):
+            message = yield system.recv(self.root)
+            rank, value = message.payload
+            self.collected[rank] = value
+
+    def _leaf_program(self, proc: ProcId, system: PostalSystem):
+        # pace my departure so the root's receive windows abut
+        gap = Time(proc - 1) - system.env.now
+        if gap > 0:
+            yield system.env.timeout(gap)
+        yield system.send(proc, self.root, 0, payload=(proc, self._values[proc]))

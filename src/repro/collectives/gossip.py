@@ -1,0 +1,86 @@
+"""Gossiping (all-to-all rumor spreading) in the postal model.
+
+The paper leaves gossiping open (Section 5).  We provide the natural
+pipelined-ring algorithm as a correct, simple baseline:
+
+Every processor ``p_i`` starts with rumor ``i`` and, every ``lambda`` time
+units, forwards to ``p_{(i+1) mod n}`` the newest rumor it holds that its
+successor has not seen: at step ``k`` (time ``k * lambda``) it sends rumor
+``(i - k) mod n``, which arrived exactly at ``k * lambda`` (for ``k >= 1``).
+Ports never collide: sends are spaced ``lambda >= 1`` apart and each
+processor receives one rumor every ``lambda`` units.
+
+Completion: rumor ``i`` reaches its last processor (``p_{(i-1) mod n}``)
+after ``n - 1`` hops of ``lambda`` each, i.e. at ``(n - 1) * lambda``.
+
+For ``lambda`` noticeably above 1 this is far from the trivial lower bound
+``max(n - 1, f_lambda(n))`` (each processor must *receive* ``n - 1``
+rumors, and any single rumor needs ``f_lambda(n)`` to spread) — finding
+the postal-optimal gossip is exactly the open problem; the gap is measured
+in the collectives bench.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.fibfunc import postal_f
+from repro.postal.machine import PostalSystem
+from repro.sim.engine import Event
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = ["gossip_ring_time", "gossip_lower_bound", "GossipRingProtocol"]
+
+
+def gossip_ring_time(n: int, lam: TimeLike) -> Time:
+    """Completion time of the pipelined ring gossip: ``(n-1) * lambda``
+    (0 when ``n == 1``)."""
+    lam_t = as_time(lam)
+    if n <= 1:
+        return Time(0)
+    return (n - 1) * lam_t
+
+
+def gossip_lower_bound(n: int, lam: TimeLike) -> Time:
+    """A trivial gossip lower bound: every processor must serially receive
+    ``n - 1`` rumors (time ``n - 2 + lambda``) and any one rumor needs
+    ``f_lambda(n)`` to spread."""
+    lam_t = as_time(lam)
+    if n <= 1:
+        return Time(0)
+    return max(Time(n - 2) + lam_t, postal_f(lam_t, n))
+
+
+class GossipRingProtocol(Protocol):
+    """Event-driven pipelined ring gossip.
+
+    After the run, :attr:`known` maps each processor to the set of rumors
+    it holds — the tests assert every set is complete.
+    """
+
+    name = "GOSSIP-RING"
+    semantics = "gossip"
+
+    def __init__(self, n: int, lam: TimeLike):
+        super().__init__(n, 1, lam)
+        self.known: dict[ProcId, set[int]] = {p: {p} for p in range(n)}
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        if self.n == 1:
+            return None
+        return self._node_program(proc, system)
+
+    def _node_program(self, proc: ProcId, system: PostalSystem):
+        succ = (proc + 1) % self.n
+        rumor = proc
+        for _ in range(self.n - 1):
+            yield system.send(proc, succ, 0, payload=rumor)
+            if len(self.known[proc]) < self.n:
+                message = yield system.recv(proc)
+                rumor = message.payload
+                self.known[proc].add(rumor)
+            # next departure is one lambda after the previous one; the
+            # arrival we just consumed landed exactly on that boundary

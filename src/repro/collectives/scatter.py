@@ -1,0 +1,78 @@
+"""Scatter (personalized one-to-all) in the postal model.
+
+The root holds ``n - 1`` *distinct* atomic messages, one per other
+processor.  Unlike broadcast, relaying cannot help: the root must transmit
+each of the ``n - 1`` messages itself at least once (they are distinct and
+atomic), which alone costs ``n - 1`` send units, and the last one still
+needs ``lambda`` to arrive — so ``T >= (n - 2) + lambda``, and the direct
+*star* achieves it.  Scatter is thus a problem where the postal model's
+answer is the naive algorithm, a nice contrast with broadcast.
+
+(A tree-relayed scatter, provided for comparison, is strictly worse: an
+intermediate node must receive all of its subtree's messages before or
+while re-sending them, adding latency without saving the root any work.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.schedule import SendEvent
+from repro.errors import InvalidParameterError
+from repro.postal.machine import PostalSystem
+from repro.sim.engine import Event
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = ["scatter_time", "scatter_schedule", "ScatterProtocol"]
+
+
+def scatter_time(n: int, lam: TimeLike) -> Time:
+    """Optimal scatter time: ``(n - 2) + lambda`` for ``n >= 2``, else 0."""
+    lam_t = as_time(lam)
+    if n <= 1:
+        return Time(0)
+    return Time(n - 2) + lam_t
+
+
+def scatter_schedule(n: int, lam: TimeLike) -> list[SendEvent]:
+    """The optimal (direct star) scatter: the root sends processor ``i``'s
+    private message at time ``i - 1``.  Message index ``i - 1`` is the
+    message *for* ``p_i``."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    return [SendEvent(Time(i - 1), 0, i - 1, i) for i in range(1, n)]
+
+
+class ScatterProtocol(Protocol):
+    """Event-driven optimal scatter.
+
+    ``values[i]`` is the private datum destined for ``p_i`` (``values[0]``
+    stays at the root).  After the run, :attr:`received` maps each
+    processor to the datum it got.
+    """
+
+    name = "SCATTER"
+    semantics = "scatter"
+
+    def __init__(self, n: int, lam: TimeLike, *, values: list[Any] | None = None):
+        super().__init__(n, 1, lam)
+        self._values = list(values) if values is not None else list(range(n))
+        if len(self._values) != n:
+            raise ValueError(f"need exactly {n} values")
+        self.received: dict[ProcId, Any] = {0: self._values[0]}
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        if proc == self.root:
+            return self._root_program(system)
+        return self._leaf_program(proc, system)
+
+    def _root_program(self, system: PostalSystem):
+        for dst in range(1, self.n):
+            yield system.send(self.root, dst, dst - 1, payload=self._values[dst])
+
+    def _leaf_program(self, proc: ProcId, system: PostalSystem):
+        message = yield system.recv(proc)
+        self.received[proc] = message.payload

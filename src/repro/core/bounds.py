@@ -1,0 +1,176 @@
+"""Theorem 7 — bounds on ``F_lambda(t)`` and ``f_lambda(n)``.
+
+The four parts of Theorem 7 (proved in the paper's appendix, Lemmas 19-26):
+
+1. ``(ceil(lambda)+1)^floor(t/2lambda) <= F_lambda(t)
+   <= (ceil(lambda)+1)^floor(t/lambda)``
+2. ``lambda*log(n)/log(ceil(lambda)+1) <= f_lambda(n)
+   <= 2*lambda + 2*lambda*log(n)/log(ceil(lambda)+1)``
+3. ``F_lambda(t) >= (lambda+1)^(t/(alpha*lambda) - 1)`` for sufficiently
+   large ``lambda``, with ``alpha`` as below.
+4. ``f_lambda(n) <= (1 + h(lambda)) * lambda*log(n)/log(lambda+1)`` for
+   sufficiently large ``lambda`` and ``n >= 2^lambda``, with
+   ``h(lambda) -> 0``.
+
+The exact-part bounds (1)-(2) are computed in exact integer arithmetic so
+comparisons with ``F_lambda``/``f_lambda`` never suffer float error; the
+asymptotic parts (3)-(4) and the technical Claims 23-24 are floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.fibfunc import postal_F, postal_f
+from repro.errors import InvalidParameterError
+from repro.types import Time, TimeLike, as_time
+
+__all__ = [
+    "F_lower_exact",
+    "F_upper_exact",
+    "f_lower_log",
+    "f_upper_log",
+    "alpha",
+    "F_lower_asymptotic",
+    "h_of_lambda",
+    "f_upper_asymptotic",
+    "claim23_lhs",
+    "claim24_holds",
+    "theorem7_sandwich_holds",
+]
+
+
+def _lam(lam: TimeLike) -> Time:
+    lam_t = as_time(lam)
+    if lam_t < 1:
+        raise InvalidParameterError(f"lambda >= 1 required, got {lam_t}")
+    return lam_t
+
+
+def F_lower_exact(lam: TimeLike, t: TimeLike) -> int:
+    """Theorem 7(1) lower bound: ``(ceil(lambda)+1) ** floor(t/(2*lambda))``
+    (Lemma 21), as an exact integer."""
+    lam_t = _lam(lam)
+    t = as_time(t)
+    if t < 0:
+        raise InvalidParameterError(f"t >= 0 required, got {t}")
+    base = math.ceil(lam_t) + 1
+    return base ** int(t / (2 * lam_t))
+
+
+def F_upper_exact(lam: TimeLike, t: TimeLike) -> int:
+    """Theorem 7(1) upper bound: ``(ceil(lambda)+1) ** floor(t/lambda)``
+    (Lemma 19), as an exact integer."""
+    lam_t = _lam(lam)
+    t = as_time(t)
+    if t < 0:
+        raise InvalidParameterError(f"t >= 0 required, got {t}")
+    base = math.ceil(lam_t) + 1
+    return base ** int(t / lam_t)
+
+
+def f_lower_log(lam: TimeLike, n: int) -> float:
+    """Theorem 7(2) lower bound on ``f_lambda(n)``:
+    ``lambda * log(n) / log(ceil(lambda)+1)`` (Lemma 20)."""
+    lam_t = _lam(lam)
+    if n < 1:
+        raise InvalidParameterError(f"n >= 1 required, got {n}")
+    return float(lam_t) * math.log2(n) / math.log2(math.ceil(lam_t) + 1)
+
+
+def f_upper_log(lam: TimeLike, n: int) -> float:
+    """Theorem 7(2) upper bound on ``f_lambda(n)``:
+    ``2*lambda + 2*lambda * log(n) / log(ceil(lambda)+1)`` (Lemma 22)."""
+    lam_t = _lam(lam)
+    if n < 1:
+        raise InvalidParameterError(f"n >= 1 required, got {n}")
+    return 2 * float(lam_t) * (1 + math.log2(n) / math.log2(math.ceil(lam_t) + 1))
+
+
+def alpha(lam: TimeLike) -> float:
+    """The paper's ``alpha(lambda) = 1 + (ln ln(lambda+1) + 1) /
+    (ln(lambda+1) - (ln ln(lambda+1) + 1))`` — the slack factor of the
+    asymptotic bounds.
+
+    The denominator ``ln(x) - ln(ln(x)) - 1`` (with ``x = lambda + 1``) is
+    nonnegative for all ``lambda >= 1`` and touches zero only at
+    ``lambda = e - 1``, where ``alpha`` blows up; it decreases toward 1
+    (very slowly, at ``ln ln / ln`` rate) as ``lambda`` grows."""
+    lam_f = float(_lam(lam))
+    inner = math.log(math.log(lam_f + 1)) + 1
+    denom = math.log(lam_f + 1) - inner
+    if denom <= 0:
+        raise InvalidParameterError(
+            f"alpha(lambda) needs ln(lambda+1) > ln(ln(lambda+1)) + 1; "
+            f"lambda={lam_f} is too small"
+        )
+    return 1 + inner / denom
+
+
+def F_lower_asymptotic(lam: TimeLike, t: TimeLike) -> float:
+    """Theorem 7(3): ``(lambda+1) ** (t/(alpha*lambda) - 1)`` (Lemma 25;
+    valid for sufficiently large ``lambda``)."""
+    lam_f = float(_lam(lam))
+    t_f = float(as_time(t))
+    return (lam_f + 1) ** (t_f / (alpha(lam) * lam_f) - 1)
+
+
+def h_of_lambda(lam: TimeLike, n: int, eps: float = 0.0) -> float:
+    """The ``h(lambda)`` of Theorem 7(4), from the proof of Lemma 26:
+    ``1 + h(lambda) = alpha + alpha*log(lambda+1)/log(n) + eps``.
+    Tends to 0 when ``lambda -> infinity`` with ``n >= 2**lambda``."""
+    lam_f = float(_lam(lam))
+    if n < 2:
+        raise InvalidParameterError(f"n >= 2 required, got {n}")
+    a = alpha(lam)
+    return a + a * math.log2(lam_f + 1) / math.log2(n) + eps - 1
+
+
+def f_upper_asymptotic(lam: TimeLike, n: int, eps: float = 0.0) -> float:
+    """Theorem 7(4): ``(1 + h(lambda)) * lambda * log(n) / log(lambda+1)``
+    (Lemma 26; valid for sufficiently large ``lambda`` and ``n``)."""
+    lam_f = float(_lam(lam))
+    return (1 + h_of_lambda(lam, n, eps)) * lam_f * math.log2(n) / math.log2(lam_f + 1)
+
+
+def claim23_lhs(lam: TimeLike) -> float:
+    """Left-hand side of Claim 23:
+    ``(e*ln(lambda+1)/(alpha*lambda)) * (lambda+1)**((lambda-1)/(alpha*lambda))``
+    — must be ``<= 1`` for sufficiently large ``lambda``.
+
+    (The paper's display of the exponent reads ``(lambda-1)*alpha*lambda``;
+    that is a typesetting slip for ``(lambda-1)/(alpha*lambda)``, the form
+    actually used in the proof of Lemma 25.)
+    """
+    lam_f = float(_lam(lam))
+    a = alpha(lam)
+    return (
+        math.e
+        * math.log(lam_f + 1)
+        / (a * lam_f)
+        * (lam_f + 1) ** ((lam_f - 1) / (a * lam_f))
+    )
+
+
+def claim24_holds(lam: TimeLike) -> bool:
+    """Claim 24: ``(lambda+1)**(1/(alpha*lambda)) - 1
+    <= e*ln(lambda+1)/(alpha*lambda)``."""
+    lam_f = float(_lam(lam))
+    a = alpha(lam)
+    lhs = (lam_f + 1) ** (1 / (a * lam_f)) - 1
+    rhs = math.e * math.log(lam_f + 1) / (a * lam_f)
+    return lhs <= rhs
+
+
+def theorem7_sandwich_holds(lam: TimeLike, *, t: TimeLike, n: int) -> bool:
+    """Check parts (1) and (2) of Theorem 7 at a sampled ``(t, n)``:
+    the exact lower/upper bounds must sandwich ``F_lambda(t)`` and
+    ``f_lambda(n)``."""
+    lam_t = _lam(lam)
+    F = postal_F(lam_t, t)
+    if not F_lower_exact(lam_t, t) <= F <= F_upper_exact(lam_t, t):
+        return False
+    f = float(postal_f(lam_t, n))
+    # widen the float bounds by one ulp-ish margin to avoid spurious
+    # failures from log rounding right at equality
+    return f_lower_log(lam_t, n) - 1e-9 <= f <= f_upper_log(lam_t, n) + 1e-9

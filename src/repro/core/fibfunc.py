@@ -1,0 +1,190 @@
+"""The generalized Fibonacci function ``F_lambda`` and its index ``f_lambda``.
+
+Section 3 of the paper defines, for any real latency ``lambda >= 1``::
+
+    F_lambda(t) = 1                                   for 0 <= t < lambda
+    F_lambda(t) = F_lambda(t-1) + F_lambda(t-lambda)  for t >= lambda
+
+``F_lambda`` is a right-continuous, nondecreasing, unbounded step function
+whose jump points all lie on the grid ``{a + b*lambda : a, b in N}``.  Its
+index function ``f_lambda(n) = min{t : F_lambda(t) >= n}`` is exactly the
+optimal single-message broadcast time in ``MPS(n, lambda)`` (Theorem 6).
+
+Implementation notes
+--------------------
+* ``lambda`` and all times are exact :class:`~fractions.Fraction` values, so
+  cases like the paper's ``lambda = 2.5`` evaluate with *equality*, never a
+  tolerance.
+* The function is tabulated bottom-up over its jump grid.  For ``t >= lambda``
+  both ``t - 1 >= 0`` and ``t - lambda >= 0``, and both are strictly smaller
+  than ``t``, so a single increasing sweep over the sorted grid computes the
+  whole table; arbitrary ``t`` are answered by bisection (value at the
+  rightmost grid point ``<= t``).
+* The table grows on demand with a doubling strategy, so ``f_lambda(n)`` for
+  astronomically large ``n`` stays cheap: ``F_lambda`` grows like
+  ``(ceil(lambda)+1)^(t/2*lambda)`` (Theorem 7), hence the required horizon
+  is ``O(lambda * log n / log(lambda+1))``.
+
+Special cases, as in the paper:
+
+* ``lambda = 1``: ``F_1(t) = 2**floor(t)`` and ``f_1(n) = ceil(log2 n)``
+  (the telephone model / binomial tree).
+* ``lambda = 2``: ``F_2(t)`` is the Fibonacci number of index
+  ``floor(t) + 1`` (with ``Fib(1) = Fib(2) = 1``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from fractions import Fraction
+from typing import Iterable, Iterator
+
+from repro.core.stepfunc import StepFunction
+from repro.errors import InvalidParameterError
+from repro.types import Time, TimeLike, ZERO, as_time
+
+__all__ = ["GeneralizedFibonacci", "postal_F", "postal_f"]
+
+
+class GeneralizedFibonacci(StepFunction):
+    """Exact evaluator for ``F_lambda(t)`` and ``f_lambda(n)``.
+
+    Instances are cheap to create and cache their own value table; reuse one
+    instance per ``lambda`` when evaluating many points (the module-level
+    helpers :func:`postal_F` / :func:`postal_f` keep a shared cache).
+
+    Args:
+        lam: communication latency ``lambda >= 1`` (int, float, string like
+            ``"5/2"``, or Fraction).
+    """
+
+    def __init__(self, lam: TimeLike):
+        lam = as_time(lam)
+        if lam < 1:
+            raise InvalidParameterError(f"the postal model requires lambda >= 1, got {lam}")
+        self._lam: Time = lam
+        # Sorted jump-grid times with their values; authoritative on
+        # [0, self._horizon).  Seeded with the flat prefix F(t) = 1.
+        self._times: list[Time] = [ZERO]
+        self._values: list[int] = [1]
+        self._horizon: Time = lam  # table is correct for t < horizon
+
+    @property
+    def lam(self) -> Time:
+        """The latency ``lambda`` this instance evaluates."""
+        return self._lam
+
+    # ------------------------------------------------------------------ grid
+
+    def _grid_upto(self, limit: Time) -> list[Time]:
+        """All grid points ``a + b*lambda <= limit`` (a, b >= 0 integers),
+        sorted ascending."""
+        lam = self._lam
+        pts: set[Time] = set()
+        b = 0
+        while b * lam <= limit:
+            base = b * lam
+            top = int(limit - base)  # floor, exact because Fraction
+            pts.update(base + a for a in range(top + 1))
+            b += 1
+        return sorted(pts)
+
+    def _extend_to(self, t: Time) -> None:
+        """Ensure the table is authoritative for all times ``<= t``."""
+        if t < self._horizon:
+            return
+        limit = t + 1  # a little slack so value_at(t) is safely interior
+        lam = self._lam
+        grid = self._grid_upto(limit)
+        times: list[Time] = []
+        values: list[int] = []
+
+        def value_at_local(x: Time) -> int:
+            # value of F at x using the table built so far in this pass
+            i = bisect.bisect_right(times, x) - 1
+            return values[i]
+
+        prev = 0
+        for g in grid:
+            if g < lam:
+                v = 1
+            else:
+                v = value_at_local(g - 1) + value_at_local(g - lam)
+            if v != prev:  # keep only true jumps; keeps bisection tight
+                times.append(g)
+                values.append(v)
+                prev = v
+        self._times = times
+        self._values = values
+        self._horizon = limit
+
+    # ----------------------------------------------------------- evaluation
+
+    def value_at(self, t: Time) -> int:
+        """``F_lambda(t)`` for exact ``t >= 0``."""
+        if t < 0:
+            raise InvalidParameterError(f"F_lambda is defined for t >= 0, got {t}")
+        if t < self._lam:
+            return 1
+        self._extend_to(t)
+        i = bisect.bisect_right(self._times, t) - 1
+        return self._values[i]
+
+    def index(self, n: int) -> Time:
+        """``f_lambda(n) = min{t : F_lambda(t) >= n}`` for integer ``n >= 1``."""
+        n = int(n)
+        if n < 1:
+            raise InvalidParameterError(f"f_lambda is defined for n >= 1, got {n}")
+        if n == 1:
+            return ZERO
+        # grow the table until its maximum value reaches n
+        while self._values[-1] < n:
+            self._extend_to(self._horizon * 2)
+        i = bisect.bisect_left(self._values, n)
+        return self._times[i]
+
+    def jump_times(self, up_to: Time) -> Iterable[Time]:
+        self._extend_to(up_to)
+        i = bisect.bisect_right(self._times, up_to)
+        return list(self._times[:i])
+
+    def sequence(self, count: int) -> Iterator[tuple[Time, int]]:
+        """Yield the first *count* jump points ``(t, F_lambda(t))`` — the
+        generalized Fibonacci *sequence* for this ``lambda``."""
+        if count < 0:
+            raise InvalidParameterError("count must be >= 0")
+        while len(self._times) < count:
+            self._extend_to(self._horizon * 2)
+        for i in range(count):
+            yield (self._times[i], self._values[i])
+
+    def __repr__(self) -> str:
+        return f"GeneralizedFibonacci(lambda={self._lam})"
+
+
+# ------------------------------------------------------------- module cache
+
+_CACHE: dict[Time, GeneralizedFibonacci] = {}
+_CACHE_LIMIT = 256
+
+
+def _cached(lam: TimeLike) -> GeneralizedFibonacci:
+    key = as_time(lam)
+    fib = _CACHE.get(key)
+    if fib is None:
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        fib = _CACHE[key] = GeneralizedFibonacci(key)
+    return fib
+
+
+def postal_F(lam: TimeLike, t: TimeLike) -> int:
+    """``F_lambda(t)`` — maximum number of processors reachable by a
+    single-message broadcast within ``t`` time units in ``MPS(*, lambda)``."""
+    return _cached(lam)(t)
+
+
+def postal_f(lam: TimeLike, n: int) -> Fraction:
+    """``f_lambda(n)`` — the optimal broadcast time for one message to ``n``
+    processors with latency ``lambda`` (Theorem 6)."""
+    return _cached(lam).index(n)

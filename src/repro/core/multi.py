@@ -1,0 +1,136 @@
+"""Multi-message generalizations of Algorithm BCAST (Section 4.2).
+
+Three ways to broadcast ``m`` messages, each compiled to the common
+:class:`~repro.core.schedule.Schedule` IR:
+
+* :func:`repeat_schedule` — Algorithm REPEAT: ``m`` back-to-back BCAST
+  iterations; iteration ``i+1`` starts ``lambda - 1`` time units *before*
+  iteration ``i`` completes (the overlap exploited by Lemma 10).  Running
+  time exactly ``m*f_lambda(n) - (m-1)(lambda-1)``.
+* :func:`pack_schedule` — Algorithm PACK: the ``m`` messages travel as one
+  long message; equivalent to BCAST with normalized latency
+  ``lambda' = 1 + (lambda-1)/m`` and time scale ``t' = t/m`` (Lemma 12).
+  Running time exactly ``m * f_{lambda'}(n)``.
+* :func:`pipeline_schedule` — Algorithm PIPELINE: the messages travel as a
+  stream, forwarded as they arrive.  For ``m <= lambda`` (PIPELINE-1) the
+  stream *sender* finishes first and takes the larger recursive subrange;
+  for ``m >= lambda`` (PIPELINE-2) the roles swap and the *recipient* takes
+  the larger subrange.  Running times exactly ``m*f_{lambda/m}(n) + (m-1)``
+  and ``lambda*f_{m/lambda}(n) + (lambda-1)`` (Lemmas 14 and 16).
+
+All three preserve message order at every processor.
+"""
+
+from __future__ import annotations
+
+from repro.core.bcast import bcast_events
+from repro.core.fibfunc import GeneralizedFibonacci, postal_f
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import InvalidParameterError
+from repro.types import ProcId, Time, TimeLike, ZERO, as_time
+
+__all__ = [
+    "repeat_schedule",
+    "pack_schedule",
+    "pipeline_schedule",
+    "pipeline_variant",
+]
+
+
+def _check_nm(n: int, m: int) -> None:
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+    if m < 1:
+        raise InvalidParameterError(f"need m >= 1 messages, got {m}")
+
+
+def repeat_schedule(n: int, m: int, lam: TimeLike, *, validate: bool = True) -> Schedule:
+    """Algorithm REPEAT: ``m`` overlapped iterations of BCAST.
+
+    Processor ``p_0`` starts iteration ``i+1`` immediately after sending the
+    last copy of ``M_{i+1}``'s predecessor — which is ``lambda - 1`` units
+    before iteration ``i`` terminates — so consecutive iterations are spaced
+    ``f_lambda(n) - (lambda - 1)`` apart (Lemma 10).
+    """
+    _check_nm(n, m)
+    lam = as_time(lam)
+    events: list[SendEvent] = []
+    if n >= 2:
+        stride = postal_f(lam, n) - (lam - 1)
+        for i in range(m):
+            events.extend(bcast_events(n, lam, start=i * stride, msg=i))
+    return Schedule(n, lam, events, m=m, validate=validate)
+
+
+def pack_schedule(n: int, m: int, lam: TimeLike, *, validate: bool = True) -> Schedule:
+    """Algorithm PACK: broadcast the ``m`` messages as one long message.
+
+    Built by running BCAST with the normalized latency
+    ``lambda' = (lambda + m - 1)/m`` and unpacking each abstract send at
+    normalized time ``t'`` into ``m`` unit sends at real times
+    ``m*t', m*t'+1, ..., m*t'+m-1``.  Every processor finishes receiving the
+    whole pack before its first forwarding send, as the algorithm requires.
+    """
+    _check_nm(n, m)
+    lam = as_time(lam)
+    if lam < 1:
+        raise InvalidParameterError(f"the postal model requires lambda >= 1, got {lam}")
+    lam_packed = 1 + (lam - 1) / m
+    abstract = bcast_events(n, lam_packed)
+    events = [
+        SendEvent(m * ev.send_time + k, ev.sender, k, ev.receiver)
+        for ev in abstract
+        for k in range(m)
+    ]
+    return Schedule(n, lam, events, m=m, validate=validate)
+
+
+def pipeline_variant(m: int, lam: TimeLike) -> str:
+    """Which pipeline case applies: ``"PIPELINE-1"`` when ``m <= lambda``
+    (sender finishes first), else ``"PIPELINE-2"``.  At ``m == lambda`` the
+    two coincide; we report PIPELINE-1."""
+    return "PIPELINE-1" if m <= as_time(lam) else "PIPELINE-2"
+
+
+def pipeline_schedule(n: int, m: int, lam: TimeLike, *, validate: bool = True) -> Schedule:
+    """Algorithm PIPELINE: broadcast the ``m`` messages as a stream.
+
+    One recursion covers both cases.  After a stream transmission starting
+    at time ``t``:
+
+    * the *sender* is free to start its next stream at ``t + m``;
+    * the *recipient* can begin forwarding at ``t + lambda`` (it forwards
+      message ``k`` during ``[t + lambda + k, t + lambda + k + 1)``, exactly
+      as message ``k`` arrives).
+
+    Whichever party is free earlier inherits the larger recursive subrange
+    ``j = F_{lambda'}(f_{lambda'}(size) - 1)``, where ``lambda' = lambda/m``
+    (PIPELINE-1, ``m <= lambda``) or ``lambda' = m/lambda`` (PIPELINE-2,
+    ``m >= lambda``) — the role swap Section 4.2 describes.  With ``m = 1``
+    this degenerates to Algorithm BCAST.
+    """
+    _check_nm(n, m)
+    lam = as_time(lam)
+    if lam < 1:
+        raise InvalidParameterError(f"the postal model requires lambda >= 1, got {lam}")
+    sender_first = m <= lam  # who is free earlier after a stream
+    lam_p = (lam / m) if sender_first else (Time(m) / lam)
+    fib = GeneralizedFibonacci(lam_p)
+    events: list[SendEvent] = []
+    # (lo, size, t): `lo` holds (or is receiving) the full stream and may
+    # start transmitting it at time t to processors in lo .. lo+size-1.
+    stack: list[tuple[ProcId, int, Time]] = [(0, n, ZERO)]
+    while stack:
+        lo, size, t = stack.pop()
+        if size == 1:
+            continue
+        j = fib.value_at(fib.index(size) - 1)  # larger-side size
+        if sender_first:
+            keep, give = j, size - j  # sender keeps the larger side
+        else:
+            keep, give = size - j, j  # recipient takes the larger side
+        v = lo + keep
+        events.extend(SendEvent(t + k, lo, k, v) for k in range(m))
+        stack.append((lo, keep, t + m))
+        stack.append((v, give, t + lam))
+    return Schedule(n, lam, events, m=m, validate=validate)

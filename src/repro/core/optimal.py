@@ -1,0 +1,108 @@
+"""Independent optimality oracles for single-message broadcast (Lemma 5).
+
+Theorem 6 says BCAST is optimal.  To *validate* that claim without trusting
+the ``F_lambda`` implementation (which BCAST itself uses), this module
+provides two independent computations of the optimum:
+
+* :func:`opt_broadcast_time` — the split dynamic program
+
+      OPT(1) = 0
+      OPT(k) = min over 1 <= j <= k-1 of max(1 + OPT(j), lambda + OPT(k-j))
+
+  which is the standard inverse formulation of the ``N(t)`` recurrence in
+  Lemma 5: WLOG the originator sends at time 0, then the originator must
+  finish a broadcast to ``j`` processors (itself included) while the
+  recipient covers the remaining ``k - j``.
+
+* :func:`max_informed` — the quantity ``N(t)`` of Lemma 5 computed
+  *constructively* by simulating the eager strategy: every processor, from
+  the moment it knows the message, sends it to a brand-new processor every
+  time unit.  Lemma 5 proves this is the extremal strategy, so the informed
+  count of this simulation equals ``N(t)``; the tests check it equals
+  ``F_lambda(t)`` point for point.
+
+Neither computation touches :mod:`repro.core.fibfunc`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+
+from repro.core.stepfunc import TabulatedStepFunction
+from repro.errors import InvalidParameterError
+from repro.types import Time, TimeLike, ZERO, as_time
+
+__all__ = ["opt_broadcast_time", "max_informed", "eager_informed_counts"]
+
+
+def opt_broadcast_time(n: int, lam: TimeLike) -> Fraction:
+    """Optimal single-message broadcast time in ``MPS(n, lambda)`` via the
+    split dynamic program (O(n^2); intended for validation at small ``n``)."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    lam = as_time(lam)
+    if lam < 1:
+        raise InvalidParameterError(f"the postal model requires lambda >= 1, got {lam}")
+    opt: list[Fraction] = [ZERO, ZERO]  # OPT(0) unused, OPT(1) = 0
+    for k in range(2, n + 1):
+        best: Fraction | None = None
+        for j in range(1, k):
+            cand = max(1 + opt[j], lam + opt[k - j])
+            if best is None or cand < best:
+                best = cand
+        assert best is not None
+        opt.append(best)
+    return opt[n]
+
+
+def eager_informed_counts(lam: TimeLike, horizon: TimeLike) -> TabulatedStepFunction:
+    """The informed-count step function of the eager strategy up to
+    *horizon*: one processor knows the message at ``t = 0``; every informed
+    processor sends to a new processor at every subsequent time unit.
+
+    Returns a tabulated step function authoritative on ``[0, horizon]``.
+    """
+    lam = as_time(lam)
+    if lam < 1:
+        raise InvalidParameterError(f"the postal model requires lambda >= 1, got {lam}")
+    limit = as_time(horizon)
+    if limit < 0:
+        raise InvalidParameterError(f"horizon must be >= 0, got {limit}")
+
+    # Min-heap of pending arrival times.  A processor informed at time `a`
+    # emits sends at a, a+1, a+2, ... arriving at a+lam, a+1+lam, ...
+    # Each arrival is enqueued lazily so the heap stays finite; note the
+    # total number of arrivals below `horizon` is F_lambda(horizon) - 1,
+    # i.e. exponential in the horizon — this oracle is for validation at
+    # small horizons, not production use.
+    arrivals: list[Time] = []
+
+    def push(first_arrival: Time) -> None:
+        if first_arrival <= limit:
+            heapq.heappush(arrivals, first_arrival)
+
+    jump_times: list[Time] = [ZERO]
+    values: list[int] = [1]
+    push(lam)  # root informed at 0: first send arrives at lam
+    # Each popped arrival both informs a new processor (who starts sending)
+    # and lets the sender's next send be scheduled one unit later.
+    while arrivals:
+        t = heapq.heappop(arrivals)
+        count = values[-1] + 1
+        if jump_times[-1] == t:
+            values[-1] = count
+        else:
+            jump_times.append(t)
+            values.append(count)
+        push(t + lam)  # the newly informed processor's first arrival
+        push(t + 1)  # the sender's next send, one unit after this one
+    return TabulatedStepFunction(jump_times, values, horizon=limit)
+
+
+def max_informed(lam: TimeLike, t: TimeLike) -> int:
+    """``N(t)``: the maximum number of processors any algorithm can inform
+    within ``t`` time units in ``MPS(*, lambda)`` (Lemma 5), computed
+    constructively by the eager strategy."""
+    t = as_time(t)
+    return eager_informed_counts(lam, t).value_at(t)

@@ -1,0 +1,59 @@
+"""Order preservation of multi-message broadcasts.
+
+All algorithms in the paper are *order-preserving*: every processor receives
+``M_1, M_2, ..., M_m`` in index order.  (The paper's reference [13] proves a
+lower bound specific to order-preserving broadcast; our DTREE factor bench
+relies on this property.)
+
+A schedule is order-preserving iff, at every processor, arrival times are
+strictly increasing in message index — receives are serialized through one
+port, so two messages can never arrive at the same instant in a valid
+schedule; we nevertheless flag ties as violations because order would then
+be ambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.errors import OrderViolationError
+from repro.types import ProcId, Time, time_repr
+
+__all__ = [
+    "arrival_sequences",
+    "check_order_preserving",
+    "is_order_preserving",
+]
+
+
+def arrival_sequences(schedule: Schedule) -> dict[ProcId, list[tuple[Time, int]]]:
+    """Per-processor list of ``(arrival_time, msg)`` in message-index order
+    (the root is omitted: it holds everything at time 0)."""
+    out: dict[ProcId, list[tuple[Time, int]]] = {}
+    for (proc, msg), arr in schedule.arrivals().items():
+        if proc == schedule.root:
+            continue
+        out.setdefault(proc, []).append((arr, msg))
+    for seq in out.values():
+        seq.sort(key=lambda pair: pair[1])
+    return out
+
+
+def check_order_preserving(schedule: Schedule) -> None:
+    """Raise :class:`~repro.errors.OrderViolationError` if any processor
+    receives a higher-indexed message no later than a lower-indexed one."""
+    for proc, seq in arrival_sequences(schedule).items():
+        for (t1, m1), (t2, m2) in zip(seq, seq[1:]):
+            if t2 <= t1:
+                raise OrderViolationError(
+                    f"p{proc} receives M{m2 + 1} at t={time_repr(t2)}, not "
+                    f"after M{m1 + 1} at t={time_repr(t1)}"
+                )
+
+
+def is_order_preserving(schedule: Schedule) -> bool:
+    """True iff every processor receives the messages in index order."""
+    try:
+        check_order_preserving(schedule)
+    except OrderViolationError:
+        return False
+    return True

@@ -1,0 +1,375 @@
+"""Schedule intermediate representation and postal-model validation.
+
+Every broadcasting algorithm in this library — BCAST, REPEAT, PACK,
+PIPELINE, DTREE, and the baselines — compiles to the same IR: a
+:class:`Schedule`, i.e. a set of :class:`SendEvent` records over
+``MPS(n, lambda)``.  A schedule knows how to:
+
+* **validate** itself against the postal model (Definitions 1 and 2 of the
+  paper): senders hold the message they send, send ports are busy for one
+  unit per message, receive ports are busy during ``[t+lambda-1, t+lambda]``,
+  and no port is driven twice at once (simultaneous I/O allows one send plus
+  one receive, never two of the same kind);
+* report its **completion time** (arrival of the last message at the last
+  processor — the paper's ``T_A(n, m, lambda)``);
+* expose per-processor arrival times and the "informed processors" step
+  function ``A(t)`` used by the optimality argument of Lemma 5.
+
+Busy intervals are treated as half-open ``[start, end)`` so that a send
+finishing at ``t+1`` and the next send starting at ``t+1`` abut without
+conflict, exactly as the paper's algorithms require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.stepfunc import TabulatedStepFunction
+from repro.errors import (
+    InvalidParameterError,
+    PortBusyError,
+    ScheduleError,
+    SimultaneousIOError,
+)
+from repro.types import ONE, ProcId, Time, TimeLike, ZERO, as_time, time_repr
+
+__all__ = ["SendEvent", "Schedule", "check_intervals_disjoint"]
+
+
+@dataclass(frozen=True, order=True)
+class SendEvent:
+    """One point-to-point message transmission.
+
+    Ordering is by ``(send_time, sender, msg, receiver)`` so a sorted event
+    list reads chronologically.
+
+    Attributes:
+        send_time: the time the sender starts sending; the sender's send
+            port is busy during ``[send_time, send_time + 1)``.
+        sender: originating processor.
+        msg: message index, ``0 .. m-1`` (the paper's ``M_1 .. M_m``).
+        receiver: destination processor; its receive port is busy during
+            ``[send_time + lambda - 1, send_time + lambda)`` and it *knows*
+            the message from ``send_time + lambda`` on.
+    """
+
+    send_time: Time
+    sender: ProcId
+    msg: int
+    receiver: ProcId
+
+    def arrival_time(self, lam: Time) -> Time:
+        """Time at which the receiver has fully received this message."""
+        return self.send_time + lam
+
+    def __str__(self) -> str:
+        return (
+            f"p{self.sender} --M{self.msg + 1}--> p{self.receiver} "
+            f"@ t={time_repr(self.send_time)}"
+        )
+
+
+def check_intervals_disjoint(
+    intervals: Iterable[tuple[Time, Time]],
+) -> tuple[Time, Time, Time, Time] | None:
+    """Return the first overlapping pair among half-open intervals, or
+    ``None`` if all are pairwise disjoint.  Input need not be sorted."""
+    ordered = sorted(intervals)
+    for (s1, e1), (s2, e2) in zip(ordered, ordered[1:]):
+        if s2 < e1:  # half-open: touching endpoints are fine
+            return (s1, e1, s2, e2)
+    return None
+
+
+class Schedule:
+    """An executable broadcast schedule over ``MPS(n, lambda)``.
+
+    Args:
+        n: number of processors (``p_0 .. p_{n-1}``).
+        lam: communication latency ``lambda >= 1``.
+        events: the send events.
+        m: number of messages being broadcast (message indices must lie in
+            ``0 .. m-1``).
+        root: the originating processor (default ``p_0``); it holds all
+            ``m`` messages at time 0.
+        validate: check postal-model conformance on construction (on by
+            default; builders that construct provably valid schedules may
+            skip and let tests validate).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        lam: TimeLike,
+        events: Iterable[SendEvent],
+        *,
+        m: int = 1,
+        root: ProcId = 0,
+        validate: bool = True,
+    ):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+        if m < 1:
+            raise InvalidParameterError(f"need m >= 1 messages, got {m}")
+        lam = as_time(lam)
+        if lam < 1:
+            raise InvalidParameterError(f"the postal model requires lambda >= 1, got {lam}")
+        if not 0 <= root < n:
+            raise InvalidParameterError(f"root p{root} outside 0..{n - 1}")
+        self._n = n
+        self._m = m
+        self._lam = lam
+        self._root = root
+        self._events: tuple[SendEvent, ...] = tuple(sorted(events))
+        self._arrivals: dict[tuple[ProcId, int], Time] | None = None
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of messages."""
+        return self._m
+
+    @property
+    def lam(self) -> Time:
+        """Communication latency ``lambda``."""
+        return self._lam
+
+    @property
+    def root(self) -> ProcId:
+        """The broadcast originator."""
+        return self._root
+
+    @property
+    def events(self) -> tuple[SendEvent, ...]:
+        """All send events in chronological order."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SendEvent]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._m == other._m
+            and self._lam == other._lam
+            and self._root == other._root
+            and self._events == other._events
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(n={self._n}, m={self._m}, lambda={time_repr(self._lam)}, "
+            f"{len(self._events)} sends, T={time_repr(self.completion_time())})"
+        )
+
+    # ------------------------------------------------------------ semantics
+
+    def arrivals(self) -> Mapping[tuple[ProcId, int], Time]:
+        """Arrival time of each ``(processor, msg)`` delivery.
+
+        The root's own entries are time 0 (it holds everything initially).
+        """
+        if self._arrivals is None:
+            arr: dict[tuple[ProcId, int], Time] = {
+                (self._root, k): ZERO for k in range(self._m)
+            }
+            for ev in self._events:
+                key = (ev.receiver, ev.msg)
+                if key in arr:
+                    raise ScheduleError(
+                        f"p{ev.receiver} is sent M{ev.msg + 1} more than once "
+                        f"(second delivery: {ev})"
+                    )
+                arr[key] = ev.arrival_time(self._lam)
+            self._arrivals = arr
+        return self._arrivals
+
+    def arrival_of(self, proc: ProcId, msg: int = 0) -> Time:
+        """When *proc* has fully received message *msg*."""
+        try:
+            return self.arrivals()[(proc, msg)]
+        except KeyError:
+            raise ScheduleError(
+                f"p{proc} never receives M{msg + 1} in this schedule"
+            ) from None
+
+    def completion_time(self) -> Time:
+        """Arrival time of the last message at the last processor — the
+        paper's running time ``T(n, m, lambda)``.  Zero for ``n == 1``."""
+        arr = self.arrivals()
+        return max(arr.values(), default=ZERO)
+
+    def sends_by(self, proc: ProcId) -> list[SendEvent]:
+        """The events *proc* originates, chronologically."""
+        return [e for e in self._events if e.sender == proc]
+
+    def receives_by(self, proc: ProcId) -> list[SendEvent]:
+        """The events delivering to *proc*, by arrival time."""
+        return sorted(
+            (e for e in self._events if e.receiver == proc),
+            key=lambda e: (e.arrival_time(self._lam), e.msg),
+        )
+
+    def informed_count(self, msg: int = 0) -> TabulatedStepFunction:
+        """The step function ``A(t)`` = number of processors that know
+        message *msg* at time ``t`` (the quantity bounded by ``F_lambda`` in
+        Lemma 5).  Final: it saturates at ``n``."""
+        times = sorted(
+            arr for (proc, k), arr in self.arrivals().items() if k == msg
+        )
+        if not times or times[0] != ZERO:
+            raise ScheduleError(f"no processor holds M{msg + 1} at time 0")
+        jump_times: list[Time] = []
+        values: list[int] = []
+        count = 0
+        for t in times:
+            count += 1
+            if jump_times and jump_times[-1] == t:
+                values[-1] = count
+            else:
+                jump_times.append(t)
+                values.append(count)
+        return TabulatedStepFunction(jump_times, values, final=True)
+
+    # ----------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Check full conformance with the postal model.
+
+        Raises:
+            ScheduleError: structural problems — processor ids out of range,
+                message ids out of range, a duplicate delivery, a sender
+                transmitting a message it does not hold yet, sending to
+                oneself, or an undelivered ``(processor, msg)`` pair.
+            SimultaneousIOError: two sends (or two receives) at one
+                processor overlap in time.
+        """
+        lam = self._lam
+        for ev in self._events:
+            if not 0 <= ev.sender < self._n:
+                raise ScheduleError(f"sender out of range in {ev}")
+            if not 0 <= ev.receiver < self._n:
+                raise ScheduleError(f"receiver out of range in {ev}")
+            if ev.sender == ev.receiver:
+                raise ScheduleError(f"self-send in {ev}")
+            if not 0 <= ev.msg < self._m:
+                raise ScheduleError(f"message index out of range in {ev}")
+            if ev.send_time < 0:
+                raise ScheduleError(f"negative send time in {ev}")
+
+        arrivals = self.arrivals()  # also detects duplicate deliveries
+
+        # every sender must hold the message when it starts sending
+        for ev in self._events:
+            held_from = arrivals.get((ev.sender, ev.msg))
+            if held_from is None:
+                raise ScheduleError(
+                    f"{ev}: p{ev.sender} never obtains M{ev.msg + 1}"
+                )
+            if ev.send_time < held_from:
+                raise ScheduleError(
+                    f"{ev}: p{ev.sender} only holds M{ev.msg + 1} from "
+                    f"t={time_repr(held_from)}"
+                )
+
+        # full coverage: all n-1 non-root processors get all m messages
+        expected = self._n * self._m
+        if len(arrivals) != expected:
+            missing = [
+                (p, k)
+                for p in range(self._n)
+                for k in range(self._m)
+                if (p, k) not in arrivals
+            ]
+            p, k = missing[0]
+            raise ScheduleError(
+                f"incomplete broadcast: p{p} never receives M{k + 1} "
+                f"({len(missing)} deliveries missing)"
+            )
+
+        # port busy intervals: one send and one receive at a time, half-open
+        sends: dict[ProcId, list[tuple[Time, Time]]] = {}
+        recvs: dict[ProcId, list[tuple[Time, Time]]] = {}
+        for ev in self._events:
+            sends.setdefault(ev.sender, []).append(
+                (ev.send_time, ev.send_time + ONE)
+            )
+            arr = ev.arrival_time(lam)
+            recvs.setdefault(ev.receiver, []).append((arr - ONE, arr))
+        for proc, intervals in sends.items():
+            clash = check_intervals_disjoint(intervals)
+            if clash is not None:
+                raise SimultaneousIOError(
+                    f"p{proc} drives two sends at once: busy "
+                    f"[{time_repr(clash[0])},{time_repr(clash[1])}) and "
+                    f"[{time_repr(clash[2])},{time_repr(clash[3])})"
+                )
+        for proc, intervals in recvs.items():
+            clash = check_intervals_disjoint(intervals)
+            if clash is not None:
+                raise SimultaneousIOError(
+                    f"p{proc} drives two receives at once: busy "
+                    f"[{time_repr(clash[0])},{time_repr(clash[1])}) and "
+                    f"[{time_repr(clash[2])},{time_repr(clash[3])})"
+                )
+
+    # ------------------------------------------------------------- utility
+
+    def shifted(self, delta: TimeLike) -> "Schedule":
+        """A copy of this schedule with every send delayed by *delta*."""
+        delta = as_time(delta)
+        if delta < 0 and any(e.send_time + delta < 0 for e in self._events):
+            raise InvalidParameterError("shift would make a send time negative")
+        return Schedule(
+            self._n,
+            self._lam,
+            (
+                SendEvent(e.send_time + delta, e.sender, e.msg, e.receiver)
+                for e in self._events
+            ),
+            m=self._m,
+            root=self._root,
+            validate=False,
+        )
+
+    @staticmethod
+    def merged(parts: Sequence["Schedule"], *, validate: bool = True) -> "Schedule":
+        """Union several schedules over the same machine into one.
+
+        All parts must agree on ``n``, ``lambda``, and ``root``; message
+        indices must already be distinct across parts.  ``m`` of the result
+        is the max over parts.
+        """
+        if not parts:
+            raise InvalidParameterError("cannot merge zero schedules")
+        first = parts[0]
+        if any(
+            (s.n, s.lam, s.root) != (first.n, first.lam, first.root)
+            for s in parts
+        ):
+            raise InvalidParameterError("schedules disagree on n, lambda, or root")
+        events: list[SendEvent] = []
+        for s in parts:
+            events.extend(s.events)
+        return Schedule(
+            first.n,
+            first.lam,
+            events,
+            m=max(s.m for s in parts),
+            root=first.root,
+            validate=validate,
+        )

@@ -1,0 +1,113 @@
+"""Lossless JSON serialization of schedules and broadcast trees.
+
+Exact times serialize as ``"p/q"`` strings (via
+:func:`repro.types.time_repr` / :func:`repro.types.as_time`), so a
+round-trip preserves every Fraction bit for bit.  Deserialization
+re-validates by default — a schedule file from an untrusted source cannot
+smuggle a postal-model violation into downstream tooling.
+
+Format (version 1):
+
+.. code-block:: json
+
+    {
+      "format": "repro.schedule.v1",
+      "n": 14, "m": 1, "lambda": "5/2", "root": 0,
+      "events": [[ "0", 0, 0, 9 ], ...]   // [send_time, sender, msg, receiver]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.bcast import BroadcastTree
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import ScheduleError
+from repro.types import as_time, time_repr
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "dumps_schedule",
+    "loads_schedule",
+    "tree_to_dict",
+]
+
+FORMAT = "repro.schedule.v1"
+TREE_FORMAT = "repro.tree.v1"
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """The JSON-ready dict form of *schedule* (exact, order-stable)."""
+    return {
+        "format": FORMAT,
+        "n": schedule.n,
+        "m": schedule.m,
+        "lambda": time_repr(schedule.lam),
+        "root": schedule.root,
+        "events": [
+            [time_repr(e.send_time), e.sender, e.msg, e.receiver]
+            for e in schedule.events
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any], *, validate: bool = True) -> Schedule:
+    """Rebuild a schedule from its dict form.
+
+    Raises:
+        ScheduleError: wrong/missing format tag or malformed events (and,
+            with ``validate=True``, any postal-model violation).
+    """
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise ScheduleError(
+            f"not a {FORMAT} document (format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else "schedule document must be a JSON object"
+        )
+    try:
+        events = [
+            SendEvent(as_time(t), int(src), int(msg), int(dst))
+            for t, src, msg, dst in data["events"]
+        ]
+        return Schedule(
+            int(data["n"]),
+            as_time(data["lambda"]),
+            events,
+            m=int(data["m"]),
+            root=int(data.get("root", 0)),
+            validate=validate,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScheduleError(f"malformed schedule document: {exc}") from exc
+
+
+def dumps_schedule(schedule: Schedule, **json_kwargs: Any) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), **json_kwargs)
+
+
+def loads_schedule(text: str, *, validate: bool = True) -> Schedule:
+    """Parse a JSON string back into a (validated) schedule."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleError(f"invalid JSON: {exc}") from exc
+    return schedule_from_dict(data, validate=validate)
+
+
+def tree_to_dict(tree: BroadcastTree) -> dict[str, Any]:
+    """JSON-ready form of a broadcast tree (for external visualization:
+    nodes carry informed/sent times, children in send order)."""
+    nodes = {}
+    for proc in tree.preorder():
+        node = tree.node(proc)
+        nodes[str(proc)] = {
+            "informed_at": time_repr(node.informed_at),
+            "sent_at": time_repr(node.sent_at) if node.sent_at is not None else None,
+            "parent": node.parent,
+            "children": list(node.children),
+        }
+    return {"format": TREE_FORMAT, "root": tree.root, "nodes": nodes}

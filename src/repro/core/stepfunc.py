@@ -1,0 +1,220 @@
+"""Right-continuous step-function calculus (Claims 1 and 2 of the paper).
+
+The paper's machinery is built on step functions ``G: R+ -> N`` that are
+right-continuous, nondecreasing, and unbounded, together with their *index
+functions* ``I_G(n) = min{t : G(t) >= n}``.  This module gives that calculus
+a concrete, exactly-representable form:
+
+* :class:`StepFunction` — abstract interface: evaluate at a time, query the
+  index function, iterate jump points.
+* :class:`TabulatedStepFunction` — a step function given by an explicit,
+  finite-but-extensible table of jump points.  Used for ``N(t)`` in the
+  optimality proof and for per-algorithm "informed processor count"
+  functions ``A(t)``.
+
+The four parts of Claim 1 and the comparison of Claim 2 are provided as
+checkable predicates (used heavily by the property-based tests).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.types import Time, TimeLike, ZERO, as_time
+
+__all__ = [
+    "StepFunction",
+    "TabulatedStepFunction",
+    "claim1_holds",
+    "claim2_holds",
+]
+
+
+class StepFunction(ABC):
+    """A right-continuous, nondecreasing, unbounded step function
+    ``G: R+ -> N`` with its index function ``I_G``.
+
+    Subclasses implement :meth:`value_at` and :meth:`index`; ``__call__``
+    accepts anything :func:`repro.types.as_time` accepts.
+    """
+
+    @abstractmethod
+    def value_at(self, t: Time) -> int:
+        """``G(t)`` for exact time ``t >= 0``."""
+
+    @abstractmethod
+    def index(self, n: int) -> Time:
+        """The index function ``I_G(n) = min{t : G(t) >= n}`` for ``n >= 1``."""
+
+    def __call__(self, t: TimeLike) -> int:
+        t = as_time(t)
+        if t < 0:
+            raise InvalidParameterError(f"step functions are defined on t >= 0, got {t}")
+        return self.value_at(t)
+
+    def jumps(self, up_to: TimeLike) -> Iterator[tuple[Time, int]]:
+        """Yield ``(t, G(t))`` at each strict jump point ``t <= up_to``,
+        starting with ``(0, G(0))``.
+
+        The default implementation scans :meth:`jump_times`.
+        """
+        limit = as_time(up_to)
+        prev: int | None = None
+        for t in self.jump_times(limit):
+            v = self.value_at(t)
+            if prev is None or v > prev:
+                yield (t, v)
+                prev = v
+
+    def jump_times(self, up_to: Time) -> Iterable[Time]:
+        """Candidate jump times in ``[0, up_to]`` in increasing order.
+
+        Subclasses with a known jump grid should override this; the base
+        implementation raises.
+        """
+        raise NotImplementedError
+
+
+class TabulatedStepFunction(StepFunction):
+    """A step function given by explicit jump points.
+
+    ``times`` and ``values`` are parallel sequences; the function takes the
+    value ``values[i]`` on ``[times[i], times[i+1])`` and ``values[-1]`` on
+    ``[times[-1], horizon)``.  The table must start at ``times[0] == 0`` and
+    be strictly increasing in time and nondecreasing in value.
+
+    A tabulated function is only known up to its ``horizon``; evaluating
+    beyond it (or asking for an index above the last tabulated value) raises
+    unless the instance was created with ``final=True``, in which case the
+    last value extends to infinity (useful for "number of informed
+    processors", which saturates at ``n``).
+    """
+
+    def __init__(
+        self,
+        times: Sequence[TimeLike],
+        values: Sequence[int],
+        *,
+        final: bool = False,
+        horizon: TimeLike | None = None,
+    ):
+        if len(times) != len(values):
+            raise InvalidParameterError("times and values must have equal length")
+        if not times:
+            raise InvalidParameterError("a step function needs at least one jump point")
+        self._times: list[Time] = [as_time(t) for t in times]
+        self._values: list[int] = [int(v) for v in values]
+        if self._times[0] != ZERO:
+            raise InvalidParameterError(
+                f"the table must start at t=0, got t={self._times[0]}"
+            )
+        for a, b in zip(self._times, self._times[1:]):
+            if not a < b:
+                raise InvalidParameterError("jump times must be strictly increasing")
+        for a, b in zip(self._values, self._values[1:]):
+            if a > b:
+                raise InvalidParameterError("values must be nondecreasing")
+        if any(v < 1 for v in self._values):
+            raise InvalidParameterError("step functions map into the positive integers")
+        self._final = final
+        self._horizon = as_time(horizon) if horizon is not None else self._times[-1]
+        if self._horizon < self._times[-1]:
+            raise InvalidParameterError("horizon precedes the last jump point")
+
+    @property
+    def horizon(self) -> Time:
+        """Largest time at which this table is authoritative."""
+        return self._horizon
+
+    def value_at(self, t: Time) -> int:
+        if t < 0:
+            raise InvalidParameterError(f"t must be >= 0, got {t}")
+        if not self._final and t > self._horizon:
+            raise InvalidParameterError(
+                f"value at t={t} is beyond this table's horizon {self._horizon}"
+            )
+        i = bisect.bisect_right(self._times, t) - 1
+        return self._values[i]
+
+    def index(self, n: int) -> Time:
+        if n < 1:
+            raise InvalidParameterError(f"index is defined for n >= 1, got {n}")
+        if n > self._values[-1]:
+            raise InvalidParameterError(
+                f"index({n}) exceeds the last tabulated value {self._values[-1]}"
+            )
+        i = bisect.bisect_left(self._values, n)
+        return self._times[i]
+
+    def jump_times(self, up_to: Time) -> Iterable[Time]:
+        for t in self._times:
+            if t > up_to:
+                break
+            yield t
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TabulatedStepFunction):
+            return NotImplemented
+        return (
+            self._times == other._times
+            and self._values == other._values
+            and self._final == other._final
+        )
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{t}:{v}" for t, v in zip(self._times[:6], self._values[:6]))
+        more = "..." if len(self._times) > 6 else ""
+        return f"TabulatedStepFunction({pairs}{more})"
+
+
+def claim1_holds(
+    g: StepFunction,
+    *,
+    times: Iterable[TimeLike],
+    ns: Iterable[int],
+    epsilons: Iterable[TimeLike] = ("1/1000",),
+) -> bool:
+    """Check the four parts of Claim 1 at the sampled points.
+
+    (1) ``I_G`` is nondecreasing (checked over the sorted ``ns``);
+    (2) ``I_G(G(t)) <= t`` for each sampled ``t``;
+    (3) ``G(I_G(n)) >= n`` for each sampled ``n``;
+    (4) ``G(I_G(n) - eps) < n`` whenever ``I_G(n) - eps >= 0``.
+    """
+    ns = sorted(set(int(n) for n in ns))
+    idx = [g.index(n) for n in ns]
+    if any(a > b for a, b in zip(idx, idx[1:])):
+        return False
+    for t in times:
+        t = as_time(t)
+        if g.index(g.value_at(t)) > t:
+            return False
+    eps_list = [as_time(e) for e in epsilons]
+    for n, i in zip(ns, idx):
+        if g.value_at(i) < n:
+            return False
+        for eps in eps_list:
+            if i - eps >= 0 and g.value_at(i - eps) >= n:
+                return False
+    return True
+
+
+def claim2_holds(
+    g: StepFunction,
+    h: StepFunction,
+    *,
+    times: Iterable[TimeLike],
+    ns: Iterable[int],
+) -> bool:
+    """Check Claim 2: if ``G(t) <= H(t)`` pointwise (verified over the
+    sampled ``times``) then ``I_G(n) >= I_H(n)`` for the sampled ``ns``."""
+    for t in times:
+        t = as_time(t)
+        if g.value_at(t) > h.value_at(t):
+            raise InvalidParameterError(
+                f"claim2 precondition violated at t={t}: G={g.value_at(t)} > H={h.value_at(t)}"
+            )
+    return all(g.index(n) >= h.index(n) for n in ns)

@@ -1,0 +1,48 @@
+"""Extensions along the paper's "Further Research" directions (Section 5).
+
+* :mod:`repro.extensions.adaptive` — time-varying latency ``lambda(t)``:
+  a latency-profile model and the eager adaptive broadcast, compared
+  against statically-planned trees.
+* :mod:`repro.extensions.hierarchical` — two-level latency hierarchies
+  (clusters with ``lambda_local`` inside and ``lambda_global`` between),
+  with an overlapped two-phase broadcast.
+* :mod:`repro.extensions.logp` — the LogP model (mentioned in Section 1 as
+  the postal model's contemporary): optimal greedy LogP broadcast and the
+  exact correspondence with ``f_lambda`` when ``g = o``.
+* :mod:`repro.extensions.faulty` — message loss and a pipelined-ACK
+  reliable BCAST (stress-testing the model's reliability assumption).
+"""
+
+from repro.extensions.adaptive import (
+    LatencyProfile,
+    adaptive_bcast_time,
+    static_tree_under_profile,
+)
+from repro.extensions.hierarchical import (
+    HierarchicalBcastProtocol,
+    HierarchicalSystem,
+    flat_bcast_time,
+    hierarchical_bcast_time,
+)
+from repro.extensions.logp import LogPParams, logp_bcast_time, postal_lambda_of
+from repro.extensions.faulty import (
+    LossyPostalSystem,
+    ReliableBcastProtocol,
+    run_reliable_bcast,
+)
+
+__all__ = [
+    "LossyPostalSystem",
+    "ReliableBcastProtocol",
+    "run_reliable_bcast",
+    "LatencyProfile",
+    "adaptive_bcast_time",
+    "static_tree_under_profile",
+    "HierarchicalSystem",
+    "HierarchicalBcastProtocol",
+    "hierarchical_bcast_time",
+    "flat_bcast_time",
+    "LogPParams",
+    "logp_bcast_time",
+    "postal_lambda_of",
+]

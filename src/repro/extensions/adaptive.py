@@ -1,0 +1,149 @@
+"""Time-varying communication latency (Section 5, first direction).
+
+The paper assumes ``lambda`` is uniform and stable; here we let it change
+over time: a :class:`LatencyProfile` is a piecewise-constant function
+``lambda(t) >= 1``, and a message *sent* at time ``u`` arrives at
+``u + lambda(u)`` (latency locked at send time, as when a route is chosen
+at injection).
+
+Two broadcast strategies are compared:
+
+* :func:`adaptive_bcast_time` — the **eager** strategy: every informed
+  processor sends to a brand-new processor every time unit.  It needs no
+  knowledge of the profile at all, which makes it the natural "algorithm
+  that adapts to changing lambda": it is optimal whenever arrivals are
+  FIFO (``u + lambda(u)`` nondecreasing — latency does not drop so fast
+  that later messages overtake earlier ones), by the same exchange
+  argument as Lemma 5.
+* :func:`static_tree_under_profile` — a generalized Fibonacci tree planned
+  for one fixed ``lambda_plan``, executed under the true profile: each
+  node starts forwarding when its message actually arrives, keeping the
+  planned tree shape.  The gap to eager quantifies the cost of planning
+  with a wrong/static latency estimate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.bcast import bcast_tree
+from repro.errors import InvalidParameterError
+from repro.types import Time, TimeLike, ZERO, as_time
+
+__all__ = ["LatencyProfile", "adaptive_bcast_time", "static_tree_under_profile"]
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Piecewise-constant latency: ``lambda(t) = values[i]`` on
+    ``[breaks[i], breaks[i+1])``, with ``breaks[0] == 0`` and the last
+    value extending to infinity.  All values must be ``>= 1``."""
+
+    breaks: tuple[Time, ...]
+    values: tuple[Time, ...]
+
+    @classmethod
+    def of(cls, pairs: Sequence[tuple[TimeLike, TimeLike]]) -> "LatencyProfile":
+        """Build from ``[(start_time, lambda), ...]``; the first start time
+        must be 0 and times must strictly increase."""
+        if not pairs:
+            raise InvalidParameterError("profile needs at least one piece")
+        breaks = tuple(as_time(t) for t, _ in pairs)
+        values = tuple(as_time(v) for _, v in pairs)
+        if breaks[0] != 0:
+            raise InvalidParameterError("profile must start at t = 0")
+        if any(a >= b for a, b in zip(breaks, breaks[1:])):
+            raise InvalidParameterError("profile breakpoints must increase")
+        if any(v < 1 for v in values):
+            raise InvalidParameterError("latency must be >= 1 everywhere")
+        return cls(breaks, values)
+
+    @classmethod
+    def constant(cls, lam: TimeLike) -> "LatencyProfile":
+        return cls.of([(0, lam)])
+
+    def lam_at(self, t: TimeLike) -> Time:
+        """The latency locked by a send starting at time *t*."""
+        t = as_time(t)
+        if t < 0:
+            raise InvalidParameterError(f"t >= 0 required, got {t}")
+        lam = self.values[0]
+        for b, v in zip(self.breaks, self.values):
+            if b <= t:
+                lam = v
+            else:
+                break
+        return lam
+
+    def arrival(self, send_time: TimeLike) -> Time:
+        """Arrival time of a message sent at *send_time*."""
+        u = as_time(send_time)
+        return u + self.lam_at(u)
+
+    def is_fifo(self, *, horizon: TimeLike) -> bool:
+        """True if the arrival map ``u + lambda(u)`` is nondecreasing over
+        ``[0, horizon]`` — the condition under which the eager strategy is
+        provably optimal (Lemma 5's exchange argument carries over).
+
+        Within a piece the arrival map rises with slope 1, so for a
+        piecewise-constant profile FIFO holds iff the latency never drops
+        at a breakpoint inside the horizon (rises are always fine)."""
+        limit = as_time(horizon)
+        for b, prev, cur in zip(
+            self.breaks[1:], self.values, self.values[1:]
+        ):
+            if b > limit:
+                break
+            if cur < prev:
+                return False
+        return True
+
+
+def adaptive_bcast_time(n: int, profile: LatencyProfile) -> Time:
+    """Completion time of the eager broadcast under *profile*: every
+    informed processor sends to a new processor at every time unit; the
+    ``k``-th earliest arrival informs the ``(k+1)``-th processor."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    if n == 1:
+        return ZERO
+    # heap of (arrival, send_time) of in-flight messages; each arrival
+    # informs one processor and spawns (a) the new processor's first send
+    # and (b) the sender's next send one unit later
+    informed = 1
+    entries: list[tuple[Time, Time]] = [(profile.arrival(ZERO), ZERO)]
+    heapq.heapify(entries)
+    while entries:
+        arrival, sent_at = heapq.heappop(entries)
+        informed += 1
+        if informed >= n:
+            return arrival
+        # newly informed processor starts sending immediately
+        heapq.heappush(entries, (profile.arrival(arrival), arrival))
+        # the sender's next send, one unit after this one
+        nxt = sent_at + 1
+        heapq.heappush(entries, (profile.arrival(nxt), nxt))
+    raise AssertionError("unreachable: the eager frontier never runs dry")
+
+
+def static_tree_under_profile(
+    n: int, lam_plan: TimeLike, profile: LatencyProfile
+) -> Time:
+    """Completion time of the generalized Fibonacci tree planned for
+    ``lam_plan`` when executed under the true *profile*: each node sends to
+    its planned children in planned order, one per unit, starting when its
+    own copy actually arrives."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    tree = bcast_tree(n, lam_plan)
+    informed: dict[int, Time] = {tree.root: ZERO}
+    worst = ZERO
+    for proc in tree.preorder():
+        t = informed[proc]
+        for k, child in enumerate(tree.children_of(proc)):
+            arr = profile.arrival(t + k)
+            informed[child] = arr
+            worst = max(worst, arr)
+    return worst

@@ -1,0 +1,212 @@
+"""Message loss and reliable broadcast — stress-testing the postal model.
+
+The paper assumes a perfectly reliable network.  This extension asks what
+its optimal broadcast tree costs when messages can vanish:
+
+* :class:`LossyPostalSystem` — a postal machine whose network drops each
+  transmission independently with probability ``loss``, decided by a
+  seeded PRNG at send time (deterministic and replayable).  A dropped
+  message occupies the sender's unit (it does not know) but never reaches
+  the receiver's port.
+* :class:`ReliableBcastProtocol` — Algorithm BCAST hardened with
+  *pipelined* per-edge acknowledgements: a parent transmits to its
+  BCAST-tree children back to back (one per unit, as the optimal
+  algorithm does), while an independent retransmission manager per edge
+  re-sends every ``rto`` until that child's ACK arrives; a dispatcher
+  routes incoming ACKs to their edge managers and re-ACKs duplicate data.
+  Runs under the **queued** contention policy (retransmissions make
+  receive collisions possible, as on a real NIC).
+
+With ``loss = 0`` the data wave follows the BCAST schedule shifted by one
+unit per tree level (each informed processor spends one send unit
+acknowledging its parent before it starts forwarding), so the completion
+time is at most ``f_lambda(n) + depth`` — the measured price of
+reliability bookkeeping.  The bench records the degradation curve as
+``loss`` grows.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.bcast import BroadcastTree, bcast_schedule
+from repro.errors import InvalidParameterError
+from repro.postal.machine import ContentionPolicy, PostalSystem
+from repro.sim.engine import Environment, Event
+from repro.sim.events import any_of
+from repro.sim.trace import Tracer
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = [
+    "LossyPostalSystem",
+    "ReliableBcastProtocol",
+    "run_reliable_bcast",
+    "default_rto",
+]
+
+
+class LossyPostalSystem(PostalSystem):
+    """A postal machine with i.i.d. message loss.
+
+    Args:
+        loss: per-transmission drop probability in ``[0, 1)``.
+        seed: PRNG seed — identical seeds replay identical runs.
+
+    Dropped transmissions are traced as ``"drop"`` records.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        n: int,
+        lam: TimeLike,
+        *,
+        loss: float,
+        seed: int = 0,
+        policy: ContentionPolicy = ContentionPolicy.QUEUED,
+        tracer: Tracer | None = None,
+    ):
+        if not 0 <= loss < 1:
+            raise InvalidParameterError(f"loss must be in [0, 1), got {loss}")
+        super().__init__(env, n, lam, policy=policy, tracer=tracer)
+        self._loss = loss
+        self._rng = random.Random(seed)
+        self.dropped = 0
+
+    @property
+    def loss(self) -> float:
+        return self._loss
+
+    def _deliver_proc(self, start, src, dst, msg, payload):
+        if self._rng.random() < self._loss:
+            self.dropped += 1
+            self.tracer.emit(start, "drop", {"src": src, "dst": dst, "msg": msg})
+            return
+            yield  # pragma: no cover - keeps this a generator
+        yield from super()._deliver_proc(start, src, dst, msg, payload)
+
+
+def default_rto(lam: Time) -> Time:
+    """A safe per-edge retransmission timeout: data leg + the child's
+    one-unit ACK send + ACK leg + slack: ``2*ceil(lambda) + 2``."""
+    return Time(2 * math.ceil(lam) + 2)
+
+
+class ReliableBcastProtocol(Protocol):
+    """Pipelined-ACK reliable BCAST over a lossy postal machine.
+
+    Per processor:
+
+    * on first data arrival: record it, ACK the parent (one send unit),
+      then start forwarding;
+    * one *edge manager* process per BCAST-tree child: transmit, arm an
+      ``rto`` timer, retransmit until the child's ACK is dispatched to it.
+      Managers share the send port, so their first transmissions go out
+      back to back in BCAST child order — the optimal pipelining survives;
+    * a *dispatcher* loop owns the inbox: ACKs complete their edge
+      manager; duplicate data (a lost-ACK symptom) is re-ACKed.
+
+    After the run:
+
+    * :attr:`informed_at` — first data arrival per processor;
+    * :attr:`retransmissions` — total extra data sends.
+    """
+
+    name = "RELIABLE-BCAST"
+    semantics = "reliable-broadcast"
+
+    def __init__(self, n: int, lam: TimeLike, *, rto: TimeLike | None = None):
+        super().__init__(n, 1, lam)
+        self._tree = BroadcastTree.of(bcast_schedule(n, lam, validate=False))
+        self._rto = as_time(rto) if rto is not None else default_rto(self.lam)
+        if self._rto <= self.lam:
+            raise InvalidParameterError(
+                f"rto must exceed lambda (got rto={self._rto} <= {self.lam})"
+            )
+        self.informed_at: dict[ProcId, Time] = {}
+        self.retransmissions = 0
+
+    def program(
+        self, proc: ProcId, system: PostalSystem
+    ) -> Generator[Event, Any, None] | None:
+        return self._node_program(proc, system)
+
+    def _node_program(self, proc: ProcId, system: PostalSystem):
+        env = system.env
+        children = list(self._tree.children_of(proc))
+        parent: ProcId | None = None
+
+        if proc != self.root:
+            # first data delivery (the parent retries until our ACK lands)
+            while True:
+                message = yield system.recv(proc)
+                if message.payload == "data":
+                    break
+            self.informed_at[proc] = message.arrived_at
+            parent = message.src
+            yield system.send(proc, parent, 0, payload="ack")
+        else:
+            self.informed_at[proc] = env.now
+
+        # one retransmission manager per edge; ACK routing via events
+        acked: dict[ProcId, Event] = {c: env.event() for c in children}
+        for child in children:
+            env.process(self._edge_manager(system, proc, child, acked[child]))
+
+        # dispatcher: route ACKs, re-ACK duplicate data, forever (the
+        # pending recv is garbage-collected when the simulation drains)
+        while True:
+            message = yield system.recv(proc)
+            if message.payload == "ack":
+                ev = acked.get(message.src)
+                if ev is not None and not ev.triggered:
+                    ev.succeed(message.arrived_at)
+                # stale duplicate ACKs are dropped
+            elif message.payload == "data" and parent is not None:
+                yield system.send(proc, parent, 0, payload="ack")
+
+    def _edge_manager(
+        self, system: PostalSystem, proc: ProcId, child: ProcId, acked: Event
+    ):
+        env = system.env
+        first = True
+        while not acked.processed:
+            if not first:
+                self.retransmissions += 1
+            first = False
+            yield system.send(proc, child, 0, payload="data")
+            timer = env.timeout(self._rto)
+            yield any_of(env, [acked, timer])
+
+
+def run_reliable_bcast(
+    n: int,
+    lam: TimeLike,
+    *,
+    loss: float,
+    seed: int = 0,
+    rto: TimeLike | None = None,
+) -> tuple[Time, int, int]:
+    """Run :class:`ReliableBcastProtocol` on a :class:`LossyPostalSystem`.
+
+    Returns ``(data_completion_time, retransmissions, drops)`` where the
+    completion time is when the last processor first receives the data.
+    Termination is guaranteed: every edge retries until acknowledged and
+    ``loss < 1``.
+    """
+    env = Environment()
+    protocol = ReliableBcastProtocol(n, lam, rto=rto)
+    system = LossyPostalSystem(env, n, protocol.lam, loss=loss, seed=seed)
+    for proc in range(n):
+        gen = protocol.program(proc, system)
+        if gen is not None:
+            env.process(gen)
+    env.run()
+    if len(protocol.informed_at) != n:
+        missing = set(range(n)) - set(protocol.informed_at)
+        raise AssertionError(f"processors never informed: {sorted(missing)}")
+    completion = max(protocol.informed_at.values())
+    return completion, protocol.retransmissions, system.dropped

@@ -1,0 +1,119 @@
+"""The LogP model and its correspondence with the postal model.
+
+Section 1 notes that LogP (Culler et al., 1993) "bears some similarities to
+our postal model".  LogP charges:
+
+* ``o`` — processor overhead to send or to receive one message,
+* ``L`` — network latency between the end of the send overhead and the
+  start of the receive overhead,
+* ``g`` — minimum gap between consecutive sends (or receives) at one
+  processor,
+* ``P`` — number of processors.
+
+A message sent (send overhead starting) at ``u`` is fully received at
+``u + o + L + o``.  With ``g = o`` and times measured in units of ``o``,
+this is *exactly* the postal model with::
+
+    lambda = (L + 2o) / o
+
+so optimal LogP broadcast times coincide with ``o * f_lambda(P)`` — an
+identity the tests verify against the independent greedy computation here.
+
+:func:`logp_bcast_time` computes the optimal LogP broadcast time by the
+standard greedy argument (Karp et al.): repeatedly give the earliest
+available send slot to a new processor; every assignment is exchangeable,
+so earliest-slot-first is optimal.  ``g > o`` generalizes beyond the postal
+model (the postal model cannot express a gap larger than the overhead).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError
+from repro.types import Time, TimeLike, ZERO, as_time
+
+__all__ = [
+    "LogPParams",
+    "postal_lambda_of",
+    "logp_bcast_time",
+    "logp_arrival_times",
+]
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """LogP machine parameters (all times exact; ``g >= o > 0``,
+    ``L >= 0``, ``P >= 1``)."""
+
+    L: Time
+    o: Time
+    g: Time
+    P: int
+
+    @classmethod
+    def of(cls, L: TimeLike, o: TimeLike, g: TimeLike, P: int) -> "LogPParams":
+        L_, o_, g_ = as_time(L), as_time(o), as_time(g)
+        if o_ <= 0:
+            raise InvalidParameterError(f"need o > 0, got {o_}")
+        if g_ < o_:
+            raise InvalidParameterError(f"need g >= o, got g={g_} < o={o_}")
+        if L_ < 0:
+            raise InvalidParameterError(f"need L >= 0, got {L_}")
+        if P < 1:
+            raise InvalidParameterError(f"need P >= 1, got {P}")
+        return cls(L_, o_, g_, P)
+
+
+def postal_lambda_of(params: LogPParams) -> Fraction:
+    """The postal latency equivalent to *params* (meaningful when
+    ``g == o``): ``lambda = (L + 2o) / o``."""
+    return (params.L + 2 * params.o) / params.o
+
+
+def logp_arrival_times(params: LogPParams) -> list[Time]:
+    """Optimal-broadcast arrival times of the ``P - 1`` non-root
+    processors, sorted ascending (greedy earliest-slot-first assignment).
+
+    A processor whose receive overhead ends at ``r`` can start send
+    overheads at ``r, r+g, r+2g, ...``; a send overhead starting at ``u``
+    informs its target at ``u + o + L + o``.
+    """
+    L, o, g, P = params.L, params.o, params.g, params.P
+    if P == 1:
+        return []
+    full = o + L + o  # send start -> fully received
+    # heap of candidate send-start times; popping the earliest assigns that
+    # slot to the next uninformed processor
+    slots: list[Time] = [ZERO]  # root's first slot
+    arrivals: list[Time] = []
+    heapq.heapify(slots)
+    for _ in range(P - 1):
+        u = heapq.heappop(slots)
+        arrive = u + full
+        arrivals.append(arrive)
+        heapq.heappush(slots, u + g)  # the sender's next slot
+        heapq.heappush(slots, arrive)  # the new processor's first slot
+    return arrivals
+
+
+def logp_bcast_time(params: LogPParams) -> Time:
+    """Optimal LogP single-message broadcast time (0 for ``P == 1``).
+
+    For ``g == o`` this equals ``o * f_{(L+2o)/o}(P)`` exactly.
+    """
+    arrivals = logp_arrival_times(params)
+    return arrivals[-1] if arrivals else ZERO
+
+
+def matches_postal(params: LogPParams) -> bool:
+    """Check the LogP/postal identity for *params* (requires ``g == o``)."""
+    if params.g != params.o:
+        raise InvalidParameterError(
+            "the postal correspondence requires g == o"
+        )
+    lam = postal_lambda_of(params)
+    return logp_bcast_time(params) == params.o * postal_f(lam, params.P)

@@ -1,0 +1,12 @@
+"""mpi4py-flavoured facade over the simulated postal machine.
+
+:class:`~repro.mpi.comm.SimComm` exposes the familiar collective names
+(``bcast``, ``reduce``, ``scatter``, ``allgather``, ``barrier``) and runs
+each call as a full discrete-event simulation of the corresponding
+postal-model algorithm, returning both the data outcome and the exact
+simulated cost.
+"""
+
+from repro.mpi.comm import CollectiveOutcome, SimComm
+
+__all__ = ["SimComm", "CollectiveOutcome"]

@@ -1,0 +1,25 @@
+"""The postal machine: ``MPS(n, lambda)`` as a running discrete-event system.
+
+* :mod:`repro.postal.message` — the atomic message record.
+* :mod:`repro.postal.ports` — unit-rate send/receive ports with busy-
+  interval accounting and the strict/queued contention policies.
+* :mod:`repro.postal.machine` — :class:`~repro.postal.machine.PostalSystem`:
+  full connectivity, simultaneous I/O, latency-``lambda`` delivery
+  (Definitions 1 and 2 of the paper).
+* :mod:`repro.postal.runner` — executes a distributed
+  :class:`~repro.algorithms.base.Protocol` on a postal system and extracts
+  the realized :class:`~repro.core.schedule.Schedule` from the trace.
+* :mod:`repro.postal.validator` — checks a trace against the postal model.
+"""
+
+from repro.postal.machine import ContentionPolicy, PostalSystem
+from repro.postal.message import Message
+from repro.postal.runner import ProtocolResult, run_protocol
+
+__all__ = [
+    "PostalSystem",
+    "ContentionPolicy",
+    "Message",
+    "run_protocol",
+    "ProtocolResult",
+]

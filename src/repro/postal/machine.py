@@ -1,0 +1,191 @@
+"""``MPS(n, lambda)``: the postal machine (Definitions 1 and 2).
+
+A :class:`PostalSystem` gives each of its ``n`` processors
+
+* a unit-rate :class:`~repro.postal.ports.SendPort`,
+* a unit-rate :class:`~repro.postal.ports.RecvPort`, and
+* an unbounded inbox (:class:`~repro.sim.resources.Store`),
+
+and connects every pair with a latency-``lambda`` channel:  a send started
+at ``t`` occupies the sender during ``[t, t+1)``, the network carries the
+message silently, and the receiver's port is occupied during
+``[t + lambda - 1, t + lambda)``, after which the message lands in the
+inbox.  Every send and delivery is traced, so a finished run yields the
+exact realized :class:`~repro.core.schedule.Schedule`.
+
+This is the substrate on which the *event-driven* algorithm implementations
+(:mod:`repro.algorithms`) run; the static schedule builders in
+:mod:`repro.core` never touch it, which is what makes comparing the two
+paths a meaningful integration test.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, Generator
+
+from repro.errors import InvalidParameterError
+from repro.postal.message import Message
+from repro.postal.ports import RecvPort, SendPort
+from repro.sim.engine import Environment, Event, Process
+from repro.sim.resources import Store
+from repro.sim.trace import Tracer
+from repro.types import ONE, ProcId, Time, TimeLike, as_time
+
+__all__ = ["ContentionPolicy", "PostalSystem"]
+
+
+class ContentionPolicy(Enum):
+    """What happens when two deliveries overlap at one receive port."""
+
+    STRICT = "strict"  #: raise SimultaneousIOError — the paper's model
+    QUEUED = "queued"  #: serialize receives — the NIC-with-a-queue extension
+
+
+class PostalSystem:
+    """A fully connected message-passing system with latency ``lambda``.
+
+    Args:
+        env: the simulation environment.
+        n: number of processors ``p_0 .. p_{n-1}``.
+        lam: communication latency ``lambda >= 1``.
+        policy: receive-port contention policy.
+        tracer: optional tracer; one is created if omitted.
+        latency: optional pair-dependent latency ``(src, dst) -> lambda``
+            overriding the uniform *lam* (the Section-5 "hierarchies of
+            latency parameters" relaxation).  Every returned value must be
+            ``>= 1``; *lam* remains the nominal/advertised latency.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        n: int,
+        lam: TimeLike,
+        *,
+        policy: ContentionPolicy = ContentionPolicy.STRICT,
+        tracer: Tracer | None = None,
+        latency: "Callable[[ProcId, ProcId], TimeLike] | None" = None,
+    ):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+        lam = as_time(lam)
+        if lam < 1:
+            raise InvalidParameterError(f"the postal model requires lambda >= 1, got {lam}")
+        self.env = env
+        self._n = n
+        self._lam = lam
+        self._latency_fn = latency
+        self._policy = policy
+        self.tracer = tracer if tracer is not None else Tracer()
+        strict = policy is ContentionPolicy.STRICT
+        self._send_ports = [SendPort(env, p) for p in range(n)]
+        self._recv_ports = [RecvPort(env, p, strict=strict) for p in range(n)]
+        self._inboxes = [Store(env) for _ in range(n)]
+
+    # ------------------------------------------------------------ metadata
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self._n
+
+    @property
+    def lam(self) -> Time:
+        """Communication latency ``lambda``."""
+        return self._lam
+
+    @property
+    def policy(self) -> ContentionPolicy:
+        return self._policy
+
+    @property
+    def uniform_latency(self) -> bool:
+        """True when every pair uses the nominal ``lambda`` (the paper's
+        model); False under a pair-dependent latency function."""
+        return self._latency_fn is None
+
+    def latency(self, src: ProcId, dst: ProcId) -> Time:
+        """The latency a send from *src* to *dst* experiences."""
+        if self._latency_fn is None:
+            return self._lam
+        lam = as_time(self._latency_fn(src, dst))
+        if lam < 1:
+            raise InvalidParameterError(
+                f"latency({src}, {dst}) = {lam} violates lambda >= 1"
+            )
+        return lam
+
+    def send_port(self, proc: ProcId) -> SendPort:
+        return self._send_ports[proc]
+
+    def recv_port(self, proc: ProcId) -> RecvPort:
+        return self._recv_ports[proc]
+
+    # ---------------------------------------------------------- primitives
+
+    def send(
+        self, src: ProcId, dst: ProcId, msg: int, payload: Any = None
+    ) -> Process:
+        """Start sending message *msg* from *src* to *dst*.
+
+        Returns a process that completes when the **sender** finishes its
+        one-unit send (so ``yield system.send(...)`` paces a sending loop
+        at one message per time unit, exactly as the paper's algorithms
+        require).  Delivery continues in the background and deposits a
+        :class:`~repro.postal.message.Message` in *dst*'s inbox at
+        ``send_start + lambda`` (later under the queued policy).
+        """
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            raise InvalidParameterError(f"p{src} cannot send to itself")
+        return self.env.process(self._send_proc(src, dst, msg, payload))
+
+    def _send_proc(
+        self, src: ProcId, dst: ProcId, msg: int, payload: Any
+    ) -> Generator[Event, Any, Time]:
+        def launch_delivery(start: Time) -> None:
+            # runs the instant the send port is granted, so the network leg
+            # overlaps the sender's busy unit (needed when lambda < 2)
+            self.tracer.emit(start, "send", {"src": src, "dst": dst, "msg": msg})
+            self.env.process(self._deliver_proc(start, src, dst, msg, payload))
+
+        start = yield from self._send_ports[src].transmit(launch_delivery)
+        return start
+
+    def _deliver_proc(
+        self, start: Time, src: ProcId, dst: ProcId, msg: int, payload: Any
+    ) -> Generator[Event, Any, None]:
+        # the receive window opens lambda - 1 after the send started
+        gap = (start + self.latency(src, dst) - ONE) - self.env.now
+        if gap > 0:
+            yield self.env.timeout(gap)
+        arrived = yield from self._recv_ports[dst].receive()
+        record = Message(msg, src, dst, start, arrived, payload)
+        self.tracer.emit(arrived, "deliver", record)
+        yield self._inboxes[dst].put(record)
+
+    def recv(self, dst: ProcId) -> Event:
+        """An event yielding the next :class:`Message` from *dst*'s inbox
+        (fires the instant the receive completes if one is in flight)."""
+        self._check_proc(dst)
+        return self._inboxes[dst].get()
+
+    def cancel_recv(self, dst: ProcId, event: Event) -> None:
+        """Withdraw a pending :meth:`recv` (e.g. after racing it against a
+        timeout) so it does not swallow a later message."""
+        self._check_proc(dst)
+        self._inboxes[dst].cancel_get(event)
+
+    def inbox_size(self, proc: ProcId) -> int:
+        self._check_proc(proc)
+        return len(self._inboxes[proc])
+
+    # ------------------------------------------------------------ internal
+
+    def _check_proc(self, proc: ProcId) -> None:
+        if not 0 <= proc < self._n:
+            raise InvalidParameterError(
+                f"processor p{proc} outside 0..{self._n - 1}"
+            )

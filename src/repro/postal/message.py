@@ -1,0 +1,47 @@
+"""The atomic message of the postal model.
+
+A message is one unit of size: it takes the sender one unit of time to send
+and the receiver one unit of time to receive, and it cannot be split
+(Section 2 of the paper).  Larger data travels as several messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.types import ProcId, Time, time_repr
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered atomic message.
+
+    Attributes:
+        msg: message index (``0``-based; the paper's ``M_{msg+1}``).
+        src: sending processor.
+        dst: receiving processor.
+        sent_at: when the sender started sending (sender busy
+            ``[sent_at, sent_at + 1)``).
+        arrived_at: when the receiver finished receiving.  Equals
+            ``sent_at + lambda`` under the strict policy; may be later under
+            the queued contention policy.
+        payload: algorithm-specific data riding along (e.g. the recipient's
+            broadcast subrange in Algorithm BCAST).
+    """
+
+    msg: int
+    src: ProcId
+    dst: ProcId
+    sent_at: Time
+    arrived_at: Time
+    payload: Any = None
+
+    def __str__(self) -> str:
+        return (
+            f"M{self.msg + 1} p{self.src}->p{self.dst} "
+            f"sent t={time_repr(self.sent_at)}, "
+            f"arrived t={time_repr(self.arrived_at)}"
+        )

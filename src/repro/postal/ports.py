@@ -1,0 +1,118 @@
+"""Unit-rate processor ports with busy-interval accounting.
+
+Each postal processor owns one :class:`SendPort` and one :class:`RecvPort`
+(Definition 1's *simultaneous I/O*: one send plus one receive may be in
+flight at a time, but never two sends or two receives).  Ports serialize
+through a capacity-1 :class:`~repro.sim.resources.Resource` and log their
+busy intervals so the validator can audit a finished run.
+
+The :class:`RecvPort` supports two contention policies:
+
+* **strict** — a delivery whose receive window overlaps an ongoing receive
+  raises :class:`~repro.errors.SimultaneousIOError`.  This is the paper's
+  model: correct algorithms never collide, so a collision is a bug in the
+  algorithm (or an intentionally invalid schedule in the tests).
+* **queued** — collisions serialize: the second receive starts when the
+  port frees up, so its message arrives later than ``sent_at + lambda``.
+  This models a real NIC with an input queue and powers the contention
+  ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import SimultaneousIOError
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.types import ONE, ProcId, Time, time_repr
+
+__all__ = ["SendPort", "RecvPort"]
+
+
+class _Port:
+    """Common busy-interval bookkeeping."""
+
+    def __init__(self, env: Environment, proc: ProcId, label: str):
+        self.env = env
+        self.proc = proc
+        self.label = label
+        self._res = Resource(env, capacity=1)
+        self._busy_log: list[tuple[Time, Time]] = []
+
+    @property
+    def busy_intervals(self) -> list[tuple[Time, Time]]:
+        """All completed busy intervals ``[start, end)`` in time order."""
+        return list(self._busy_log)
+
+    @property
+    def idle(self) -> bool:
+        return self._res.count == 0
+
+    def _occupy(self) -> Generator[Event, None, None]:
+        """Hold the port for exactly one time unit (blocking if taken)."""
+        req = self._res.request()
+        yield req
+        start = self.env.now
+        yield self.env.timeout(ONE)
+        self._res.release(req)
+        self._busy_log.append((start, self.env.now))
+
+
+class SendPort(_Port):
+    """The outgoing port: one unit of sending at a time, FIFO."""
+
+    def __init__(self, env: Environment, proc: ProcId):
+        super().__init__(env, proc, "send")
+
+    def transmit(self, on_start=None) -> Generator[Event, None, Time]:
+        """Occupy the port for the one-unit send.  Returns the time the
+        send *started*.
+
+        *on_start*, if given, is called with the start time the moment the
+        port is granted — the machine uses it to launch the network
+        delivery concurrently with the send (essential for ``lambda < 2``,
+        where the receive window opens before the send unit ends).
+        """
+        req = self._res.request()
+        yield req
+        start = self.env.now
+        if on_start is not None:
+            on_start(start)
+        yield self.env.timeout(ONE)
+        self._res.release(req)
+        self._busy_log.append((start, self.env.now))
+        return start
+
+
+class RecvPort(_Port):
+    """The incoming port: one unit of receiving at a time."""
+
+    def __init__(self, env: Environment, proc: ProcId, *, strict: bool):
+        super().__init__(env, proc, "recv")
+        self._strict = strict
+
+    def receive(self) -> Generator[Event, None, Time]:
+        """Occupy the port for the one-unit receive, starting now (strict)
+        or as soon as the port frees (queued).  Returns the completion
+        time.
+
+        Strict mode flags any delivery that cannot start at its nominal
+        time: the port request must be granted at the very instant it is
+        made (same-instant handoff from a receive ending exactly now is
+        legal — busy intervals are half-open)."""
+        t_nominal = self.env.now
+        req = self._res.request()
+        yield req
+        if self._strict and self.env.now > t_nominal:
+            self._res.release(req)
+            raise SimultaneousIOError(
+                f"p{self.proc}: a message delivery due at t="
+                f"{time_repr(t_nominal)} could not start receiving until "
+                f"t={time_repr(self.env.now)} (simultaneous-I/O violation)"
+            )
+        start = self.env.now
+        yield self.env.timeout(ONE)
+        self._res.release(req)
+        self._busy_log.append((start, self.env.now))
+        return self.env.now

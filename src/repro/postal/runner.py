@@ -1,0 +1,101 @@
+"""Run distributed protocols on a postal machine.
+
+:func:`run_protocol` instantiates a fresh environment and
+:class:`~repro.postal.machine.PostalSystem`, starts one process per
+processor from the protocol's ``program``, runs to quiescence, and returns
+a :class:`ProtocolResult` bundling the realized schedule (validated for
+broadcast-semantics protocols under the strict policy), the completion
+time, and the finished system for trace/port inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.postal.machine import ContentionPolicy, PostalSystem
+from repro.postal.validator import audit_ports, schedule_from_trace, validate_run
+from repro.sim.engine import Environment
+from repro.sim.trace import Tracer
+from repro.types import Time, ZERO
+
+__all__ = ["ProtocolResult", "run_protocol"]
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of one protocol execution.
+
+    Attributes:
+        schedule: the realized schedule (``None`` for non-broadcast
+            semantics or under the queued policy, where the broadcast
+            schedule IR does not apply).
+        completion_time: arrival of the last message.
+        system: the (finished) postal system, for trace/port inspection.
+        sends: total number of messages transmitted.
+    """
+
+    schedule: Schedule | None
+    completion_time: Time
+    system: PostalSystem
+    sends: int
+
+
+def run_protocol(
+    protocol,
+    *,
+    policy: ContentionPolicy = ContentionPolicy.STRICT,
+    validate: bool = True,
+) -> ProtocolResult:
+    """Execute *protocol* (a :class:`repro.algorithms.base.Protocol`) on a
+    fresh ``MPS(n, lambda)`` and audit the run.
+
+    The simulation runs until no events remain (all processor programs
+    finished and all messages delivered).
+    """
+    env = Environment()
+    latency_fn = getattr(protocol, "latency_fn", None)
+    system = PostalSystem(
+        env,
+        protocol.n,
+        protocol.lam,
+        policy=policy,
+        tracer=Tracer(),
+        latency=latency_fn,
+    )
+    for proc in range(protocol.n):
+        gen = protocol.program(proc, system)
+        if gen is not None:
+            env.process(gen)
+    env.run()
+
+    is_broadcast = (
+        getattr(protocol, "semantics", "broadcast") == "broadcast"
+        and latency_fn is None
+    )
+    strict = policy is ContentionPolicy.STRICT
+
+    schedule: Schedule | None = None
+    if is_broadcast and strict:
+        if validate:
+            schedule = validate_run(system, m=protocol.m, root=protocol.root)
+        else:
+            schedule = schedule_from_trace(
+                system, m=protocol.m, root=protocol.root, validate=False
+            )
+        completion = schedule.completion_time()
+        sends = len(schedule)
+    else:
+        if validate:
+            audit_ports(system)
+        deliveries = system.tracer.records("deliver")
+        completion = max(
+            (rec.data.arrived_at for rec in deliveries), default=ZERO
+        )
+        sends = len(system.tracer.records("send"))
+    return ProtocolResult(
+        schedule=schedule,
+        completion_time=completion,
+        system=system,
+        sends=sends,
+    )

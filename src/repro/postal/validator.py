@@ -1,0 +1,88 @@
+"""Audit a finished postal-machine run against the postal model.
+
+The machine traces every send start and every delivery.  The validator
+rebuilds the run as a :class:`~repro.core.schedule.Schedule` (which brings
+the full static validation of Definitions 1-2 along) and additionally
+audits the *ports' own busy logs* — a second, independent record of what
+the simulation actually did.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule, SendEvent, check_intervals_disjoint
+from repro.errors import ModelError, ScheduleError, SimultaneousIOError
+from repro.postal.machine import ContentionPolicy, PostalSystem
+from repro.types import time_repr
+
+__all__ = ["schedule_from_trace", "audit_ports", "validate_run"]
+
+
+def schedule_from_trace(
+    system: PostalSystem, *, m: int, root: int = 0, validate: bool = True
+) -> Schedule:
+    """Reconstruct the realized schedule from a system's trace.
+
+    Only meaningful under the strict policy (under the queued policy
+    arrivals may exceed ``sent_at + lambda`` and the reconstruction would
+    misstate them); raises :class:`~repro.errors.ModelError` otherwise.
+    """
+    if system.policy is not ContentionPolicy.STRICT:
+        raise ModelError(
+            "schedule reconstruction requires the strict contention policy"
+        )
+    if not system.uniform_latency:
+        raise ModelError(
+            "schedule reconstruction requires uniform latency; pair-"
+            "dependent runs are audited via audit_ports + delivery records"
+        )
+    events = [
+        SendEvent(rec.time, rec.data["src"], rec.data["msg"], rec.data["dst"])
+        for rec in system.tracer.records("send")
+    ]
+    return Schedule(system.n, system.lam, events, m=m, root=root, validate=validate)
+
+
+def audit_ports(system: PostalSystem) -> None:
+    """Check every port's busy log: intervals pairwise disjoint (half-open)
+    and each exactly one unit long.
+
+    Raises:
+        SimultaneousIOError: overlapping busy intervals on one port.
+        ModelError: an interval of the wrong length.
+    """
+    for kind, ports in (
+        ("send", [system.send_port(p) for p in range(system.n)]),
+        ("recv", [system.recv_port(p) for p in range(system.n)]),
+    ):
+        for port in ports:
+            intervals = port.busy_intervals
+            for s, e in intervals:
+                if e - s != 1:
+                    raise ModelError(
+                        f"p{port.proc} {kind} busy interval "
+                        f"[{time_repr(s)},{time_repr(e)}) is not one unit"
+                    )
+            clash = check_intervals_disjoint(intervals)
+            if clash is not None:
+                raise SimultaneousIOError(
+                    f"p{port.proc} {kind} port driven twice at once: "
+                    f"[{time_repr(clash[0])},{time_repr(clash[1])}) and "
+                    f"[{time_repr(clash[2])},{time_repr(clash[3])})"
+                )
+
+
+def validate_run(system: PostalSystem, *, m: int, root: int = 0) -> Schedule:
+    """Full audit: rebuild + validate the schedule and audit the port logs.
+    Returns the validated schedule."""
+    sched = schedule_from_trace(system, m=m, root=root, validate=True)
+    audit_ports(system)
+    # cross-check the trace's delivery times against the model arithmetic
+    for rec in system.tracer.records("deliver"):
+        msg = rec.data
+        expected = msg.sent_at + system.latency(msg.src, msg.dst)
+        if msg.arrived_at != expected:
+            raise ScheduleError(
+                f"{msg}: arrival differs from sent_at + lambda = "
+                f"{time_repr(expected)}"
+            )
+    return sched

@@ -1,0 +1,20 @@
+"""Rendering and reporting helpers.
+
+* :mod:`repro.report.render` — ASCII broadcast trees (Figure 1) and Gantt
+  timelines of schedules.
+* :mod:`repro.report.tables` — fixed-width and Markdown table formatting
+  used by the benchmark harness and EXPERIMENTS.md generation.
+"""
+
+from repro.report.render import render_gantt, render_tree
+from repro.report.tables import format_table, markdown_table
+from repro.report.phase import phase_diagram, winner_grid
+
+__all__ = [
+    "render_tree",
+    "render_gantt",
+    "format_table",
+    "markdown_table",
+    "phase_diagram",
+    "winner_grid",
+]

@@ -1,0 +1,87 @@
+"""Winner phase diagrams over the (m, lambda) plane.
+
+Section 4's narrative is really a phase diagram: for fixed ``n``, which
+algorithm family is fastest as the message count ``m`` and the latency
+``lambda`` vary?  :func:`phase_diagram` renders it as an ASCII grid —
+one letter per cell, rows indexed by lambda, columns by m — with a legend
+and, on request, the winner's margin over the Lemma 8 lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.analysis import best_algorithm, multi_lower_bound
+from repro.types import TimeLike, as_time, time_repr
+
+__all__ = ["LETTERS", "winner_grid", "phase_diagram"]
+
+#: One-letter codes for the algorithm families.
+LETTERS = {
+    "REPEAT": "R",
+    "PACK": "K",
+    "PIPELINE": "P",
+    "DTREE-LINE": "L",
+    "DTREE-BINARY": "B",
+    "DTREE-LATENCY": "D",
+    "DTREE-STAR": "S",
+}
+
+
+def winner_grid(
+    n: int, ms: Sequence[int], lams: Sequence[TimeLike]
+) -> list[list[tuple[str, float]]]:
+    """For each (lambda, m) cell: the winning family and its ratio to the
+    Lemma 8 lower bound.  Rows follow *lams*, columns follow *ms*."""
+    grid: list[list[tuple[str, float]]] = []
+    for lam in lams:
+        lam_t = as_time(lam)
+        row = []
+        for m in ms:
+            name, t = best_algorithm(n, m, lam_t)
+            lb = multi_lower_bound(n, m, lam_t)
+            ratio = float(t / lb) if lb > 0 else 1.0
+            row.append((name, ratio))
+        grid.append(row)
+    return grid
+
+
+def phase_diagram(
+    n: int,
+    ms: Sequence[int],
+    lams: Sequence[TimeLike],
+    *,
+    show_ratio: bool = False,
+) -> str:
+    """ASCII phase diagram of the fastest family per (lambda, m) cell.
+
+    With ``show_ratio`` each cell also prints the winner's distance to the
+    lower bound (``P1.2`` = PIPELINE at 1.2x LB).
+    """
+    grid = winner_grid(n, ms, lams)
+    cell_w = 6 if show_ratio else 2
+    header_label = f"n={n}"
+    left_w = max(len(header_label), max(len(time_repr(as_time(l))) for l in lams), 6)
+    lines = [
+        f"{header_label:>{left_w}} | "
+        + " ".join(f"m={m}".ljust(cell_w) for m in ms)
+    ]
+    lines.append("-" * len(lines[0]))
+    used: dict[str, str] = {}
+    for lam, row in zip(lams, grid):
+        cells = []
+        for name, ratio in row:
+            letter = LETTERS.get(name, "?")
+            used[letter] = name
+            cells.append(
+                (f"{letter}{ratio:.1f}" if show_ratio else letter).ljust(cell_w)
+            )
+        lines.append(
+            f"{time_repr(as_time(lam)):>{left_w}} | " + " ".join(cells)
+        )
+    legend = ", ".join(
+        f"{letter}={name}" for letter, name in sorted(used.items())
+    )
+    lines.append("")
+    lines.append(f"legend: {legend}  (rows: lambda; columns: m)")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""ASCII rendering of broadcast trees and schedule timelines.
+
+:func:`render_tree` draws the generalized Fibonacci tree the way Figure 1
+of the paper does — processors annotated with the time they are informed:
+
+    p0 @ 0
+    ├─ p9 @ 5/2   (sent @ 0)
+    │  ├─ ...
+    ├─ p6 @ 7/2   (sent @ 1)
+    ...
+
+:func:`render_gantt` draws one line per processor with its send (``S``)
+and receive (``R``) busy units on a discretized time axis — handy for
+eyeballing port contention and pipelining behaviour.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.bcast import BroadcastTree
+from repro.core.schedule import Schedule
+from repro.types import Time, time_repr
+
+__all__ = ["render_tree", "render_gantt"]
+
+
+def render_tree(tree: BroadcastTree) -> str:
+    """Multi-line ASCII rendering of *tree* (children in send order)."""
+    lines: list[str] = []
+    root = tree.node(tree.root)
+    lines.append(f"p{root.proc} @ {time_repr(root.informed_at)}")
+
+    def walk(proc: int, prefix: str) -> None:
+        children = tree.children_of(proc)
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            node = tree.node(child)
+            sent = (
+                f"   (sent @ {time_repr(node.sent_at)})"
+                if node.sent_at is not None
+                else ""
+            )
+            lines.append(
+                f"{prefix}{branch}p{node.proc} @ "
+                f"{time_repr(node.informed_at)}{sent}"
+            )
+            walk(child, prefix + ("   " if last else "│  "))
+
+    walk(tree.root, "")
+    return "\n".join(lines)
+
+
+def render_gantt(schedule: Schedule, *, cell: Fraction | None = None) -> str:
+    """One line per processor; ``S`` marks send-busy cells, ``R`` receive-
+    busy cells, ``*`` a cell busy with both (legal simultaneous I/O).
+
+    *cell* is the time quantum per character (default: the finest quantum
+    that makes every event boundary land on a cell edge, capped at 1/4).
+    """
+    if not schedule.events:
+        return "(empty schedule)"
+    lam = schedule.lam
+    horizon = schedule.completion_time()
+    if cell is None:
+        # common denominator of all boundaries, capped for sanity
+        den = 1
+        for ev in schedule.events:
+            den = _lcm(den, ev.send_time.denominator)
+            den = _lcm(den, ev.arrival_time(lam).denominator)
+            if den >= 4:
+                den = 4
+                break
+        cell = Fraction(1, den)
+    ncells = int(horizon / cell) + (0 if horizon % cell == 0 else 1)
+    grid = [[" "] * ncells for _ in range(schedule.n)]
+
+    def paint(proc: int, start: Time, end: Time, mark: str) -> None:
+        i0 = int(start / cell)
+        i1 = int(end / cell) + (0 if end % cell == 0 else 1)
+        for i in range(i0, min(i1, ncells)):
+            cur = grid[proc][i]
+            grid[proc][i] = "*" if cur not in (" ", mark) else mark
+
+    for ev in schedule.events:
+        paint(ev.sender, ev.send_time, ev.send_time + 1, "S")
+        arr = ev.arrival_time(lam)
+        paint(ev.receiver, arr - 1, arr, "R")
+
+    width = len(f"p{schedule.n - 1}")
+    header = f"{'':>{width}} 0{'.' * (ncells - 1)}{time_repr(horizon)}"
+    lines = [header]
+    for proc in range(schedule.n):
+        lines.append(f"{f'p{proc}':>{width}} {''.join(grid[proc])}")
+    return "\n".join(lines)
+
+
+def _lcm(a: int, b: int) -> int:
+    from math import gcd
+
+    return a * b // gcd(a, b)

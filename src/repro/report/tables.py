@@ -1,0 +1,47 @@
+"""Plain-text and Markdown table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Sequence
+
+from repro.types import time_repr
+
+__all__ = ["format_cell", "format_table", "markdown_table"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell: Fractions via :func:`~repro.types.time_repr`,
+    floats to 4 significant digits, everything else via ``str``."""
+    if isinstance(value, Fraction):
+        return time_repr(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table with a header rule, right-aligned numeric-ish
+    columns."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(f"{v:>{w}}" for v, w in zip(row, widths))
+
+    out = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    out.extend(fmt_row(r) for r in cells)
+    return "\n".join(out)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """GitHub-flavoured Markdown table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    out = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    out.extend("| " + " | ".join(r) + " |" for r in cells)
+    return "\n".join(out)

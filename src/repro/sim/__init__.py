@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+A small, exact-time (``Fraction``-clocked), generator-based discrete-event
+engine in the style of simpy (which is unavailable in this environment):
+
+* :class:`~repro.sim.engine.Environment` — the event loop and clock.
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Process` — the primitive awaitables.
+* :mod:`repro.sim.events` — composite conditions (:func:`all_of`,
+  :func:`any_of`) and process interrupts.
+* :mod:`repro.sim.resources` — :class:`~repro.sim.resources.Resource`
+  (capacity-limited), :class:`~repro.sim.resources.Store` (FIFO item
+  queue) — the building blocks of the postal machine's ports.
+* :mod:`repro.sim.trace` — structured event tracing.
+
+The engine clock is a :class:`fractions.Fraction`, so simulated postal-model
+times compare **exactly** against the paper's closed forms.
+"""
+
+from repro.sim.engine import Environment, Event, Process, Timeout
+from repro.sim.events import all_of, any_of
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "Resource",
+    "Store",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,80 @@
+"""Composite condition events: wait for all / any of several events.
+
+:func:`all_of` fires once every constituent event has fired; its value is a
+dict mapping each event to its value.  :func:`any_of` fires as soon as one
+constituent fires; its value is a dict of the events fired so far.  A
+failure in any constituent fails the condition (first failure wins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["all_of", "any_of", "Condition"]
+
+
+class Condition(Event):
+    """An event that fires when ``count`` of the given events have fired.
+
+    ``count = len(events)`` gives *all-of*; ``count = 1`` gives *any-of*.
+    """
+
+    def __init__(self, env: Environment, events: Sequence[Event], count: int):
+        super().__init__(env)
+        events = list(events)
+        if any(ev.env is not env for ev in events):
+            raise SimulationError("all events must belong to the same environment")
+        if not 0 <= count <= len(events):
+            raise SimulationError(
+                f"need 0 <= count <= {len(events)}, got {count}"
+            )
+        self._events = events
+        self._needed = count
+        self._fired = 0
+        if count == 0 or not events:
+            self.succeed(self._collect())
+            return
+        for ev in events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+            if self.triggered:
+                break
+
+    def _collect(self) -> dict[Event, Any]:
+        # NOTE: `processed`, not `triggered` — a Timeout is "triggered"
+        # (value assigned, queued) from the moment it is created, but it
+        # has only *happened* once its callbacks ran.
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev.processed and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._fired += 1
+        if self._fired >= self._needed:
+            self.succeed(self._collect())
+
+
+def all_of(env: Environment, events: Iterable[Event]) -> Condition:
+    """An event that fires when *all* of *events* have fired."""
+    evs = list(events)
+    return Condition(env, evs, len(evs))
+
+
+def any_of(env: Environment, events: Iterable[Event]) -> Condition:
+    """An event that fires when *any one* of *events* has fired."""
+    evs = list(events)
+    return Condition(env, evs, min(1, len(evs)))

@@ -1,0 +1,151 @@
+"""Resources for simulation processes.
+
+* :class:`Resource` — a capacity-limited resource with FIFO request
+  queueing (``request()``/``release()``); models the unit-rate send and
+  receive ports of a postal processor.
+* :class:`Store` — an unbounded (or bounded) FIFO item queue
+  (``put()``/``get()``); models processor inboxes.
+
+Both are deliberately minimal but complete: requests and gets are events,
+so processes compose them with timeouts and conditions freely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event
+
+__all__ = ["Resource", "Request", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.  Fires when granted.
+
+    Use as ``req = resource.request(); yield req; ...;
+    resource.release(req)``.
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        queue = self.resource._queue
+        if self in queue:
+            queue.remove(self)
+
+
+class Resource:
+    """A resource holding up to *capacity* concurrent users, FIFO-granted."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._users: set[Request] = set()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of current users."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim one unit of the resource.  The returned event fires when
+        the claim is granted."""
+        req = Request(self)
+        if len(self._users) < self._capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted claim, waking the next waiter."""
+        if request not in self._users:
+            raise SimulationError("releasing a request that is not held")
+        self._users.remove(request)
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """A FIFO item queue with blocking ``get`` and (optionally bounded)
+    ``put``."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit *item*.  Fires immediately unless the store is full."""
+        ev = Event(self.env)
+        if self._getters:
+            # hand the item straight to the oldest waiting getter
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self._items) < self._capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Take the oldest item.  Fires (with the item as value) once one
+        is available."""
+        ev = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_ev, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_ev.succeed()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def cancel_get(self, event: Event) -> None:
+        """Withdraw a pending ``get`` so it stops competing for future
+        items (no-op if it already fired or is unknown).  Needed by
+        timeout-and-retry patterns built with ``any_of(get, timeout)``."""
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass

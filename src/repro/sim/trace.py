@@ -1,0 +1,69 @@
+"""Structured tracing of simulation runs.
+
+A :class:`Tracer` collects timestamped :class:`TraceRecord` entries; the
+postal machine emits one record per send-start, delivery, and receive-
+completion, which the validator and the schedule extractor consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.types import Time, time_repr
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True, order=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes:
+        time: simulation time of the occurrence.
+        kind: category string, e.g. ``"send"`` / ``"deliver"``.
+        data: free-form payload (sorted last; compared by repr to keep
+            records orderable even with dict payloads).
+    """
+
+    time: Time
+    kind: str
+    data: Any = field(compare=False, default=None)
+
+    def __str__(self) -> str:
+        return f"[t={time_repr(self.time)}] {self.kind}: {self.data}"
+
+
+class Tracer:
+    """An append-only log of trace records with simple querying."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: Time, kind: str, data: Any = None) -> TraceRecord:
+        """Append a record (and fan out to live subscribers)."""
+        rec = TraceRecord(time, kind, data)
+        self._records.append(rec)
+        for sub in self._subscribers:
+            sub(rec)
+        return rec
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke *callback* on every future record."""
+        self._subscribers.append(callback)
+
+    def records(self, kind: str | None = None) -> list[TraceRecord]:
+        """All records, optionally filtered by *kind*, in emit order."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()

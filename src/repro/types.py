@@ -1,0 +1,103 @@
+"""Exact time arithmetic and shared type aliases for the postal model.
+
+The postal model is defined over *real* time: the latency ``lambda`` may be
+any real number ``>= 1`` (the paper's running example uses ``lambda = 2.5``),
+and the generalized Fibonacci function ``F_lambda`` is a step function over
+the nonnegative reals.  Floating-point time would make "does the simulated
+completion time equal ``f_lambda(n)``" a tolerance question; with
+:class:`fractions.Fraction` it is exact equality.  Every module in this
+library therefore represents time as a ``Fraction``.
+
+Public helpers:
+
+* :func:`as_time` — canonical conversion of user input (int/float/str/
+  Fraction/Decimal) to an exact ``Fraction``.
+* :data:`TimeLike` — what :func:`as_time` accepts.
+* :func:`time_repr` — compact human-readable rendering (``5/2`` -> ``2.5``).
+"""
+
+from __future__ import annotations
+
+import numbers
+from decimal import Decimal
+from fractions import Fraction
+from typing import Union
+
+__all__ = [
+    "Time",
+    "TimeLike",
+    "ProcId",
+    "ZERO",
+    "ONE",
+    "as_time",
+    "time_repr",
+    "is_integral",
+]
+
+#: Exact simulation / model time.
+Time = Fraction
+
+#: Values accepted anywhere a time or latency is expected.
+TimeLike = Union[int, float, str, Fraction, Decimal]
+
+#: Processor identifier: processors are numbered ``0 .. n-1`` as in the paper.
+ProcId = int
+
+ZERO: Time = Fraction(0)
+ONE: Time = Fraction(1)
+
+
+def as_time(value: TimeLike) -> Time:
+    """Convert *value* to an exact :class:`~fractions.Fraction` time.
+
+    Floats convert exactly (every binary float is a dyadic rational), so
+    ``as_time(2.5) == Fraction(5, 2)``.  Strings are parsed by ``Fraction``
+    itself and may be of the form ``"5/2"`` or ``"2.5"``.
+
+    Raises:
+        TypeError: if *value* is not a real number or string.
+        ValueError: if *value* is NaN or infinite.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("bool is not a valid time value")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"time must be finite, got {value!r}")
+        return Fraction(value)
+    if isinstance(value, Decimal):
+        if not value.is_finite():
+            raise ValueError(f"time must be finite, got {value!r}")
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, numbers.Real):
+        return Fraction(float(value))
+    raise TypeError(f"cannot interpret {value!r} as a time value")
+
+
+def is_integral(t: Time) -> bool:
+    """True if *t* is an integer-valued time."""
+    return t.denominator == 1
+
+
+def time_repr(t: Time) -> str:
+    """Render *t* compactly: integers as ``7``, halves/quarters as decimals
+    when the decimal form is short, otherwise as ``p/q``."""
+    if t.denominator == 1:
+        return str(t.numerator)
+    # powers of 2 and 5 have a finite decimal expansion
+    den = t.denominator
+    while den % 2 == 0:
+        den //= 2
+    while den % 5 == 0:
+        den //= 5
+    if den == 1:
+        text = f"{float(t):g}"
+        # guard against float rounding for very large numerators
+        if Fraction(text) == t:
+            return text
+    return f"{t.numerator}/{t.denominator}"

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite.
+
+The parameter grids live in :mod:`tests.grids` so test modules can import
+them directly; they deliberately mix integer, half-integer, and awkward
+rational latencies (the paper's running example is ``lambda = 2.5``), plus
+sizes around Fibonacci boundaries where off-by-one bugs in the index
+function would show.
+"""
+
+import pytest
+
+from tests.grids import LAMBDAS, SIZES
+
+
+@pytest.fixture(params=LAMBDAS, ids=lambda l: f"lam={l}")
+def lam(request):
+    return request.param
+
+
+@pytest.fixture(params=[n for n in SIZES if n <= 40], ids=lambda n: f"n={n}")
+def n_small(request):
+    return request.param

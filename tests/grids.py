@@ -1,0 +1,38 @@
+"""Shared parameter grids and hypothesis strategies (imported by test
+modules and conftest)."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import strategies as st
+
+
+def rationals(min_value, max_value, max_denominator=6):
+    """A hypothesis strategy for exact rationals in ``[min_value,
+    max_value]`` with small denominators — constructive (no filtering, so
+    no health-check noise)."""
+    lo = Fraction(min_value)
+    hi = Fraction(max_value)
+    return st.integers(1, max_denominator).flatmap(
+        lambda den: st.integers(
+            math.ceil(lo * den), math.floor(hi * den)
+        ).map(lambda num: Fraction(num, den))
+    )
+
+#: Latencies covering the telephone case (1), the Fibonacci case (2), the
+#: paper's example (5/2), a coarse rational (7/3), and larger values.
+LAMBDAS = [
+    Fraction(1),
+    Fraction(3, 2),
+    Fraction(2),
+    Fraction(7, 3),
+    Fraction(5, 2),
+    Fraction(4),
+    Fraction(10),
+]
+
+#: System sizes: tiny, around jumps of F_lambda, and moderately large.
+SIZES = [1, 2, 3, 4, 5, 8, 13, 14, 21, 40, 100]
+
+#: Message counts for multi-message algorithms.
+MCOUNTS = [1, 2, 3, 5, 8]

@@ -1,0 +1,123 @@
+"""Tests for the closed-form analysis module (lower bounds, pickers)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.analysis import (
+    ALGORITHMS,
+    algorithm_times,
+    bcast_time,
+    best_algorithm,
+    dtree_factor_binary,
+    dtree_factor_latency,
+    dtree_upper,
+    multi_lower_bound,
+    multi_lower_cor9,
+    pipeline_time,
+    repeat_time,
+)
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError
+
+from tests.grids import LAMBDAS
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_lemma8_formula(self, lam):
+        for n in (2, 14, 40):
+            for m in (1, 5):
+                assert multi_lower_bound(n, m, lam) == (m - 1) + postal_f(lam, n)
+
+    def test_lemma8_n1(self):
+        assert multi_lower_bound(1, 5, 2) == 0
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_corollary9_below_lemma8(self, lam):
+        """Corollary 9's explicit bounds are implied by (hence no stronger
+        than) Lemma 8."""
+        for n in (2, 14, 100):
+            for m in (1, 4):
+                lb = float(multi_lower_bound(n, m, lam))
+                p1, p2 = multi_lower_cor9(n, m, lam)
+                assert p1 <= lb + 1e-9
+                assert p2 <= lb + 1e-9 + 1  # part 2 is strict: > m-1+lam
+
+    def test_corollary9_needs_n2(self):
+        with pytest.raises(InvalidParameterError):
+            multi_lower_cor9(1, 1, 2)
+
+
+class TestDtreeUpper:
+    def test_d1_exact_line(self):
+        assert dtree_upper(5, 3, 2, 1) == 2 + 4 * 2
+
+    def test_log_height_integer_safety(self):
+        # ceil(log_d n) must be exact even where floats wobble (d^k == n)
+        assert dtree_upper(8, 1, 1, 2) == (1 + 1) * 3
+        assert dtree_upper(9, 1, 1, 3) == (2 + 1) * 2
+        assert dtree_upper(1000, 1, 1, 10) == (9 + 1) * 3
+
+    def test_bad_degree(self):
+        with pytest.raises(InvalidParameterError):
+            dtree_upper(5, 1, 2, 0)
+
+
+class TestFactors:
+    def test_binary_factor(self):
+        assert dtree_factor_binary(1) == 2
+        assert dtree_factor_binary(10) == math.log2(11)
+
+    def test_latency_factor(self):
+        assert dtree_factor_latency(1) == 2
+        assert dtree_factor_latency(Fraction(5, 2)) == 4
+
+
+class TestPicker:
+    def test_algorithm_times_keys(self):
+        times = algorithm_times(10, 3, 2)
+        assert set(times) == set(ALGORITHMS)
+
+    def test_best_algorithm_is_min(self):
+        name, t = best_algorithm(10, 3, 2)
+        times = algorithm_times(10, 3, 2)
+        assert t == min(times.values())
+        assert times[name] == t
+
+    def test_single_message_pipeline_equals_bcast(self):
+        """For m=1 PIPELINE == BCAST == optimal, so the winner's time is
+        f_lambda(n)."""
+        for lam in (1, 2, Fraction(5, 2)):
+            _, t = best_algorithm(14, 1, lam)
+            assert t == bcast_time(14, lam)
+
+    def test_crossover_large_m_prefers_line_or_pipeline(self):
+        name, _ = best_algorithm(6, 400, 2)
+        assert name in ("DTREE-LINE", "PIPELINE")
+
+    def test_crossover_huge_lambda_prefers_star_or_pack(self):
+        name, _ = best_algorithm(6, 2, 500)
+        # DTREE-LATENCY clamps its degree to n-1 here, i.e. it IS the star
+        assert name in ("DTREE-STAR", "DTREE-LATENCY", "PACK", "PIPELINE", "REPEAT")
+
+    def test_times_exceed_lower_bound(self):
+        for lam in (1, Fraction(5, 2), 6):
+            for n, m in ((2, 1), (14, 4), (27, 9)):
+                lb = multi_lower_bound(n, m, lam)
+                for name, t in algorithm_times(n, m, lam).items():
+                    assert t >= lb, name
+
+
+class TestEdgeParameters:
+    def test_n1_zero_times(self):
+        assert repeat_time(1, 3, 2) == 0
+        assert pipeline_time(1, 3, 2) == 0
+        assert bcast_time(1, 7) == 0
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            repeat_time(2, 0, 2)
+        with pytest.raises(InvalidParameterError):
+            bcast_time(2, Fraction(1, 2))

@@ -1,0 +1,106 @@
+"""Tests for Theorem 7 bounds and the appendix claims (Lemmas 19-26)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import (
+    F_lower_asymptotic,
+    F_lower_exact,
+    F_upper_exact,
+    alpha,
+    claim23_lhs,
+    claim24_holds,
+    f_lower_log,
+    f_upper_asymptotic,
+    f_upper_log,
+    h_of_lambda,
+    theorem7_sandwich_holds,
+)
+from repro.core.fibfunc import postal_F, postal_f
+from repro.errors import InvalidParameterError
+
+from tests.grids import LAMBDAS, SIZES
+
+
+class TestExactBounds:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_part1_sandwich_dense(self, lam):
+        for k in range(0, 80):
+            t = Fraction(k, 3)
+            F = postal_F(lam, t)
+            assert F_lower_exact(lam, t) <= F <= F_upper_exact(lam, t)
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_part2_sandwich(self, lam, n):
+        f = float(postal_f(lam, n))
+        assert f_lower_log(lam, n) - 1e-9 <= f <= f_upper_log(lam, n) + 1e-9
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_combined_checker(self, lam):
+        assert theorem7_sandwich_holds(lam, t=Fraction(17, 2), n=137)
+
+    def test_lower_bound_at_zero(self):
+        assert F_lower_exact(2, 0) == 1
+        assert F_upper_exact(2, 0) == 1
+
+    def test_exact_bounds_are_integers(self):
+        assert isinstance(F_lower_exact(Fraction(5, 2), 10), int)
+        assert isinstance(F_upper_exact(Fraction(5, 2), 10), int)
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            F_lower_exact(Fraction(1, 2), 1)
+        with pytest.raises(InvalidParameterError):
+            F_upper_exact(2, -1)
+        with pytest.raises(InvalidParameterError):
+            f_lower_log(2, 0)
+
+
+class TestAsymptotics:
+    def test_alpha_decreases_to_one(self):
+        # alpha(lambda) -> 1 as lambda -> infinity (ln-ln slow)
+        vals = [alpha(lam) for lam in (100, 1000, 10**6, 10**9)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+        assert 1 < vals[-1] < 1.3
+
+    def test_alpha_blows_up_near_singularity(self):
+        # the denominator touches 0 at lambda = e - 1, so alpha is huge
+        # just around it
+        assert alpha(2) > 100
+
+    def test_claim23_for_large_lambda(self):
+        for lam in (200, 10**4, 10**6):
+            assert claim23_lhs(lam) <= 1.0, lam
+
+    def test_claim24_for_large_lambda(self):
+        for lam in (200, 10**4, 10**6):
+            assert claim24_holds(lam), lam
+
+    def test_part3_lower_bound_large_lambda(self):
+        lam = 1000
+        for t in (0, 500, 1500, 5000, 20000):
+            assert postal_F(lam, t) >= F_lower_asymptotic(lam, t) * (1 - 1e-12)
+
+    def test_part4_upper_bound_large_lambda(self):
+        # n >= 2**lambda is astronomically large; verify the *formula*
+        # sandwich at a large-but-computable point instead: the asymptotic
+        # upper bound must dominate the true f for n >= 2**lambda-ish
+        lam = 64
+        n = 2**64
+        f = float(postal_f(lam, n))
+        assert f <= f_upper_asymptotic(lam, n) + 1e-6
+
+    def test_h_tends_to_zero(self):
+        hs = [h_of_lambda(lam, 2**lam) for lam in (64, 1024, 2**20)]
+        assert all(a > b for a, b in zip(hs, hs[1:]))
+        assert hs[-1] < 0.5
+
+    def test_asymptotic_tighter_than_exact_upper(self):
+        # Theorem 7(4) beats 7(2) once lambda and n are large enough for
+        # 1 + h(lambda) to drop below 2 (pure formula comparison)
+        lam = 2**20
+        n = 2**lam
+        assert f_upper_asymptotic(lam, n) < f_upper_log(lam, n)

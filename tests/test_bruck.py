@@ -1,0 +1,82 @@
+"""Tests for the Bruck recursive-doubling allgather."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.collectives.allgather import allgather_time
+from repro.collectives.bruck import (
+    BruckAllgatherProtocol,
+    bruck_rounds,
+    bruck_time,
+)
+from repro.collectives.gossip import gossip_lower_bound, gossip_ring_time
+from repro.errors import InvalidParameterError
+from repro.postal import run_protocol
+
+from tests.grids import LAMBDAS
+
+
+class TestRounds:
+    def test_block_sizes_sum(self):
+        for n in range(1, 40):
+            sizes = bruck_rounds(n)
+            assert sum(sizes) == max(0, n - 1)
+
+    def test_power_of_two_doubling(self):
+        assert bruck_rounds(16) == [1, 2, 4, 8]
+
+    def test_non_power(self):
+        assert bruck_rounds(5) == [1, 2, 1]  # last round truncated
+        assert bruck_rounds(3) == [1, 1]
+
+    def test_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            bruck_rounds(0)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 13, 16, 17])
+    def test_time_and_completeness(self, lam, n):
+        proto = BruckAllgatherProtocol(n, lam)
+        res = run_protocol(proto)
+        assert res.completion_time == bruck_time(n, lam)
+        for p in range(n):
+            assert proto.known[p] == {i: i for i in range(n)}
+
+    def test_rumor_values(self):
+        rumors = ["a", "b", "c", "d", "e"]
+        proto = BruckAllgatherProtocol(5, 2, rumors=rumors)
+        run_protocol(proto)
+        assert proto.known[3] == dict(enumerate(rumors))
+
+    def test_send_count(self):
+        # every processor transmits n-1 rumor units
+        proto = BruckAllgatherProtocol(8, 2)
+        res = run_protocol(proto)
+        assert res.sends == 8 * 7
+
+    def test_rumor_length_checked(self):
+        with pytest.raises(ValueError):
+            BruckAllgatherProtocol(3, 2, rumors=[1])
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_above_lower_bound(self, lam):
+        for n in (2, 8, 16):
+            assert bruck_time(n, lam) >= gossip_lower_bound(n, lam)
+
+    def test_dominates_ring_for_lambda_above_1(self):
+        for lam in (Fraction(3, 2), Fraction(5, 2), Fraction(10)):
+            for n in (4, 8, 16, 32):
+                assert bruck_time(n, lam) < gossip_ring_time(n, lam)
+
+    def test_matches_ring_at_lambda_1(self):
+        # at lambda=1 both meet the port bound n-1
+        for n in (4, 8, 16):
+            assert bruck_time(n, 1) == gossip_ring_time(n, 1) == n - 1
+
+    def test_beats_gather_pipeline_at_high_lambda(self):
+        assert bruck_time(16, 10) < allgather_time(16, 10)

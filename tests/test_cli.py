@@ -1,0 +1,167 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestFib:
+    def test_both_values(self, capsys):
+        code, out = run_cli(capsys, "fib", "--lam", "5/2", "--t", "7.5", "--n", "14")
+        assert code == 0
+        assert "F_2.5(7.5) = 14" in out
+        assert "f_2.5(14) = 7.5" in out
+
+    def test_requires_t_or_n(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fib", "--lam", "2"])
+
+
+class TestTree:
+    def test_ascii(self, capsys):
+        code, out = run_cli(capsys, "tree", "--n", "14", "--lam", "5/2")
+        assert code == 0
+        assert "p9 @ 2.5" in out
+        assert "height (completion time): 7.5" in out
+
+    def test_json(self, capsys):
+        code, out = run_cli(capsys, "tree", "--n", "14", "--lam", "5/2", "--json")
+        data = json.loads(out)
+        assert data["format"] == "repro.tree.v1"
+        assert data["nodes"]["0"]["children"][0] == 9
+
+
+class TestGantt:
+    def test_bcast(self, capsys):
+        code, out = run_cli(capsys, "gantt", "--n", "5", "--lam", "2")
+        assert code == 0
+        assert "S" in out and "R" in out
+        assert "completion:" in out
+
+    def test_multi_algorithm(self, capsys):
+        code, out = run_cli(
+            capsys, "gantt", "--n", "5", "--lam", "2", "--m", "3",
+            "--algorithm", "pipeline",
+        )
+        assert code == 0
+
+
+class TestSimulate:
+    def test_bcast(self, capsys):
+        code, out = run_cli(capsys, "simulate", "--n", "14", "--lam", "5/2")
+        assert code == 0
+        assert "completion: 7.5" in out
+        assert "sends     : 13" in out
+        assert "ratio 1.000" in out
+
+    def test_export(self, capsys, tmp_path):
+        target = tmp_path / "sched.json"
+        code, out = run_cli(
+            capsys, "simulate", "--n", "8", "--lam", "2",
+            "--export", str(target),
+        )
+        assert code == 0
+        from repro.core.serialize import loads_schedule
+
+        sched = loads_schedule(target.read_text())
+        assert sched.n == 8
+
+    def test_all_algorithms(self, capsys):
+        for algo in ("repeat", "pack", "pipeline", "dtree-2", "star"):
+            code, out = run_cli(
+                capsys, "simulate", "--n", "6", "--lam", "2", "--m", "2",
+                "--algorithm", algo,
+            )
+            assert code == 0, algo
+
+    def test_binomial(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "--n", "8", "--lam", "2",
+            "--algorithm", "binomial",
+        )
+        assert code == 0
+
+    def test_unknown_algorithm(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--n", "4", "--lam", "2", "--algorithm", "magic"])
+
+
+class TestCompare:
+    def test_table_and_winner(self, capsys):
+        code, out = run_cli(capsys, "compare", "--n", "14", "--lam", "5/2", "--m", "4")
+        assert code == 0
+        for name in ("REPEAT", "PACK", "PIPELINE", "DTREE-LINE"):
+            assert name in out
+        assert "winner:" in out
+        assert "lower bound" in out
+
+
+class TestBounds:
+    def test_both(self, capsys):
+        code, out = run_cli(
+            capsys, "bounds", "--lam", "5/2", "--t", "10", "--n", "100"
+        )
+        assert code == 0
+        assert "Theorem 7(1)" in out and "Theorem 7(2)" in out
+
+    def test_requires_t_or_n(self):
+        with pytest.raises(SystemExit):
+            main(["bounds", "--lam", "2"])
+
+
+class TestCollectives:
+    def test_table(self, capsys):
+        code, out = run_cli(capsys, "collectives", "--n", "14", "--lam", "5/2")
+        assert code == 0
+        for word in ("broadcast", "reduce", "scatter", "gather", "alltoall",
+                     "allreduce", "barrier"):
+            assert word in out
+
+
+class TestReliable:
+    def test_lossless(self, capsys):
+        code, out = run_cli(
+            capsys, "reliable", "--n", "8", "--lam", "2", "--loss", "0",
+        )
+        assert code == 0
+        assert "drops       : 0" in out
+        assert "retransmits : 0" in out
+
+    def test_lossy_deterministic(self, capsys):
+        _, out1 = run_cli(
+            capsys, "reliable", "--n", "12", "--lam", "5/2",
+            "--loss", "0.3", "--seed", "5",
+        )
+        _, out2 = run_cli(
+            capsys, "reliable", "--n", "12", "--lam", "5/2",
+            "--loss", "0.3", "--seed", "5",
+        )
+        assert out1 == out2
+        assert "retransmits" in out1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fib", "--lam", "2", "--n", "8"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "f_2(8) = 5" in proc.stdout

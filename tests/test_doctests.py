@@ -1,0 +1,17 @@
+"""Execute every doctest embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.mpi.comm
+import repro.types
+
+MODULES = [repro.mpi.comm, repro.types]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    # modules without examples are fine; examples that exist must pass
+    assert result.failed == 0

@@ -1,0 +1,180 @@
+"""Tests for Algorithm DTREE (Section 4.3, Lemma 18)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.analysis import (
+    bcast_time,
+    dtree_factor_binary,
+    dtree_factor_latency,
+    dtree_upper,
+    multi_lower_bound,
+)
+from repro.core.dtree import (
+    DTreeShape,
+    dtree_children,
+    dtree_height,
+    dtree_parent,
+    dtree_schedule,
+    resolve_degree,
+)
+from repro.core.orderpres import is_order_preserving
+from repro.errors import InvalidParameterError
+
+from tests.grids import LAMBDAS, MCOUNTS
+
+NS = [1, 2, 3, 5, 14, 27, 40]
+DS = [1, 2, 3, 5]
+
+
+class TestTreeShape:
+    def test_parent_child_inverse(self):
+        for d in (1, 2, 3, 7):
+            for v in range(50):
+                for c in dtree_children(v, d, 200):
+                    assert dtree_parent(c, d) == v
+
+    def test_bfs_left_to_right(self):
+        # node v's children are d*v+1 .. d*v+d
+        assert dtree_children(0, 3, 10) == [1, 2, 3]
+        assert dtree_children(1, 3, 10) == [4, 5, 6]
+        assert dtree_children(3, 3, 10) == []  # 10..12 don't exist
+
+    def test_height_full_tree(self):
+        assert dtree_height(1, 2) == 0
+        assert dtree_height(3, 2) == 1
+        assert dtree_height(7, 2) == 2
+        assert dtree_height(8, 2) == 3
+
+    def test_height_line(self):
+        assert dtree_height(5, 1) == 4
+
+    def test_height_vs_log(self):
+        for d in (2, 3, 5):
+            for n in (2, 10, 100, 1000):
+                h = dtree_height(n, d)
+                assert h <= math.ceil(math.log(n) / math.log(d) + 1e-9)
+
+    def test_resolve_presets(self):
+        assert resolve_degree(DTreeShape.LINE, 10, 2) == 1
+        assert resolve_degree(DTreeShape.BINARY, 10, 2) == 2
+        assert resolve_degree(DTreeShape.LATENCY, 10, Fraction(5, 2)) == 4
+        assert resolve_degree(DTreeShape.STAR, 10, 2) == 9
+
+    def test_resolve_clamps(self):
+        assert resolve_degree(100, 5, 2) == 4  # at most n-1
+        assert resolve_degree(0, 5, 2) == 1
+        assert resolve_degree(DTreeShape.STAR, 1, 2) == 1
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            dtree_parent(0, 2)
+        with pytest.raises(InvalidParameterError):
+            dtree_children(0, 0, 5)
+        with pytest.raises(InvalidParameterError):
+            dtree_height(0, 2)
+
+
+@pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.parametrize("m", MCOUNTS)
+@pytest.mark.parametrize("d", DS)
+class TestLemma18:
+    def test_valid_and_bounded(self, lam, n, m, d):
+        s = dtree_schedule(n, m, lam, d)  # validates on construction
+        d_eff = resolve_degree(d, n, lam)
+        assert s.completion_time() <= dtree_upper(n, m, lam, d_eff)
+
+    def test_order_preserving(self, lam, n, m, d):
+        assert is_order_preserving(dtree_schedule(n, m, lam, d, validate=False))
+
+
+class TestExactTimes:
+    def test_line_exact(self, lam):
+        # d=1: completion is exactly (m-1) + (n-1)*lambda
+        for n in (2, 5, 9):
+            for m in (1, 4):
+                s = dtree_schedule(n, m, lam, 1, validate=False)
+                assert s.completion_time() == (m - 1) + (n - 1) * lam
+
+    def test_star_exact(self, lam):
+        # d=n-1: root sends m(n-1) messages back to back
+        for n in (3, 6):
+            for m in (1, 3):
+                s = dtree_schedule(n, m, lam, n - 1, validate=False)
+                assert s.completion_time() == m * (n - 1) - 1 + lam
+
+    def test_full_binary_one_message(self):
+        # full binary tree, m=1: last leaf gets it at (d-1+lam)*height
+        lam = Fraction(5, 2)
+        s = dtree_schedule(7, 1, lam, 2, validate=False)
+        assert s.completion_time() == 2 * (1 + lam)
+
+
+class TestSection43Claims:
+    def test_line_near_optimal_large_m(self):
+        """d=1 is near optimal when lambda, n fixed and m -> infinity."""
+        n, lam = 6, 2
+        for m in (200, 2000):
+            t = dtree_schedule(n, m, lam, 1, validate=False).completion_time()
+            lb = multi_lower_bound(n, m, lam)
+            assert float(t) / float(lb) < 1.1
+
+    def test_star_near_optimal_large_lambda(self):
+        """d=n-1 is near optimal when m, n fixed and lambda -> infinity."""
+        n, m = 6, 3
+        for lam in (100, 1000):
+            t = dtree_schedule(n, m, lam, n - 1, validate=False).completion_time()
+            lb = multi_lower_bound(n, m, lam)
+            assert float(t) / float(lb) < 1.3
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_binary_within_stated_factor(self, lam):
+        """d=2 is within max{2, log(ceil(lambda)+1)} of optimal."""
+        factor = dtree_factor_binary(lam)
+        for n in (2, 14, 40):
+            for m in (1, 3, 8):
+                t = dtree_schedule(n, m, lam, 2, validate=False).completion_time()
+                lb = multi_lower_bound(n, m, lam)
+                assert float(t) <= factor * float(lb) * (1 + 1e-9), (n, m)
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_latency_degree_within_stated_factor(self, lam):
+        """d=ceil(lambda)+1 is within max{2, ceil(lambda)+1} of optimal."""
+        factor = dtree_factor_latency(lam)
+        for n in (2, 14, 40):
+            for m in (1, 3, 8):
+                t = dtree_schedule(
+                    n, m, lam, DTreeShape.LATENCY, validate=False
+                ).completion_time()
+                lb = multi_lower_bound(n, m, lam)
+                assert float(t) <= factor * float(lb) * (1 + 1e-9), (n, m)
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_latency_degree_within_3_for_few_messages(self, lam):
+        """For m <= log n / log(ceil(lambda)+1), d=ceil(lambda)+1 is within
+        a factor of 3 of optimal, independent of lambda."""
+        import math as _m
+
+        for n in (64, 256, 1024):
+            mmax = int(_m.log2(n) / _m.log2(_m.ceil(lam) + 1))
+            for m in {1, max(1, mmax // 2), max(1, mmax)}:
+                if m > mmax:
+                    continue
+                t = dtree_schedule(
+                    n, m, lam, DTreeShape.LATENCY, validate=False
+                ).completion_time()
+                lb = multi_lower_bound(n, m, lam)
+                assert float(t) <= 3 * float(lb) * (1 + 1e-9), (n, m)
+
+    def test_dtree_never_beats_bcast_single_message(self, lam):
+        """No fixed-degree tree beats the generalized Fibonacci tree for
+        one message (Theorem 6 optimality, cross-family)."""
+        for n in (2, 14, 40):
+            best = min(
+                dtree_schedule(n, 1, lam, d, validate=False).completion_time()
+                for d in (1, 2, 3, 4, n - 1)
+            )
+            assert best >= bcast_time(n, lam)

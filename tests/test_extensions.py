@@ -1,0 +1,194 @@
+"""Tests for the Section-5 extensions (adaptive, hierarchical, LogP)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError
+from repro.extensions.adaptive import (
+    LatencyProfile,
+    adaptive_bcast_time,
+    static_tree_under_profile,
+)
+from repro.extensions.hierarchical import (
+    HierarchicalSystem,
+    flat_bcast_time,
+    hierarchical_bcast_time,
+)
+from repro.extensions.logp import (
+    LogPParams,
+    logp_arrival_times,
+    logp_bcast_time,
+    matches_postal,
+    postal_lambda_of,
+)
+
+from tests.grids import LAMBDAS
+
+
+class TestLatencyProfile:
+    def test_constant(self):
+        p = LatencyProfile.constant(Fraction(5, 2))
+        assert p.lam_at(0) == p.lam_at(100) == Fraction(5, 2)
+
+    def test_piecewise(self):
+        p = LatencyProfile.of([(0, 2), (5, 4), (10, 1)])
+        assert p.lam_at(0) == 2
+        assert p.lam_at(Fraction(9, 2)) == 2
+        assert p.lam_at(5) == 4
+        assert p.lam_at(100) == 1
+
+    def test_arrival(self):
+        p = LatencyProfile.of([(0, 2), (5, 4)])
+        assert p.arrival(3) == 5
+        assert p.arrival(5) == 9
+
+    def test_is_fifo(self):
+        rising = LatencyProfile.of([(0, 1), (5, 3)])
+        assert rising.is_fifo(horizon=100)
+        falling = LatencyProfile.of([(0, 3), (5, 1)])
+        assert not falling.is_fifo(horizon=100)
+        assert falling.is_fifo(horizon=4)  # drop outside the horizon
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LatencyProfile.of([])
+        with pytest.raises(InvalidParameterError):
+            LatencyProfile.of([(1, 2)])  # must start at 0
+        with pytest.raises(InvalidParameterError):
+            LatencyProfile.of([(0, 2), (0, 3)])  # non-increasing breaks
+        with pytest.raises(InvalidParameterError):
+            LatencyProfile.of([(0, Fraction(1, 2))])  # lambda < 1
+        with pytest.raises(InvalidParameterError):
+            LatencyProfile.constant(2).lam_at(-1)
+
+
+class TestAdaptiveBroadcast:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_constant_profile_matches_f(self, lam):
+        """With a constant profile the eager broadcast is exactly
+        f_lambda(n) — the adaptive algorithm loses nothing."""
+        profile = LatencyProfile.constant(lam)
+        for n in (1, 2, 5, 14, 40):
+            assert adaptive_bcast_time(n, profile) == postal_f(lam, n)
+
+    def test_static_tree_matches_when_plan_correct(self, lam):
+        profile = LatencyProfile.constant(lam)
+        for n in (2, 14, 40):
+            assert static_tree_under_profile(n, lam, profile) == postal_f(lam, n)
+
+    def test_eager_beats_misplanned_tree(self):
+        """Plan for lambda=1, actually lambda=4: the static binomial tree
+        pays full latency every level; eager adapts."""
+        profile = LatencyProfile.constant(4)
+        n = 64
+        eager = adaptive_bcast_time(n, profile)
+        static = static_tree_under_profile(n, 1, profile)
+        assert eager == postal_f(4, n)
+        assert static > eager
+
+    def test_rising_latency(self):
+        """Latency rises mid-broadcast: eager still finishes, and no
+        faster than both constant extremes."""
+        profile = LatencyProfile.of([(0, 1), (2, 4)])
+        n = 32
+        t = adaptive_bcast_time(n, profile)
+        assert postal_f(1, n) <= t <= postal_f(4, n)
+
+    def test_eager_no_worse_than_any_static_plan_fifo(self):
+        """For a FIFO profile, eager is optimal, hence no worse than any
+        statically planned tree executed under the profile."""
+        profile = LatencyProfile.of([(0, 2), (3, 3), (8, 3)])
+        assert profile.is_fifo(horizon=100)
+        n = 40
+        eager = adaptive_bcast_time(n, profile)
+        for plan in (1, 2, Fraction(5, 2), 3, 5):
+            assert eager <= static_tree_under_profile(n, plan, profile)
+
+    def test_n1(self):
+        assert adaptive_bcast_time(1, LatencyProfile.constant(2)) == 0
+
+
+class TestHierarchical:
+    def test_construction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HierarchicalSystem.of(0, 4, 1, 2)
+        with pytest.raises(InvalidParameterError):
+            HierarchicalSystem.of(4, 4, 3, 2)  # local > global
+
+    def test_latency_lookup(self):
+        sys_ = HierarchicalSystem.of(3, 4, 1, 10)
+        assert sys_.latency(0, 3) == 1  # same cluster (0..3)
+        assert sys_.latency(0, 4) == 10  # across clusters
+        assert sys_.n == 12
+
+    def test_sequential_formula(self):
+        sys_ = HierarchicalSystem.of(8, 16, 1, 10)
+        t = hierarchical_bcast_time(sys_, overlap=False)
+        assert t == postal_f(10, 8) + postal_f(1, 16)
+
+    def test_overlap_no_slower(self):
+        for k, c in ((4, 8), (8, 16), (16, 4)):
+            sys_ = HierarchicalSystem.of(k, c, 1, 8)
+            assert hierarchical_bcast_time(sys_, overlap=True) <= (
+                hierarchical_bcast_time(sys_, overlap=False)
+            )
+
+    def test_beats_flat_when_hierarchy_real(self):
+        sys_ = HierarchicalSystem.of(8, 32, 1, 12)
+        assert hierarchical_bcast_time(sys_) < flat_bcast_time(sys_)
+
+    def test_degenerate_single_cluster(self):
+        sys_ = HierarchicalSystem.of(1, 16, 2, 5)
+        assert hierarchical_bcast_time(sys_) == postal_f(2, 16)
+
+    def test_flat_equals_hierarchy_when_latencies_equal(self):
+        # no hierarchy advantage if local == global... the two-phase tree
+        # is then merely *a* valid schedule, so it cannot beat flat BCAST
+        sys_ = HierarchicalSystem.of(4, 4, 3, 3)
+        assert hierarchical_bcast_time(sys_) >= flat_bcast_time(sys_)
+
+
+class TestLogP:
+    def test_params_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LogPParams.of(1, 0, 1, 4)  # o must be positive
+        with pytest.raises(InvalidParameterError):
+            LogPParams.of(1, 2, 1, 4)  # g < o
+        with pytest.raises(InvalidParameterError):
+            LogPParams.of(-1, 1, 1, 4)
+        with pytest.raises(InvalidParameterError):
+            LogPParams.of(1, 1, 1, 0)
+
+    def test_postal_lambda(self):
+        params = LogPParams.of(3, 2, 2, 8)
+        assert postal_lambda_of(params) == Fraction(7, 2)
+
+    @pytest.mark.parametrize("L", [0, 1, 3, 10])
+    @pytest.mark.parametrize("P", [1, 2, 5, 14, 64])
+    def test_identity_with_postal(self, L, P):
+        """With g == o, optimal LogP broadcast == o * f_{(L+2o)/o}(P)."""
+        params = LogPParams.of(L, 1, 1, P)
+        assert matches_postal(params)
+
+    def test_identity_with_scaled_overhead(self):
+        params = LogPParams.of(Fraction(3), Fraction(1, 2), Fraction(1, 2), 14)
+        assert matches_postal(params)
+
+    def test_gap_larger_than_o_slows_broadcast(self):
+        fast = LogPParams.of(4, 1, 1, 32)
+        slow = LogPParams.of(4, 1, 3, 32)
+        assert logp_bcast_time(slow) > logp_bcast_time(fast)
+
+    def test_arrivals_sorted(self):
+        arr = logp_arrival_times(LogPParams.of(2, 1, 1, 20))
+        assert arr == sorted(arr)
+        assert len(arr) == 19
+
+    def test_matches_postal_requires_g_eq_o(self):
+        with pytest.raises(InvalidParameterError):
+            matches_postal(LogPParams.of(1, 1, 2, 4))
+
+    def test_p1_zero(self):
+        assert logp_bcast_time(LogPParams.of(5, 1, 1, 1)) == 0

@@ -1,0 +1,113 @@
+"""Tests for the message-loss extension (lossy machine + reliable BCAST)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bcast import bcast_tree
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError
+from repro.extensions.faulty import (
+    LossyPostalSystem,
+    ReliableBcastProtocol,
+    default_rto,
+    run_reliable_bcast,
+)
+from repro.sim.engine import Environment
+
+from tests.grids import LAMBDAS
+
+
+class TestLossyMachine:
+    def test_zero_loss_is_transparent(self):
+        env = Environment()
+        sys_ = LossyPostalSystem(env, 2, 2, loss=0.0)
+
+        def prog():
+            yield sys_.send(0, 1, 0)
+
+        env.process(prog())
+        env.run()
+        assert sys_.dropped == 0
+        assert len(sys_.tracer.records("deliver")) == 1
+
+    def test_full_loss_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LossyPostalSystem(Environment(), 2, 2, loss=1.0)
+
+    def test_drops_traced_and_counted(self):
+        env = Environment()
+        sys_ = LossyPostalSystem(env, 2, 2, loss=0.99, seed=1)
+
+        def prog():
+            for k in range(20):
+                yield sys_.send(0, 1, k)
+
+        env.process(prog())
+        env.run()
+        assert sys_.dropped > 10
+        assert len(sys_.tracer.records("drop")) == sys_.dropped
+        assert (
+            len(sys_.tracer.records("deliver")) + sys_.dropped == 20
+        )
+
+    def test_seed_determinism(self):
+        def run(seed):
+            env = Environment()
+            sys_ = LossyPostalSystem(env, 2, 2, loss=0.5, seed=seed)
+
+            def prog():
+                for k in range(30):
+                    yield sys_.send(0, 1, k)
+
+            env.process(prog())
+            env.run()
+            return sys_.dropped
+
+        assert run(3) == run(3)
+        # different seeds should (overwhelmingly) differ on 30 coin flips
+        assert any(run(3) != run(s) for s in (4, 5, 6))
+
+
+class TestReliableBcast:
+    @pytest.mark.parametrize("lam", LAMBDAS[:5], ids=str)
+    def test_lossless_within_f_plus_depth(self, lam):
+        for n in (1, 2, 5, 14, 40):
+            t, rtx, drops = run_reliable_bcast(n, lam, loss=0.0)
+            assert rtx == 0 and drops == 0
+            f = postal_f(lam, n)
+            tree = bcast_tree(n, lam)
+            depth = max(tree.depth_of(p) for p in range(n))
+            assert f <= t <= f + depth, (n, lam, t, f)
+
+    def test_everyone_informed_under_heavy_loss(self):
+        t, rtx, drops = run_reliable_bcast(14, Fraction(5, 2), loss=0.5, seed=11)
+        assert rtx > 0 and drops > 0
+        assert t > postal_f(Fraction(5, 2), 14)
+
+    def test_deterministic_replay(self):
+        a = run_reliable_bcast(20, 3, loss=0.25, seed=7)
+        b = run_reliable_bcast(20, 3, loss=0.25, seed=7)
+        assert a == b
+
+    def test_degradation_monotone_in_loss_roughly(self):
+        # average over seeds: retransmissions grow with the loss rate
+        def avg_rtx(loss):
+            total = 0
+            for seed in range(8):
+                _, rtx, _ = run_reliable_bcast(14, 2, loss=loss, seed=seed)
+                total += rtx
+            return total / 8
+
+        assert avg_rtx(0.05) < avg_rtx(0.4)
+
+    def test_rto_must_exceed_lambda(self):
+        with pytest.raises(InvalidParameterError):
+            ReliableBcastProtocol(5, 4, rto=3)
+
+    def test_default_rto(self):
+        assert default_rto(Fraction(5, 2)) == 8  # 2*ceil(5/2) + 2
+
+    def test_custom_rto_still_completes(self):
+        t, _, _ = run_reliable_bcast(10, 2, loss=0.3, seed=5, rto=20)
+        assert t >= postal_f(2, 10)

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the generalized Fibonacci core."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import F_lower_exact, F_upper_exact
+from repro.core.fibfunc import GeneralizedFibonacci, postal_F, postal_f
+
+# latencies as small rationals >= 1
+from tests.grids import rationals
+
+lams = rationals(1, 8, max_denominator=6)
+times = rationals(0, 25, max_denominator=6)
+sizes = st.integers(min_value=1, max_value=2000)
+
+
+@given(lam=lams, t=times)
+@settings(max_examples=150, deadline=None)
+def test_recurrence_everywhere(lam, t):
+    """F(t) = 1 below lambda; F(t) = F(t-1) + F(t-lambda) above."""
+    if t < lam:
+        assert postal_F(lam, t) == 1
+    else:
+        assert postal_F(lam, t) == postal_F(lam, t - 1) + postal_F(lam, t - lam)
+
+
+@given(lam=lams, t1=times, t2=times)
+@settings(max_examples=150, deadline=None)
+def test_monotone(lam, t1, t2):
+    if t1 > t2:
+        t1, t2 = t2, t1
+    assert postal_F(lam, t1) <= postal_F(lam, t2)
+
+
+@given(lam=lams, n=sizes)
+@settings(max_examples=150, deadline=None)
+def test_index_is_exact_inverse(lam, n):
+    """f(n) is the *least* t with F(t) >= n (Claim 1 parts 3-4)."""
+    f = postal_f(lam, n)
+    assert postal_F(lam, f) >= n
+    eps = Fraction(1, 720)  # finer than any denominator in play
+    if f > 0:
+        assert postal_F(lam, f - eps) < n
+
+
+@given(lam=lams, n=sizes)
+@settings(max_examples=100, deadline=None)
+def test_index_lands_on_grid(lam, n):
+    """f(n) = a + b*lambda for nonnegative integers a, b."""
+    f = postal_f(lam, n)
+    found = False
+    b = 0
+    while b * lam <= f:
+        rest = f - b * lam
+        if rest.denominator == 1 and rest >= 0:
+            found = True
+            break
+        b += 1
+    assert found, f"f={f} not on the grid of lambda={lam}"
+
+
+@given(lam=lams, t=times)
+@settings(max_examples=150, deadline=None)
+def test_theorem7_part1_sandwich(lam, t):
+    F = postal_F(lam, t)
+    assert F_lower_exact(lam, t) <= F <= F_upper_exact(lam, t)
+
+
+@given(lam=lams, n=sizes)
+@settings(max_examples=100, deadline=None)
+def test_lambda_monotonicity_of_index(lam, n):
+    """Larger latency never helps: f_lambda(n) nondecreasing in lambda
+    (checked against lambda + 1/2)."""
+    assert postal_f(lam, n) <= postal_f(lam + Fraction(1, 2), n)
+
+
+@given(n=sizes)
+@settings(max_examples=60, deadline=None)
+def test_telephone_closed_form(n):
+    assert postal_f(1, n) == math.ceil(math.log2(n))
+
+
+@given(lam=lams)
+@settings(max_examples=60, deadline=None)
+def test_fresh_instance_matches_cached(lam):
+    fresh = GeneralizedFibonacci(lam)
+    for n in (2, 17, 5):
+        assert fresh.index(n) == postal_f(lam, n)

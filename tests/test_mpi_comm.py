@@ -1,0 +1,108 @@
+"""Tests for the MPI-style facade (repro.mpi)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.collectives.allgather import allgather_time
+from repro.collectives.barrier import barrier_time
+from repro.collectives.scatter import scatter_time
+from repro.core.analysis import pipeline_time, repeat_time
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError
+from repro.mpi import SimComm
+
+
+@pytest.fixture
+def comm():
+    return SimComm(14, Fraction(5, 2))
+
+
+class TestBcast:
+    def test_default_optimal(self, comm):
+        out = comm.bcast("payload")
+        assert out.time == postal_f(Fraction(5, 2), 14) == Fraction(15, 2)
+        assert out.values == ["payload"] * 14
+        assert out.sends == 13
+        assert out.algorithm == "BCAST"
+
+    def test_dtree_variant(self, comm):
+        out = comm.bcast("x", algorithm="dtree-2")
+        assert out.algorithm == "DTREE"
+        assert out.time >= Fraction(15, 2)  # BCAST is optimal
+
+    def test_star_variant(self, comm):
+        out = comm.bcast("x", algorithm="star")
+        assert out.time == 12 + Fraction(5, 2)
+
+    def test_unknown_rejected(self, comm):
+        with pytest.raises(InvalidParameterError):
+            comm.bcast("x", algorithm="magic")
+
+
+class TestBcastMany:
+    def test_pipeline_default(self, comm):
+        out = comm.bcast_many(list("abcd"))
+        assert out.time == pipeline_time(14, 4, Fraction(5, 2))
+        assert out.values[13] == list("abcd")
+
+    def test_repeat(self, comm):
+        out = comm.bcast_many([1, 2], algorithm="repeat")
+        assert out.time == repeat_time(14, 2, Fraction(5, 2))
+
+    def test_pack_and_dtree(self, comm):
+        assert comm.bcast_many([1, 2], algorithm="pack").time > 0
+        assert comm.bcast_many([1, 2], algorithm="dtree-3").time > 0
+
+    def test_empty_rejected(self, comm):
+        with pytest.raises(InvalidParameterError):
+            comm.bcast_many([])
+
+
+class TestOtherCollectives:
+    def test_reduce(self, comm):
+        out = comm.reduce(list(range(14)))
+        assert out.values == sum(range(14))
+        assert out.time == postal_f(Fraction(5, 2), 14)
+
+    def test_reduce_custom_op(self, comm):
+        out = comm.reduce(list(range(14)), op=max)
+        assert out.values == 13
+
+    def test_scatter(self, comm):
+        data = [f"v{i}" for i in range(14)]
+        out = comm.scatter(data)
+        assert out.values == data
+        assert out.time == scatter_time(14, Fraction(5, 2))
+
+    def test_allgather(self, comm):
+        out = comm.allgather(list(range(14)))
+        assert out.time == allgather_time(14, Fraction(5, 2))
+        assert all(v == list(range(14)) for v in out.values)
+
+    def test_barrier(self, comm):
+        out = comm.barrier()
+        assert out.time == barrier_time(14, Fraction(5, 2))
+
+    def test_length_validation(self, comm):
+        with pytest.raises(InvalidParameterError):
+            comm.reduce([1, 2])
+        with pytest.raises(InvalidParameterError):
+            comm.scatter([1])
+        with pytest.raises(InvalidParameterError):
+            comm.allgather([1])
+
+
+class TestAPI:
+    def test_size(self, comm):
+        assert comm.Get_size() == 14
+
+    def test_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            SimComm(0, 2)
+
+    def test_single_rank_degenerate(self):
+        c = SimComm(1, 3)
+        assert c.bcast("x").time == 0
+        assert c.reduce([7]).values == 7
+        assert c.barrier().time == 0

@@ -1,0 +1,188 @@
+"""Tests for REPEAT, PACK, and PIPELINE (Section 4.2, Lemmas 10-17)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.analysis import (
+    multi_lower_bound,
+    pack_time,
+    pack_upper,
+    pipeline_time,
+    pipeline_upper,
+    repeat_time,
+    repeat_upper,
+)
+from repro.core.multi import (
+    pack_schedule,
+    pipeline_schedule,
+    pipeline_variant,
+    repeat_schedule,
+)
+from repro.core.orderpres import is_order_preserving
+from repro.errors import InvalidParameterError
+
+from tests.grids import LAMBDAS, MCOUNTS
+
+NS = [1, 2, 3, 5, 14, 27]
+
+
+@pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.parametrize("m", MCOUNTS)
+class TestAgainstClosedForms:
+    """Every builder's simulated completion time equals the paper's exact
+    formula — with Fraction equality."""
+
+    def test_repeat_lemma10(self, lam, n, m):
+        s = repeat_schedule(n, m, lam)
+        assert s.completion_time() == repeat_time(n, m, lam)
+
+    def test_pack_lemma12(self, lam, n, m):
+        s = pack_schedule(n, m, lam)
+        assert s.completion_time() == pack_time(n, m, lam)
+
+    def test_pipeline_lemmas14_16(self, lam, n, m):
+        s = pipeline_schedule(n, m, lam)
+        assert s.completion_time() == pipeline_time(n, m, lam)
+
+    def test_all_order_preserving(self, lam, n, m):
+        for s in (
+            repeat_schedule(n, m, lam, validate=False),
+            pack_schedule(n, m, lam, validate=False),
+            pipeline_schedule(n, m, lam, validate=False),
+        ):
+            assert is_order_preserving(s)
+
+    def test_lower_bound_lemma8(self, lam, n, m):
+        lb = multi_lower_bound(n, m, lam)
+        assert repeat_time(n, m, lam) >= lb
+        assert pack_time(n, m, lam) >= lb
+        assert pipeline_time(n, m, lam) >= lb
+
+
+@pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+@pytest.mark.parametrize("m", MCOUNTS)
+class TestUpperBoundCorollaries:
+    def test_corollary11(self, lam, m):
+        for n in (2, 14, 100):
+            assert float(repeat_time(n, m, lam)) <= repeat_upper(n, m, lam) + 1e-9
+
+    def test_corollary13(self, lam, m):
+        for n in (2, 14, 100):
+            assert float(pack_time(n, m, lam)) <= pack_upper(n, m, lam) + 1e-9
+
+    def test_corollaries15_17(self, lam, m):
+        for n in (2, 14, 100):
+            assert (
+                float(pipeline_time(n, m, lam))
+                <= pipeline_upper(n, m, lam) + 1e-9
+            )
+
+
+class TestStructure:
+    def test_m1_reduces_to_bcast(self, lam):
+        from repro.core.bcast import bcast_schedule
+
+        b = bcast_schedule(20, lam, validate=False)
+        for build in (repeat_schedule, pack_schedule, pipeline_schedule):
+            s = build(20, 1, lam, validate=False)
+            assert s.completion_time() == b.completion_time(), build.__name__
+        # PIPELINE with m=1 is structurally identical to BCAST
+        p = pipeline_schedule(20, 1, lam, validate=False)
+        assert set(p.events) == set(b.events)
+
+    def test_pipeline_variant_names(self):
+        assert pipeline_variant(2, 5) == "PIPELINE-1"
+        assert pipeline_variant(5, 2) == "PIPELINE-2"
+        assert pipeline_variant(3, 3) == "PIPELINE-1"  # boundary
+
+    def test_pipeline_variants_agree_at_boundary(self):
+        # at m == lambda the two formulas coincide
+        for n in (2, 5, 14, 40):
+            m = 3
+            lam = Fraction(3)
+            t1 = m * __import__("repro.core.fibfunc", fromlist=["postal_f"]).postal_f(lam / m, n) + (m - 1)
+            t2 = lam * __import__("repro.core.fibfunc", fromlist=["postal_f"]).postal_f(Fraction(m) / lam, n) + (lam - 1)
+            assert t1 == t2 == pipeline_time(n, m, lam)
+
+    def test_repeat_iteration_spacing(self):
+        """Root starts iteration i+1 exactly lambda-1 before iteration i
+        completes (Lemma 10's overlap)."""
+        from repro.core.fibfunc import postal_f
+
+        n, m, lam = 14, 3, Fraction(5, 2)
+        s = repeat_schedule(n, m, lam, validate=False)
+        f = postal_f(lam, n)
+        firsts = {}
+        for e in s.events:
+            if e.sender == 0:
+                firsts.setdefault(e.msg, e.send_time)
+        for i in range(m):
+            assert firsts[i] == i * (f - (lam - 1))
+
+    def test_pack_is_consecutive_bursts(self):
+        """In PACK every sender transmits the m messages back to back to
+        the same target."""
+        s = pack_schedule(10, 4, Fraction(5, 2), validate=False)
+        by_sender_target = {}
+        for e in s.events:
+            by_sender_target.setdefault((e.sender, e.receiver), []).append(e)
+        for (_, _), evs in by_sender_target.items():
+            evs.sort()
+            assert [e.msg for e in evs] == list(range(4))
+            times = [e.send_time for e in evs]
+            assert all(b - a == 1 for a, b in zip(times, times[1:]))
+
+    def test_pipeline_forwards_at_arrival(self):
+        """In PIPELINE a recipient's k-th forwarded message departs exactly
+        when message k arrives (for its first stream)."""
+        n, m, lam = 14, 3, Fraction(2)
+        s = pipeline_schedule(n, m, lam, validate=False)
+        arrivals = s.arrivals()
+        for proc in range(1, n):
+            sends = s.sends_by(proc)
+            if not sends:
+                continue
+            first_stream = sends[:m]
+            for e in first_stream:
+                assert e.send_time >= arrivals[(proc, e.msg)]
+            # first message of the first stream departs exactly at arrival
+            assert first_stream[0].send_time == arrivals[(proc, 0)]
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            repeat_schedule(0, 1, 2)
+        with pytest.raises(InvalidParameterError):
+            pack_schedule(2, 0, 2)
+        with pytest.raises(InvalidParameterError):
+            pipeline_schedule(2, 1, Fraction(1, 2))
+
+
+class TestWhoWinsWhere:
+    """Section 4.2's qualitative comparisons."""
+
+    def test_pipeline_beats_repeat_for_many_messages(self):
+        n, lam = 30, Fraction(5, 2)
+        assert pipeline_time(n, 40, lam) < repeat_time(n, 40, lam)
+
+    def test_pipeline_no_worse_than_pack(self):
+        """PIPELINE exploits stream nonatomicity; PACK never beats it."""
+        for lam in LAMBDAS:
+            for n in (5, 14, 27):
+                for m in (2, 5, 8, 20):
+                    assert pipeline_time(n, m, lam) <= pack_time(n, m, lam)
+
+    def test_repeat_linear_in_m(self):
+        n, lam = 14, 2
+        t1 = repeat_time(n, 1, lam)
+        t10 = repeat_time(n, 10, lam)
+        per_msg = (t10 - t1) / 9
+        assert per_msg == t1 - (lam - 1)  # slope f - (lambda-1)
+
+    def test_none_optimal_for_large_m(self):
+        """For large m even PIPELINE is off the Lemma 8 lower bound by a
+        nontrivial factor (the gap Section 5 discusses)."""
+        n, lam, m = 64, 4, 500
+        lb = multi_lower_bound(n, m, lam)
+        assert pipeline_time(n, m, lam) > lb + 10

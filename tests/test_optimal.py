@@ -1,0 +1,93 @@
+"""Tests for the independent optimality oracles (Lemma 5 / Theorem 6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.fibfunc import postal_F, postal_f
+from repro.core.optimal import (
+    eager_informed_counts,
+    max_informed,
+    opt_broadcast_time,
+)
+from repro.errors import InvalidParameterError
+
+from tests.grids import LAMBDAS
+
+
+class TestSplitDP:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_dp_equals_f(self, lam):
+        """The split DP — which never touches F_lambda — agrees with
+        f_lambda(n) for every n: Theorem 6 cross-validated."""
+        for n in range(1, 61):
+            assert opt_broadcast_time(n, lam) == postal_f(lam, n), n
+
+    def test_base_cases(self):
+        assert opt_broadcast_time(1, 3) == 0
+        assert opt_broadcast_time(2, 3) == 3
+
+    def test_paper_example(self):
+        assert opt_broadcast_time(14, Fraction(5, 2)) == Fraction(15, 2)
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            opt_broadcast_time(0, 2)
+        with pytest.raises(InvalidParameterError):
+            opt_broadcast_time(2, Fraction(1, 2))
+
+
+class TestEagerOracle:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_N_equals_F(self, lam):
+        """The constructive eager simulation reproduces F_lambda point for
+        point (Lemma 5's N(t) recurrence, validated constructively)."""
+        horizon = 3 * lam + 4
+        for k in range(0, int(horizon * 4) + 1):
+            t = Fraction(k, 4)
+            assert max_informed(lam, t) == postal_F(lam, t), t
+
+    def test_step_function_shape(self):
+        counts = eager_informed_counts(2, 6)
+        assert counts(0) == 1
+        assert counts(Fraction(3, 2)) == 1
+        assert counts(2) == 2
+        assert counts(6) == postal_F(2, 6)
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            eager_informed_counts(Fraction(1, 2), 3)
+        with pytest.raises(InvalidParameterError):
+            eager_informed_counts(2, -1)
+
+
+class TestOptimalityOfBcast:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_no_schedule_beats_f(self, lam):
+        """Any valid schedule's completion is >= f_lambda(n): check for
+        the DTREE family and the binomial baseline."""
+        from repro.algorithms.baselines import binomial_schedule, star_schedule
+        from repro.core.dtree import dtree_schedule
+
+        for n in (2, 5, 14):
+            f = postal_f(lam, n)
+            for d in (1, 2, n - 1):
+                assert (
+                    dtree_schedule(n, 1, lam, d, validate=False).completion_time()
+                    >= f
+                )
+            assert binomial_schedule(n, lam).completion_time() >= f
+            assert star_schedule(n, lam).completion_time() >= f
+
+    def test_binomial_matches_bcast_at_lambda1(self):
+        """In the telephone model the binomial tree IS optimal."""
+        from repro.algorithms.baselines import binomial_schedule
+
+        for n in (2, 3, 8, 16, 33):
+            assert binomial_schedule(n, 1).completion_time() == postal_f(1, n)
+
+    def test_binomial_suboptimal_for_lambda_above_1(self):
+        from repro.algorithms.baselines import binomial_schedule
+
+        lam = Fraction(5, 2)
+        assert binomial_schedule(14, lam).completion_time() > postal_f(lam, 14)

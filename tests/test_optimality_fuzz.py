@@ -1,0 +1,88 @@
+"""Optimality fuzzing: no randomized broadcast strategy beats f_lambda(n).
+
+We generate random *valid-by-construction* broadcast schedules — every
+informed processor keeps sending, but targets and per-send idling are
+randomized — validate them against the postal model, and assert none
+finishes before ``f_lambda(n)`` (Theorem 6's lower bound, attacked from
+below rather than proved from above).
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fibfunc import postal_f
+from repro.core.schedule import Schedule, SendEvent
+from repro.types import Time
+
+from tests.grids import rationals
+
+lams = rationals(1, 5, max_denominator=4)
+
+
+def random_broadcast_schedule(n, lam, rng):
+    """A random valid single-message broadcast: at every integer step each
+    informed processor may (with probability 3/4) send to a random
+    uninformed target."""
+    informed = {0: Fraction(0)}
+    uninformed = set(range(1, n))
+    events = []
+    t = Fraction(0)
+    while uninformed:
+        for proc, since in sorted(informed.items()):
+            if not uninformed or since > t:
+                continue
+            if rng.random() < 0.75:
+                target = rng.choice(sorted(uninformed))
+                uninformed.discard(target)
+                events.append(SendEvent(t, proc, 0, target))
+                informed[target] = t + lam
+        t += 1
+    return Schedule(n, lam, events, m=1)
+
+
+@given(
+    lam=lams,
+    n=st.integers(min_value=2, max_value=30),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=150, deadline=None)
+def test_no_random_strategy_beats_f(lam, n, seed):
+    rng = random.Random(seed)
+    sched = random_broadcast_schedule(n, lam, rng)  # validates on build
+    assert sched.completion_time() >= postal_f(lam, n)
+
+
+@given(
+    lam=lams,
+    n=st.integers(min_value=2, max_value=30),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_random_schedules_satisfy_lemma5(lam, n, seed):
+    """The informed count of any random valid strategy stays below
+    F_lambda(t)."""
+    from repro.core.fibfunc import postal_F
+
+    rng = random.Random(seed)
+    sched = random_broadcast_schedule(n, lam, rng)
+    counts = sched.informed_count()
+    horizon = sched.completion_time()
+    t = Fraction(0)
+    while t <= horizon:
+        assert counts.value_at(t) <= postal_F(lam, t)
+        t += Fraction(1, 2)
+
+
+def test_greedy_random_strategy_is_sometimes_optimal():
+    """Sanity: when the random strategy happens to pick BCAST's splits it
+    meets f; over many seeds the minimum observed completion equals f."""
+    lam, n = Fraction(2), 8
+    best = None
+    for seed in range(300):
+        sched = random_broadcast_schedule(n, lam, random.Random(seed))
+        t = sched.completion_time()
+        best = t if best is None else min(best, t)
+    assert best == postal_f(lam, n)

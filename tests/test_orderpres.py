@@ -1,0 +1,80 @@
+"""Tests for order-preservation checking."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.orderpres import (
+    arrival_sequences,
+    check_order_preserving,
+    is_order_preserving,
+)
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import OrderViolationError
+from repro.types import Time
+
+
+def ev(t, src, dst, msg=0):
+    return SendEvent(Time(t) if not isinstance(t, Fraction) else t, src, msg, dst)
+
+
+class TestOrderPreservation:
+    def test_in_order(self):
+        s = Schedule(
+            2, 2, [ev(0, 0, 1, msg=0), ev(1, 0, 1, msg=1)], m=2
+        )
+        assert is_order_preserving(s)
+        check_order_preserving(s)  # no raise
+
+    def test_out_of_order_detected(self):
+        s = Schedule(
+            2, 2, [ev(0, 0, 1, msg=1), ev(1, 0, 1, msg=0)], m=2
+        )
+        assert not is_order_preserving(s)
+        with pytest.raises(OrderViolationError):
+            check_order_preserving(s)
+
+    def test_single_message_trivially_ordered(self):
+        s = Schedule(2, 2, [ev(0, 0, 1)])
+        assert is_order_preserving(s)
+
+    def test_sequences_sorted_by_msg(self):
+        s = Schedule(
+            2, 2, [ev(0, 0, 1, msg=0), ev(1, 0, 1, msg=1)], m=2
+        )
+        seqs = arrival_sequences(s)
+        assert list(seqs.keys()) == [1]
+        assert [msg for _, msg in seqs[1]] == [0, 1]
+
+    def test_root_excluded(self):
+        s = Schedule(2, 2, [ev(0, 0, 1)])
+        assert 0 not in arrival_sequences(s)
+
+    def test_violation_message_contents(self):
+        s = Schedule(
+            2, 2, [ev(0, 0, 1, msg=1), ev(1, 0, 1, msg=0)], m=2
+        )
+        with pytest.raises(OrderViolationError, match="p1 receives M2"):
+            check_order_preserving(s)
+
+    def test_all_paper_algorithms_preserve_order(self):
+        """Blanket check over every multi-message family (the paper's
+        headline property: 'all the algorithms described are practical
+        event-driven algorithms that preserve the order of messages')."""
+        from repro.core.dtree import dtree_schedule
+        from repro.core.multi import (
+            pack_schedule,
+            pipeline_schedule,
+            repeat_schedule,
+        )
+
+        lam = Fraction(7, 3)
+        for n in (2, 9, 20):
+            for m in (2, 5):
+                assert is_order_preserving(repeat_schedule(n, m, lam, validate=False))
+                assert is_order_preserving(pack_schedule(n, m, lam, validate=False))
+                assert is_order_preserving(pipeline_schedule(n, m, lam, validate=False))
+                for d in (1, 2, 4):
+                    assert is_order_preserving(
+                        dtree_schedule(n, m, lam, d, validate=False)
+                    )

@@ -1,0 +1,205 @@
+"""End-to-end verification of every numbered claim reproduced from the
+paper — the test-suite counterpart of EXPERIMENTS.md.
+
+Each test class corresponds to one experiment id in DESIGN.md's index.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import BcastProtocol, PipelineProtocol, RepeatProtocol
+from repro.core.analysis import (
+    dtree_upper,
+    multi_lower_bound,
+    pack_time,
+    pipeline_time,
+    repeat_time,
+)
+from repro.core.bcast import bcast_schedule, bcast_tree
+from repro.core.bounds import (
+    F_lower_exact,
+    F_upper_exact,
+    f_lower_log,
+    f_upper_log,
+)
+from repro.core.dtree import DTreeShape, dtree_schedule
+from repro.core.fibfunc import postal_F, postal_f
+from repro.core.optimal import max_informed, opt_broadcast_time
+from repro.postal import run_protocol
+
+from tests.grids import LAMBDAS
+
+
+class TestFIG1:
+    """Figure 1: the generalized Fibonacci broadcast tree for
+    MPS(14, 2.5) completes at t = 7.5, with p0 -> p9 first."""
+
+    def test_completion(self):
+        assert bcast_schedule(14, "5/2").completion_time() == Fraction(15, 2)
+
+    def test_structure(self):
+        tree = bcast_tree(14, "5/2")
+        assert tree.children_of(0)[0] == 9
+        assert tree.node(9).informed_at == Fraction(5, 2)
+        assert tree.height() == Fraction(15, 2)
+
+    def test_simulated(self):
+        res = run_protocol(BcastProtocol(14, Fraction(5, 2)))
+        assert res.completion_time == Fraction(15, 2)
+
+
+class TestTHM6:
+    """Theorem 6: T_B(n, lambda) = f_lambda(n), and no algorithm beats it."""
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_bcast_equals_f(self, lam):
+        for n in (1, 2, 3, 5, 14, 64, 257):
+            assert bcast_schedule(n, lam, validate=False).completion_time() == postal_f(lam, n)
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_brute_force_optimum_matches(self, lam):
+        for n in range(1, 41):
+            assert opt_broadcast_time(n, lam) == postal_f(lam, n)
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_N_of_t_equals_F(self, lam):
+        horizon = 2 * lam + 5
+        for k in range(int(horizon * 2) + 1):
+            t = Fraction(k, 2)
+            assert max_informed(lam, t) == postal_F(lam, t)
+
+
+class TestTHM7:
+    """Theorem 7: the four bounds on F_lambda and f_lambda."""
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_parts_1_and_2(self, lam):
+        for k in range(0, 61, 3):
+            t = Fraction(k, 2)
+            F = postal_F(lam, t)
+            assert F_lower_exact(lam, t) <= F <= F_upper_exact(lam, t)
+        for n in (1, 2, 14, 100, 10**6):
+            f = float(postal_f(lam, n))
+            assert f_lower_log(lam, n) - 1e-9 <= f <= f_upper_log(lam, n) + 1e-9
+
+    def test_parts_3_and_4_large_lambda(self):
+        from repro.core.bounds import F_lower_asymptotic, f_upper_asymptotic
+
+        lam = 512
+        for t in (0, 100, 1000, 4000):
+            assert postal_F(lam, t) >= F_lower_asymptotic(lam, t) * (1 - 1e-9)
+        n = 2**64
+        assert float(postal_f(64, n)) <= f_upper_asymptotic(64, n) + 1e-6
+
+
+class TestLB:
+    """Lemma 8 / Corollary 9: multi-message lower bounds."""
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_all_families_above_lemma8(self, lam):
+        for n in (2, 14, 40):
+            for m in (1, 3, 9):
+                lb = multi_lower_bound(n, m, lam)
+                assert repeat_time(n, m, lam) >= lb
+                assert pack_time(n, m, lam) >= lb
+                assert pipeline_time(n, m, lam) >= lb
+                for shape in DTreeShape:
+                    t = dtree_schedule(
+                        n, m, lam, shape, validate=False
+                    ).completion_time()
+                    assert t >= lb, shape
+
+
+class TestLemmas10to17:
+    """Exact running-time formulas, validated by full event-driven
+    simulation (not just the builders)."""
+
+    CASES = [(5, 2), (14, 3), (9, 6)]
+
+    @pytest.mark.parametrize("lam", LAMBDAS[:5], ids=str)
+    @pytest.mark.parametrize("n,m", CASES, ids=str)
+    def test_lemma10_simulated(self, lam, n, m):
+        assert run_protocol(
+            RepeatProtocol(n, m, lam)
+        ).completion_time == m * postal_f(lam, n) - (m - 1) * (lam - 1)
+
+    @pytest.mark.parametrize("lam", LAMBDAS[:5], ids=str)
+    @pytest.mark.parametrize("n,m", CASES, ids=str)
+    def test_lemma12_formula(self, lam, n, m):
+        assert pack_time(n, m, lam) == m * postal_f(1 + (lam - 1) / m, n)
+
+    @pytest.mark.parametrize("lam", LAMBDAS[:5], ids=str)
+    @pytest.mark.parametrize("n,m", CASES, ids=str)
+    def test_lemmas14_16_simulated(self, lam, n, m):
+        expected = (
+            m * postal_f(lam / m, n) + (m - 1)
+            if m <= lam
+            else lam * postal_f(Fraction(m) / lam, n) + (lam - 1)
+        )
+        assert run_protocol(PipelineProtocol(n, m, lam)).completion_time == expected
+
+
+class TestL18:
+    """Lemma 18: DTREE's bound, plus the d=1 and d=n-1 exact endpoints."""
+
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_bound_holds(self, lam):
+        for n in (2, 14, 40):
+            for m in (1, 4):
+                for d in (2, 3, int(math.ceil(lam)) + 1, n - 1):
+                    d = max(1, min(d, n - 1))
+                    t = dtree_schedule(n, m, lam, d, validate=False).completion_time()
+                    assert t <= dtree_upper(n, m, lam, d)
+
+    def test_bound_tight_for_line(self):
+        # d = 1 is the one case with an exact closed form:
+        # (m-1) + (n-1) * lambda, achieved by the builder
+        lam = Fraction(5, 2)
+        for n, m in ((6, 1), (6, 4), (13, 3)):
+            t = dtree_schedule(n, m, lam, 1, validate=False).completion_time()
+            assert t == dtree_upper(n, m, lam, 1)
+
+    def test_bound_slack_is_at_most_one_level(self):
+        # for m=1 on an almost-full tree the bound overshoots by at most
+        # one level's cost (d-1+lambda), from ceil(log_d n) vs true height
+        lam = Fraction(5, 2)
+        for n, d in ((13, 3), (9, 3), (14, 2), (40, 3)):
+            t = dtree_schedule(n, 1, lam, d, validate=False).completion_time()
+            bound = dtree_upper(n, 1, lam, d)
+            assert bound - t <= (d - 1 + lam) * 2
+
+
+class TestS43:
+    """Section 4.3's regime claims (see also test_dtree.py)."""
+
+    def test_regime_ordering(self):
+        """Line wins the m->inf regime; star wins the lambda->inf regime."""
+        line = lambda n, m, lam: dtree_schedule(
+            n, m, lam, 1, validate=False
+        ).completion_time()
+        star = lambda n, m, lam: dtree_schedule(
+            n, m, lam, n - 1, validate=False
+        ).completion_time()
+        assert line(6, 400, 2) < star(6, 400, 2)
+        assert star(6, 2, 300) < line(6, 2, 300)
+
+    def test_factor7_spotcheck(self):
+        """Reference [13]'s claim: a well-chosen d keeps DTREE within 7x
+        of the (order-preserving) lower bound; spot-check the best fixed-d
+        tree against Lemma 8 over a broad grid."""
+        for lam in (1, 2, Fraction(5, 2), 8, 32):
+            for n in (4, 16, 64):
+                for m in (1, 4, 16, 64):
+                    lb = float(multi_lower_bound(n, m, lam))
+                    degrees = {1, 2, int(math.ceil(lam)) + 1, n - 1}
+                    best = min(
+                        float(
+                            dtree_schedule(
+                                n, m, lam, max(1, min(d, n - 1)), validate=False
+                            ).completion_time()
+                        )
+                        for d in degrees
+                    )
+                    assert best <= 7 * lb * (1 + 1e-9), (lam, n, m, best / lb)

@@ -1,0 +1,63 @@
+"""Tests for the winner phase diagram."""
+
+from fractions import Fraction
+
+from repro.core.analysis import best_algorithm
+from repro.report.phase import LETTERS, phase_diagram, winner_grid
+
+
+class TestWinnerGrid:
+    def test_grid_shape(self):
+        grid = winner_grid(12, [1, 4], [1, Fraction(5, 2), 8])
+        assert len(grid) == 3
+        assert all(len(row) == 2 for row in grid)
+
+    def test_matches_best_algorithm(self):
+        grid = winner_grid(12, [1, 8], [2])
+        for (name, ratio), m in zip(grid[0], (1, 8)):
+            expect_name, _ = best_algorithm(12, m, 2)
+            assert name == expect_name
+            assert ratio >= 1
+
+    def test_m1_winner_is_optimal(self):
+        grid = winner_grid(20, [1], [1, 2, Fraction(5, 2), 8])
+        for row in grid:
+            name, ratio = row[0]
+            assert ratio == 1.0  # m=1 winner achieves f_lambda(n)
+
+
+class TestDiagram:
+    def test_letters_cover_families(self):
+        assert set(LETTERS.keys()) == {
+            "REPEAT", "PACK", "PIPELINE", "DTREE-LINE", "DTREE-BINARY",
+            "DTREE-LATENCY", "DTREE-STAR",
+        }
+        # distinct letters per family
+        assert len(set(LETTERS.values())) == len(LETTERS)
+
+    def test_render_plain(self):
+        text = phase_diagram(12, [1, 4, 16], [1, Fraction(5, 2)])
+        lines = text.splitlines()
+        assert "m=1" in lines[0] and "m=16" in lines[0]
+        assert "legend:" in text
+        assert "2.5 |" in text
+
+    def test_render_with_ratio(self):
+        text = phase_diagram(12, [1, 16], [2], show_ratio=True)
+        assert "1.0" in text  # the m=1 optimum
+
+    def test_narrative_shape(self):
+        """The Section 4 story: m=1 column achieves LB; large-m column is
+        won by a pipelining family."""
+        grid = winner_grid(24, [1, 200], [1, Fraction(5, 2), 8])
+        for row in grid:
+            assert row[0][1] == 1.0
+            assert row[1][0] in ("PIPELINE", "DTREE-LINE")
+
+    def test_cli_phase(self, capsys):
+        from repro.cli import main
+
+        code = main(["phase", "--n", "8", "--ms", "1,8", "--lams", "1,5/2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legend:" in out

@@ -1,0 +1,241 @@
+"""Tests for the postal machine substrate (repro.postal)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import (
+    InvalidParameterError,
+    ScheduleError,
+    SimultaneousIOError,
+)
+from repro.postal.machine import ContentionPolicy, PostalSystem
+from repro.postal.validator import audit_ports, schedule_from_trace, validate_run
+from repro.sim.engine import Environment
+
+
+def make(n=4, lam=Fraction(5, 2), policy=ContentionPolicy.STRICT):
+    env = Environment()
+    return env, PostalSystem(env, n, lam, policy=policy)
+
+
+class TestDefinitions:
+    """Definitions 1 and 2 of the paper as observable machine behaviour."""
+
+    def test_sender_busy_one_unit(self):
+        env, sys_ = make()
+        done = []
+
+        def prog():
+            yield sys_.send(0, 1, 0)
+            done.append(env.now)
+
+        env.process(prog())
+        env.run()
+        assert done == [1]  # sender freed at t=1
+
+    def test_receiver_gets_message_at_lambda(self):
+        env, sys_ = make(lam=Fraction(5, 2))
+        got = []
+
+        def sender():
+            yield sys_.send(0, 1, 0, payload="data")
+
+        def receiver():
+            message = yield sys_.recv(1)
+            got.append((env.now, message.arrived_at, message.payload))
+
+        env.process(sender())
+        env.process(receiver())
+        env.run()
+        assert got == [(Fraction(5, 2), Fraction(5, 2), "data")]
+
+    def test_lambda_one_telephone_case(self):
+        # the receive window [t, t+1) coincides with the send window
+        env, sys_ = make(lam=1)
+        got = []
+
+        def sender():
+            yield sys_.send(0, 1, 0)
+
+        def receiver():
+            message = yield sys_.recv(1)
+            got.append(message.arrived_at)
+
+        env.process(sender())
+        env.process(receiver())
+        env.run()
+        assert got == [1]
+
+    def test_simultaneous_send_and_receive_ok(self):
+        """Full duplex: p1 can receive one message while sending another."""
+        env, sys_ = make(lam=3)
+
+        def p0():
+            yield sys_.send(0, 1, 0)  # busy [0,1), p1 receives [2,3)
+            yield sys_.send(0, 2, 0)
+
+        def p1():
+            yield sys_.recv(1)
+            # immediately forward while p0's second send is in flight
+            yield sys_.send(1, 3, 0)
+
+        env.process(p0())
+        env.process(p1())
+        env.run()
+        audit_ports(sys_)  # no violations
+
+    def test_sends_serialize(self):
+        """Two sends by one processor occupy consecutive units."""
+        env, sys_ = make()
+        times = []
+
+        def prog():
+            yield sys_.send(0, 1, 0)
+            times.append(env.now)
+            yield sys_.send(0, 2, 0)
+            times.append(env.now)
+
+        env.process(prog())
+        env.run()
+        assert times == [1, 2]
+
+    def test_full_connectivity(self):
+        # any pair can communicate, both directions
+        env, sys_ = make(n=3, lam=1)
+
+        def prog():
+            yield sys_.send(2, 0, 0)
+
+        def rx():
+            yield sys_.recv(0)
+
+        env.process(prog())
+        env.process(rx())
+        env.run()
+        assert len(sys_.tracer.records("deliver")) == 1
+
+
+class TestContention:
+    def _two_overlapping_deliveries(self, policy):
+        env = Environment()
+        sys_ = PostalSystem(env, 3, 2, policy=policy)
+
+        # p0 and p1 both send to p2 with overlapping receive windows:
+        # p0 @0 -> arr 2 (busy [1,2)); p1 @1/2 -> arr 5/2 (busy [3/2,5/2))
+        def p0():
+            yield sys_.send(0, 2, 0)
+
+        def p1():
+            yield env.timeout(Fraction(1, 2))
+            yield sys_.send(1, 2, 1)
+
+        env.process(p0())
+        env.process(p1())
+        return env, sys_
+
+    def test_strict_raises(self):
+        env, _ = self._two_overlapping_deliveries(ContentionPolicy.STRICT)
+        with pytest.raises(SimultaneousIOError):
+            env.run()
+
+    def test_queued_serializes(self):
+        env, sys_ = self._two_overlapping_deliveries(ContentionPolicy.QUEUED)
+        env.run()
+        deliveries = sorted(
+            rec.data.arrived_at for rec in sys_.tracer.records("deliver")
+        )
+        # first arrives on time at 2; second is pushed back to 3
+        assert deliveries == [2, 3]
+
+    def test_same_instant_handoff_legal(self):
+        """A delivery starting exactly when the previous receive ends is
+        legal in strict mode (half-open intervals)."""
+        env = Environment()
+        sys_ = PostalSystem(env, 3, 1, policy=ContentionPolicy.STRICT)
+
+        def p0():
+            yield sys_.send(0, 2, 0)  # p2 busy [0,1)
+            yield sys_.send(0, 2, 1)  # p2 busy [1,2): abuts, fine
+
+        env.process(p0())
+        env.run()
+        assert len(sys_.tracer.records("deliver")) == 2
+
+
+class TestValidator:
+    def test_schedule_reconstruction(self):
+        env, sys_ = make(n=2)
+
+        def prog():
+            yield sys_.send(0, 1, 0)
+
+        env.process(prog())
+        env.run()
+        sched = validate_run(sys_, m=1)
+        assert sched.completion_time() == Fraction(5, 2)
+
+    def test_reconstruction_requires_strict(self):
+        env = Environment()
+        sys_ = PostalSystem(env, 2, 2, policy=ContentionPolicy.QUEUED)
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            schedule_from_trace(sys_, m=1)
+
+    def test_incomplete_broadcast_flagged(self):
+        env, sys_ = make(n=3)
+
+        def prog():
+            yield sys_.send(0, 1, 0)  # p2 never informed
+
+        env.process(prog())
+        env.run()
+        with pytest.raises(ScheduleError):
+            validate_run(sys_, m=1)
+
+    def test_port_audit_lengths(self):
+        env, sys_ = make(n=2)
+
+        def prog():
+            yield sys_.send(0, 1, 0)
+
+        env.process(prog())
+        env.run()
+        audit_ports(sys_)
+        send_log = sys_.send_port(0).busy_intervals
+        recv_log = sys_.recv_port(1).busy_intervals
+        assert send_log == [(0, 1)]
+        assert recv_log == [(Fraction(3, 2), Fraction(5, 2))]
+
+
+class TestAPI:
+    def test_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            PostalSystem(Environment(), 0, 2)
+
+    def test_bad_lambda(self):
+        with pytest.raises(InvalidParameterError):
+            PostalSystem(Environment(), 2, Fraction(1, 2))
+
+    def test_self_send_rejected(self):
+        env, sys_ = make()
+        with pytest.raises(InvalidParameterError):
+            sys_.send(1, 1, 0)
+
+    def test_out_of_range(self):
+        env, sys_ = make(n=2)
+        with pytest.raises(InvalidParameterError):
+            sys_.send(0, 5, 0)
+        with pytest.raises(InvalidParameterError):
+            sys_.recv(9)
+
+    def test_inbox_size(self):
+        env, sys_ = make(n=2)
+
+        def prog():
+            yield sys_.send(0, 1, 0)
+
+        env.process(prog())
+        env.run()
+        assert sys_.inbox_size(1) == 1

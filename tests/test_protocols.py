@@ -1,0 +1,132 @@
+"""Tests for the event-driven protocol implementations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    BcastProtocol,
+    BinomialProtocol,
+    DTreeProtocol,
+    PackProtocol,
+    PipelineProtocol,
+    RepeatProtocol,
+    StarProtocol,
+)
+from repro.core.analysis import pack_time, pipeline_time, repeat_time
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError
+from repro.postal import run_protocol
+
+from tests.grids import LAMBDAS
+
+NS = [1, 2, 5, 14]
+MS = [1, 2, 4]
+
+
+class TestBcastProtocol:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    @pytest.mark.parametrize("n", NS + [40])
+    def test_completion_is_optimal(self, lam, n):
+        res = run_protocol(BcastProtocol(n, lam))
+        assert res.completion_time == postal_f(lam, n)
+
+    def test_send_count(self):
+        res = run_protocol(BcastProtocol(14, Fraction(5, 2)))
+        assert res.sends == 13
+
+    def test_figure1_run(self):
+        res = run_protocol(BcastProtocol(14, Fraction(5, 2)))
+        assert res.completion_time == Fraction(15, 2)
+        # p9 is informed at 5/2 (paper Figure 1)
+        assert res.schedule.arrival_of(9) == Fraction(5, 2)
+
+
+@pytest.mark.parametrize("lam", LAMBDAS[:5], ids=str)
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.parametrize("m", MS)
+class TestMultiProtocols:
+    def test_repeat(self, lam, n, m):
+        res = run_protocol(RepeatProtocol(n, m, lam))
+        assert res.completion_time == repeat_time(n, m, lam)
+
+    def test_pack(self, lam, n, m):
+        res = run_protocol(PackProtocol(n, m, lam))
+        assert res.completion_time == pack_time(n, m, lam)
+
+    def test_pipeline(self, lam, n, m):
+        res = run_protocol(PipelineProtocol(n, m, lam))
+        assert res.completion_time == pipeline_time(n, m, lam)
+
+
+class TestGreedyRepeat:
+    @pytest.mark.parametrize("lam", LAMBDAS[:5], ids=str)
+    def test_greedy_never_slower(self, lam):
+        for n in (2, 5, 14):
+            for m in (2, 4):
+                greedy = run_protocol(RepeatProtocol(n, m, lam, greedy=True))
+                assert greedy.completion_time <= repeat_time(n, m, lam)
+
+    def test_greedy_strictly_faster_somewhere(self):
+        """The sharpening is real: at (n=5, lam=5/2) the root's last send
+        ends before f - lambda, so greedy beats Lemma 10."""
+        n, m, lam = 5, 2, Fraction(5, 2)
+        greedy = run_protocol(RepeatProtocol(n, m, lam, greedy=True))
+        assert greedy.completion_time < repeat_time(n, m, lam)
+
+
+class TestDTreeProtocol:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_matches_builder(self, d):
+        from repro.core.dtree import dtree_schedule
+
+        n, m, lam = 14, 3, Fraction(5, 2)
+        res = run_protocol(DTreeProtocol(n, m, lam, d))
+        assert res.schedule == dtree_schedule(n, m, lam, d)
+
+    def test_shape_presets(self):
+        from repro.core.dtree import DTreeShape
+
+        res = run_protocol(DTreeProtocol(10, 2, 2, DTreeShape.BINARY))
+        assert res.schedule is not None
+
+
+class TestBaselines:
+    def test_star_time(self):
+        res = run_protocol(StarProtocol(10, 2, Fraction(5, 2)))
+        # root sends 2*(10-1) messages back to back; last arrives at
+        # 18 - 1 + 5/2
+        assert res.completion_time == 17 + Fraction(5, 2)
+
+    def test_binomial_optimal_at_lambda1(self):
+        res = run_protocol(BinomialProtocol(16, 1))
+        assert res.completion_time == postal_f(1, 16)
+
+    def test_binomial_loses_at_higher_lambda(self):
+        lam = Fraction(5, 2)
+        res = run_protocol(BinomialProtocol(14, lam))
+        assert res.completion_time > postal_f(lam, 14)
+
+    def test_binomial_matches_builder(self):
+        from repro.algorithms.baselines import binomial_schedule
+
+        lam = Fraction(5, 2)
+        res = run_protocol(BinomialProtocol(14, lam))
+        assert res.schedule == binomial_schedule(14, lam)
+
+
+class TestProtocolAPI:
+    def test_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            BcastProtocol(0, 2)
+        with pytest.raises(InvalidParameterError):
+            RepeatProtocol(2, 0, 2)
+        with pytest.raises(InvalidParameterError):
+            PipelineProtocol(2, 1, Fraction(1, 2))
+
+    def test_repr(self):
+        assert "n=5" in repr(BcastProtocol(5, 2))
+
+    def test_variant_names(self):
+        assert PipelineProtocol(5, 2, 4).variant == "PIPELINE-1"
+        assert PipelineProtocol(5, 7, 4).variant == "PIPELINE-2"

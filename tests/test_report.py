@@ -1,0 +1,67 @@
+"""Tests for tree/Gantt rendering and table formatting."""
+
+from fractions import Fraction
+
+from repro.core.bcast import bcast_schedule, bcast_tree
+from repro.report.render import render_gantt, render_tree
+from repro.report.tables import format_cell, format_table, markdown_table
+
+
+class TestRenderTree:
+    def test_figure1_contents(self):
+        text = render_tree(bcast_tree(14, Fraction(5, 2)))
+        assert "p0 @ 0" in text
+        assert "p9 @ 2.5" in text
+        assert "p13 @ 7.5" in text  # last informed, height 7.5
+        assert text.count("p") >= 14
+
+    def test_single_node(self):
+        assert render_tree(bcast_tree(1, 2)) == "p0 @ 0"
+
+    def test_every_processor_listed_once(self):
+        text = render_tree(bcast_tree(9, 2))
+        for p in range(9):
+            assert text.count(f"p{p} @") == 1
+
+
+class TestRenderGantt:
+    def test_marks_present(self):
+        text = render_gantt(bcast_schedule(5, 2))
+        assert "S" in text and "R" in text
+        assert text.count("\n") == 5  # header + 5 processors
+
+    def test_empty(self):
+        assert "empty" in render_gantt(bcast_schedule(1, 2))
+
+    def test_fractional_boundaries(self):
+        text = render_gantt(bcast_schedule(5, Fraction(5, 2)))
+        assert "p4" in text
+
+    def test_full_duplex_star(self):
+        # simultaneous send+receive renders as '*' when windows collide
+        from repro.core.multi import pipeline_schedule
+
+        text = render_gantt(pipeline_schedule(4, 4, 2))
+        assert "S" in text and "R" in text
+
+
+class TestTables:
+    def test_cells(self):
+        assert format_cell(Fraction(15, 2)) == "7.5"
+        assert format_cell(0.123456) == "0.1235"
+        assert format_cell("x") == "x"
+        assert format_cell(3) == "3"
+
+    def test_fixed_width_alignment(self):
+        text = format_table(
+            ["n", "time"], [[2, Fraction(5, 2)], [100, Fraction(15, 2)]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_markdown(self):
+        text = markdown_table(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert "---" in text.splitlines()[1]
+        assert "| 1 | 2 |" in text

@@ -1,0 +1,203 @@
+"""Tests for the Schedule IR and its postal-model validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.schedule import Schedule, SendEvent, check_intervals_disjoint
+from repro.errors import (
+    InvalidParameterError,
+    ScheduleError,
+    SimultaneousIOError,
+)
+from repro.types import Time
+
+
+def ev(t, src, dst, msg=0):
+    return SendEvent(Time(t), src, msg, dst)
+
+
+class TestSendEvent:
+    def test_arrival(self):
+        e = ev(3, 0, 1)
+        assert e.arrival_time(Fraction(5, 2)) == Fraction(11, 2)
+
+    def test_ordering_chronological(self):
+        events = [ev(5, 0, 1), ev(0, 0, 2), ev(2, 1, 3)]
+        assert [e.send_time for e in sorted(events)] == [0, 2, 5]
+
+    def test_str(self):
+        assert "p0 --M1--> p1" in str(ev(0, 0, 1))
+
+
+class TestIntervals:
+    def test_disjoint(self):
+        assert check_intervals_disjoint([(0, 1), (1, 2), (5, 6)]) is None
+
+    def test_touching_ok(self):
+        assert check_intervals_disjoint([(0, 1), (1, 2)]) is None
+
+    def test_overlap_detected(self):
+        clash = check_intervals_disjoint([(0, 2), (1, 3)])
+        assert clash == (0, 2, 1, 3)
+
+    def test_unsorted_input(self):
+        assert check_intervals_disjoint([(5, 6), (0, 1)]) is None
+        assert check_intervals_disjoint([(5, 7), (0, 6)]) is not None
+
+
+class TestValidSchedules:
+    def test_trivial(self):
+        s = Schedule(1, 2, [])
+        assert s.completion_time() == 0
+        assert len(s) == 0
+
+    def test_two_processors(self):
+        s = Schedule(2, Fraction(5, 2), [ev(0, 0, 1)])
+        assert s.completion_time() == Fraction(5, 2)
+        assert s.arrival_of(1) == Fraction(5, 2)
+        assert s.arrival_of(0) == 0  # root holds from the start
+
+    def test_relay(self):
+        # 0 -> 1 at t=0 (arrives 2); 1 -> 2 at t=2 (arrives 4)
+        s = Schedule(3, 2, [ev(0, 0, 1), ev(2, 1, 2)])
+        assert s.completion_time() == 4
+
+    def test_full_duplex_legal(self):
+        # p1 receives during [1,2) and sends during [2,3): fine; even a
+        # send overlapping its own receive window is legal simultaneous I/O
+        s = Schedule(
+            3, 2, [ev(0, 0, 1), ev(1, 0, 2)]
+        )  # p0 sends twice back-to-back
+        assert s.completion_time() == 3
+
+    def test_informed_count(self):
+        s = Schedule(3, 2, [ev(0, 0, 1), ev(2, 1, 2)])
+        a = s.informed_count()
+        assert a(0) == 1
+        assert a(Fraction(3, 2)) == 1
+        assert a(2) == 2
+        assert a(4) == 3
+        assert a(1000) == 3  # saturates
+
+    def test_sends_receives_queries(self):
+        s = Schedule(3, 2, [ev(0, 0, 1), ev(2, 1, 2)])
+        assert len(s.sends_by(0)) == 1
+        assert len(s.sends_by(1)) == 1
+        assert s.receives_by(2)[0].sender == 1
+
+    def test_shift(self):
+        s = Schedule(2, 2, [ev(0, 0, 1)]).shifted(3)
+        assert s.events[0].send_time == 3
+        assert s.completion_time() == 5
+
+    def test_negative_shift_guard(self):
+        with pytest.raises(InvalidParameterError):
+            Schedule(2, 2, [ev(0, 0, 1)]).shifted(-1)
+
+    def test_merge(self):
+        a = Schedule(2, 2, [ev(0, 0, 1, msg=0)], m=1, validate=False)
+        b = Schedule(2, 2, [ev(1, 0, 1, msg=1)], m=2, validate=False)
+        merged = Schedule.merged([a, b])
+        assert merged.m == 2
+        assert merged.completion_time() == 3  # M2 sent at 1 arrives at 3
+
+    def test_merge_mismatch(self):
+        a = Schedule(2, 2, [ev(0, 0, 1)])
+        b = Schedule(3, 2, [ev(0, 0, 1), ev(2, 1, 2)])
+        with pytest.raises(InvalidParameterError):
+            Schedule.merged([a, b])
+
+    def test_equality(self):
+        a = Schedule(2, 2, [ev(0, 0, 1)])
+        b = Schedule(2, 2, [ev(0, 0, 1)])
+        assert a == b and not (a != b)
+
+
+class TestInvalidSchedules:
+    def test_lambda_range(self):
+        with pytest.raises(InvalidParameterError):
+            Schedule(2, Fraction(1, 2), [ev(0, 0, 1)])
+
+    def test_uninformed_sender(self):
+        # p1 sends before it ever receives
+        with pytest.raises(ScheduleError):
+            Schedule(3, 2, [ev(0, 0, 1), ev(1, 1, 2)])
+
+    def test_sender_too_early(self):
+        # p1 receives at 2 but forwards at 3/2
+        with pytest.raises(ScheduleError):
+            Schedule(3, 2, [ev(0, 0, 1), ev(Fraction(3, 2), 1, 2)])
+
+    def test_duplicate_delivery(self):
+        with pytest.raises(ScheduleError):
+            Schedule(3, 2, [ev(0, 0, 1), ev(1, 0, 1)])
+
+    def test_incomplete_broadcast(self):
+        with pytest.raises(ScheduleError):
+            Schedule(3, 2, [ev(0, 0, 1)])
+
+    def test_self_send(self):
+        with pytest.raises(ScheduleError):
+            Schedule(2, 2, [ev(0, 0, 0), ev(1, 0, 1)])
+
+    def test_processor_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            Schedule(2, 2, [ev(0, 0, 5)])
+
+    def test_msg_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            Schedule(2, 2, [ev(0, 0, 1, msg=3)], m=1)
+
+    def test_negative_send_time(self):
+        with pytest.raises(ScheduleError):
+            Schedule(2, 2, [ev(-1, 0, 1)])
+
+    def test_send_port_conflict(self):
+        # two sends by p0 overlapping: [0,1) and [1/2,3/2)
+        with pytest.raises(SimultaneousIOError):
+            Schedule(
+                3, 2, [ev(0, 0, 1), ev(Fraction(1, 2), 0, 2)]
+            )
+
+    def test_recv_port_conflict(self):
+        # lambda=1, m=2: p2 receives M1 from p1 (busy [1,2)) and M2 from
+        # p0 (busy [1,2)) simultaneously -- only the receive ports clash;
+        # everything else about this schedule is legal.
+        events = [
+            ev(0, 0, 1, msg=0),  # p1 gets M1 at 1
+            ev(1, 1, 2, msg=0),  # p2 gets M1 at 2, busy [1,2)
+            ev(1, 0, 2, msg=1),  # p2 gets M2 at 2, busy [1,2)  -> clash
+            ev(2, 0, 1, msg=1),  # p1 gets M2 at 3
+        ]
+        with pytest.raises(SimultaneousIOError):
+            Schedule(3, 1, events, m=2)
+
+    def test_recv_port_partial_overlap(self):
+        # fractional overlap: windows [1,2) and [3/2,5/2) at p2
+        events = [
+            ev(0, 0, 1, msg=0),  # p1 gets M1 at 1
+            ev(1, 1, 2, msg=0),  # p2: busy [1,2)
+            ev(Fraction(3, 2), 0, 2, msg=1),  # p2: busy [3/2,5/2) -> clash
+            ev(Fraction(5, 2), 0, 1, msg=1),
+        ]
+        with pytest.raises(SimultaneousIOError):
+            Schedule(3, 1, events, m=2)
+
+    def test_two_receives_same_instant(self):
+        # p1 and p2 both informed, both send M1 copies to p3 arriving
+        # at the same time -> duplicate delivery error (caught before
+        # port check)
+        events = [
+            ev(0, 0, 1),
+            ev(1, 0, 2),
+            ev(2, 1, 3),
+            ev(3, 2, 3),
+        ]
+        with pytest.raises(ScheduleError):
+            Schedule(4, 2, events)
+
+    def test_arrival_of_missing(self):
+        s = Schedule(2, 2, [ev(0, 0, 1)])
+        with pytest.raises(ScheduleError):
+            s.arrival_of(1, msg=5)

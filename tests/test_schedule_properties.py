@@ -1,0 +1,115 @@
+"""Property-based tests over randomly parameterized schedules.
+
+Rather than generating raw event lists (almost all of which are invalid),
+we generate random *parameters* and assert the paper's invariants hold for
+every builder's output — and that random mutations of valid schedules are
+caught by the validator.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bcast import bcast_schedule
+from repro.core.dtree import dtree_schedule
+from repro.core.fibfunc import postal_F
+from repro.core.multi import pack_schedule, pipeline_schedule, repeat_schedule
+from repro.core.orderpres import is_order_preserving
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import ModelError, ScheduleError
+
+from tests.grids import rationals
+
+lams = rationals(1, 6, max_denominator=4)
+ns = st.integers(min_value=1, max_value=40)
+ms = st.integers(min_value=1, max_value=6)
+builders = st.sampled_from(
+    [
+        lambda n, m, lam: repeat_schedule(n, m, lam, validate=False),
+        lambda n, m, lam: pack_schedule(n, m, lam, validate=False),
+        lambda n, m, lam: pipeline_schedule(n, m, lam, validate=False),
+        lambda n, m, lam: dtree_schedule(n, m, lam, 2, validate=False),
+        lambda n, m, lam: dtree_schedule(n, m, lam, 1, validate=False),
+    ]
+)
+
+
+@given(lam=lams, n=ns, m=ms, build=builders)
+@settings(max_examples=120, deadline=None)
+def test_every_builder_output_validates(lam, n, m, build):
+    sched = build(n, m, lam)
+    sched.validate()  # full Definitions 1-2 conformance
+
+
+@given(lam=lams, n=ns, m=ms, build=builders)
+@settings(max_examples=120, deadline=None)
+def test_every_builder_is_order_preserving(lam, n, m, build):
+    assert is_order_preserving(build(n, m, lam))
+
+
+@given(lam=lams, n=ns, m=ms, build=builders)
+@settings(max_examples=80, deadline=None)
+def test_send_count_invariant(lam, n, m, build):
+    # every (processor, message) pair is delivered exactly once
+    assert len(build(n, m, lam)) == (n - 1) * m
+
+
+@given(lam=lams, n=ns)
+@settings(max_examples=80, deadline=None)
+def test_informed_count_dominated_by_F(lam, n):
+    """Lemma 5's invariant as a property: no valid broadcast informs more
+    processors than F_lambda(t) at any time."""
+    sched = bcast_schedule(n, lam, validate=False)
+    counts = sched.informed_count()
+    horizon = sched.completion_time()
+    k = Fraction(0)
+    while k <= horizon:
+        assert counts.value_at(k) <= postal_F(lam, k)
+        k += Fraction(1, 2)
+
+
+@given(lam=lams, n=st.integers(min_value=2, max_value=25), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_mutated_schedules_rejected(lam, n, data):
+    """Corrupting one event of a valid BCAST schedule — moving a send
+    earlier than the sender can hold the message — is always caught."""
+    base = bcast_schedule(n, lam, validate=False)
+    events = list(base.events)
+    idx = data.draw(st.integers(min_value=0, max_value=len(events) - 1))
+    victim = events[idx]
+    if victim.sender == 0:
+        # root holds the message from t=0; corrupt a non-root sender if
+        # one exists, else shift the root send negative
+        non_root = [i for i, e in enumerate(events) if e.sender != 0]
+        if not non_root:
+            return
+        idx = non_root[0]
+        victim = events[idx]
+    # move the send one quarter-unit before the sender was informed
+    informed = base.arrivals()[(victim.sender, victim.msg)]
+    events[idx] = SendEvent(
+        informed - Fraction(1, 4), victim.sender, victim.msg, victim.receiver
+    )
+    with pytest.raises(ModelError):
+        Schedule(n, lam, events, m=1)
+
+
+@given(lam=lams, n=st.integers(min_value=2, max_value=25))
+@settings(max_examples=60, deadline=None)
+def test_dropping_an_event_rejected(lam, n):
+    base = bcast_schedule(n, lam, validate=False)
+    events = list(base.events)[:-1]
+    with pytest.raises(ScheduleError):
+        Schedule(n, lam, events, m=1)
+
+
+@given(lam=lams, n=ns, m=ms)
+@settings(max_examples=60, deadline=None)
+def test_completion_monotone_in_m(lam, n, m):
+    """More messages never finish sooner (per family)."""
+    for build in (repeat_schedule, pack_schedule, pipeline_schedule):
+        t1 = build(n, m, lam, validate=False).completion_time()
+        t2 = build(n, m + 1, lam, validate=False).completion_time()
+        assert t2 >= t1, build.__name__

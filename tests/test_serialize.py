@@ -1,0 +1,111 @@
+"""Tests for JSON serialization of schedules and trees."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bcast import bcast_schedule, bcast_tree
+from repro.core.multi import pipeline_schedule
+from repro.core.schedule import Schedule, SendEvent
+from repro.core.serialize import (
+    dumps_schedule,
+    loads_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+    tree_to_dict,
+)
+from repro.errors import ScheduleError
+from repro.types import Time
+
+from tests.grids import LAMBDAS
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_bcast_roundtrip_exact(self, lam):
+        original = bcast_schedule(20, lam)
+        restored = loads_schedule(dumps_schedule(original))
+        assert restored == original
+        assert restored.completion_time() == original.completion_time()
+
+    def test_multimessage_roundtrip(self):
+        original = pipeline_schedule(9, 4, Fraction(7, 3))
+        restored = loads_schedule(dumps_schedule(original))
+        assert restored == original
+        assert restored.m == 4
+
+    def test_fraction_times_survive(self):
+        original = bcast_schedule(14, "5/2")
+        data = schedule_to_dict(original)
+        assert data["lambda"] == "2.5"
+        restored = schedule_from_dict(data)
+        assert restored.lam == Fraction(5, 2)
+        assert restored.completion_time() == Fraction(15, 2)
+
+    def test_json_is_plain(self):
+        text = dumps_schedule(bcast_schedule(5, 2))
+        parsed = json.loads(text)
+        assert parsed["format"] == "repro.schedule.v1"
+        assert isinstance(parsed["events"], list)
+
+
+class TestValidationOnLoad:
+    def test_tampered_schedule_rejected(self):
+        data = schedule_to_dict(bcast_schedule(5, 2))
+        # move a non-root send before its sender is informed
+        for i, (t, src, msg, dst) in enumerate(data["events"]):
+            if src != 0:
+                data["events"][i] = ["0", src, msg, dst]
+                break
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(data)
+
+    def test_tampered_accepted_unvalidated(self):
+        data = schedule_to_dict(bcast_schedule(5, 2))
+        for i, (t, src, msg, dst) in enumerate(data["events"]):
+            if src != 0:
+                data["events"][i] = ["0", src, msg, dst]
+                break
+        sched = schedule_from_dict(data, validate=False)
+        assert isinstance(sched, Schedule)
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_dict({"format": "something.else"})
+
+    def test_not_a_dict(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_malformed_events(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(
+                {
+                    "format": "repro.schedule.v1",
+                    "n": 2,
+                    "m": 1,
+                    "lambda": "2",
+                    "events": [["zero", 0, 0]],  # wrong arity + bad time
+                }
+            )
+
+    def test_invalid_json(self):
+        with pytest.raises(ScheduleError):
+            loads_schedule("{not json")
+
+
+class TestTreeExport:
+    def test_tree_dict_shape(self):
+        tree = bcast_tree(14, Fraction(5, 2))
+        data = tree_to_dict(tree)
+        assert data["format"] == "repro.tree.v1"
+        assert data["root"] == 0
+        assert len(data["nodes"]) == 14
+        assert data["nodes"]["9"]["informed_at"] == "2.5"
+        assert data["nodes"]["9"]["parent"] == 0
+        assert data["nodes"]["0"]["children"][0] == 9
+
+    def test_tree_dict_json_serializable(self):
+        text = json.dumps(tree_to_dict(bcast_tree(8, 2)))
+        assert json.loads(text)["root"] == 0

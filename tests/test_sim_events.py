@@ -1,0 +1,119 @@
+"""Tests for composite condition events (all_of / any_of)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.events import Condition, all_of, any_of
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = Environment()
+        t1, t2, t3 = env.timeout(1), env.timeout(3), env.timeout(2)
+        done = []
+
+        def proc():
+            result = yield all_of(env, [t1, t2, t3])
+            done.append((env.now, len(result)))
+
+        env.process(proc())
+        env.run()
+        assert done == [(3, 3)]
+
+    def test_values_collected(self):
+        env = Environment()
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(2, value="b")
+        got = []
+
+        def proc():
+            result = yield all_of(env, [t1, t2])
+            got.append((result[t1], result[t2]))
+
+        env.process(proc())
+        env.run()
+        assert got == [("a", "b")]
+
+    def test_empty_fires_immediately(self):
+        env = Environment()
+        cond = all_of(env, [])
+        assert cond.triggered
+
+    def test_failure_fails_condition(self):
+        env = Environment()
+        ev = env.event()
+        t = env.timeout(5)
+        caught = []
+
+        def proc():
+            try:
+                yield all_of(env, [ev, t])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def failer():
+            yield env.timeout(1)
+            ev.fail(RuntimeError("part failed"))
+
+        env.process(proc())
+        env.process(failer())
+        env.run()
+        assert caught == ["part failed"]
+
+
+class TestAnyOf:
+    def test_fires_on_first(self):
+        env = Environment()
+        slow = env.timeout(10, value="slow")
+        fast = env.timeout(2, value="fast")
+        got = []
+
+        def proc():
+            result = yield any_of(env, [slow, fast])
+            got.append((env.now, list(result.values())))
+
+        env.process(proc())
+        env.run()
+        assert got == [(2, ["fast"])]
+
+    def test_already_fired_member(self):
+        env = Environment()
+        done = env.timeout(0)
+
+        def proc():
+            yield env.timeout(5)
+            result = yield any_of(env, [done, env.timeout(100)])
+            assert done in result
+
+        env.process(proc())
+        env.run(until=6)
+
+    def test_empty_any_fires(self):
+        env = Environment()
+        assert any_of(env, []).triggered
+
+
+class TestCondition:
+    def test_count_k_of_n(self):
+        env = Environment()
+        evs = [env.timeout(i) for i in (1, 2, 3, 4)]
+        got = []
+
+        def proc():
+            yield Condition(env, evs, 2)
+            got.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert got == [2]
+
+    def test_bad_count(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Condition(env, [env.timeout(1)], 5)
+
+    def test_cross_environment_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            all_of(env1, [env2.timeout(1)])

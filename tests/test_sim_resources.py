@@ -1,0 +1,165 @@
+"""Tests for Resource and Store (repro.sim.resources)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_immediate_grant_under_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.count == 2
+
+    def test_queueing_and_fifo_grant(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            req = res.request()
+            yield req
+            order.append((tag, env.now))
+            yield env.timeout(hold)
+            res.release(req)
+
+        env.process(user("a", 2))
+        env.process(user("b", 1))
+        env.process(user("c", 1))
+        env.run()
+        assert order == [("a", 0), ("b", 2), ("c", 3)]
+
+    def test_queued_count(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.count == 1
+        assert res.queued == 2
+
+    def test_release_unheld_rejected(self):
+        env = Environment()
+        res = Resource(env)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_queued_request(self):
+        env = Environment()
+        res = Resource(env)
+        held = res.request()
+        waiting = res.request()
+        waiting.cancel()
+        res.release(held)
+        assert res.queued == 0
+        assert not waiting.triggered  # never granted
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("x")
+        got = []
+
+        def getter():
+            got.append((yield store.get()))
+
+        env.process(getter())
+        env.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def putter():
+            yield env.timeout(3)
+            yield store.put("late")
+
+        env.process(getter())
+        env.process(putter())
+        env.run()
+        assert got == [("late", 3)]
+
+    def test_fifo_items(self):
+        env = Environment()
+        store = Store(env)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        got = []
+
+        def getter():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(getter())
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_fifo_getters(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        env.process(getter("first"))
+        env.process(getter("second"))
+
+        def putter():
+            yield env.timeout(1)
+            yield store.put(1)
+            yield store.put(2)
+
+        env.process(putter())
+        env.run()
+        assert got == [("first", 1), ("second", 2)]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        done = []
+
+        def putter():
+            yield store.put("a")
+            yield store.put("b")  # blocks until someone takes "a"
+            done.append(env.now)
+
+        def getter():
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(putter())
+        env.process(getter())
+        env.run()
+        assert done == [5]
+
+    def test_items_snapshot_and_len(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert store.items == (1, 2)
+        assert len(store) == 2
+
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Environment(), capacity=0)

@@ -1,0 +1,127 @@
+"""Tests for step-function calculus (Claims 1 and 2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.stepfunc import (
+    TabulatedStepFunction,
+    claim1_holds,
+    claim2_holds,
+)
+from repro.errors import InvalidParameterError
+
+
+def tf(pairs, **kw):
+    times, values = zip(*pairs)
+    return TabulatedStepFunction(times, values, **kw)
+
+
+class TestTabulated:
+    def test_basic_eval(self):
+        g = tf([(0, 1), (2, 3), (5, 7)])
+        assert g(0) == 1
+        assert g(Fraction(3, 2)) == 1
+        assert g(2) == 3  # right-continuous: value jumps AT the point
+        assert g(Fraction(9, 2)) == 3
+        assert g(5) == 7
+
+    def test_index_basic(self):
+        g = tf([(0, 1), (2, 3), (5, 7)])
+        assert g.index(1) == 0
+        assert g.index(2) == 2
+        assert g.index(3) == 2
+        assert g.index(4) == 5
+        assert g.index(7) == 5
+
+    def test_index_out_of_range(self):
+        g = tf([(0, 1), (2, 3)])
+        with pytest.raises(InvalidParameterError):
+            g.index(4)
+        with pytest.raises(InvalidParameterError):
+            g.index(0)
+
+    def test_eval_beyond_horizon(self):
+        g = tf([(0, 1), (2, 3)])
+        with pytest.raises(InvalidParameterError):
+            g.value_at(Fraction(10))
+
+    def test_final_extends(self):
+        g = tf([(0, 1), (2, 3)], final=True)
+        assert g(1000) == 3
+
+    def test_negative_time_rejected(self):
+        g = tf([(0, 1)], final=True)
+        with pytest.raises(InvalidParameterError):
+            g(-1)
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(InvalidParameterError):
+            tf([(1, 1)])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(InvalidParameterError):
+            tf([(0, 1), (0, 2)])
+
+    def test_values_nondecreasing(self):
+        with pytest.raises(InvalidParameterError):
+            tf([(0, 2), (1, 1)])
+
+    def test_values_positive(self):
+        with pytest.raises(InvalidParameterError):
+            tf([(0, 0)])
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            TabulatedStepFunction([0, 1], [1])
+
+    def test_horizon_accessor(self):
+        g = tf([(0, 1), (2, 3)], horizon=10)
+        assert g.horizon == 10
+        assert g(9) == 3
+
+    def test_horizon_before_last_jump_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tf([(0, 1), (5, 2)], horizon=3)
+
+    def test_jumps_iteration(self):
+        g = tf([(0, 1), (2, 3), (5, 7)])
+        assert list(g.jumps(5)) == [
+            (Fraction(0), 1),
+            (Fraction(2), 3),
+            (Fraction(5), 7),
+        ]
+
+    def test_equality(self):
+        assert tf([(0, 1), (2, 3)]) == tf([(0, 1), (2, 3)])
+        assert tf([(0, 1)]) != tf([(0, 2)])
+
+
+class TestClaims:
+    def test_claim1_on_floor_function(self):
+        # G(t) = floor(t) + 1 has index I(n) = n - 1
+        g = tf([(i, i + 1) for i in range(50)], final=True)
+        assert claim1_holds(
+            g,
+            times=[0, Fraction(1, 2), 3, Fraction(29, 2), 40],
+            ns=range(1, 40),
+        )
+
+    def test_claim1_detects_bad_index(self):
+        class Bad(TabulatedStepFunction):
+            def index(self, n):
+                return super().index(n) + 1  # violates part (2)/(4)
+
+        g = Bad([0, 2, 5], [1, 3, 7], final=True)
+        assert not claim1_holds(g, times=[0, 2, 5], ns=[1, 2, 3])
+
+    def test_claim2_dominance(self):
+        g = tf([(0, 1), (3, 2)], final=True)  # slower grower
+        h = tf([(0, 1), (1, 2), (2, 4)], final=True)  # faster grower
+        assert claim2_holds(g, h, times=[0, 1, 2, 3, 10], ns=[1, 2])
+
+    def test_claim2_precondition_enforced(self):
+        g = tf([(0, 5)], final=True)
+        h = tf([(0, 1)], final=True)
+        with pytest.raises(InvalidParameterError):
+            claim2_holds(g, h, times=[0], ns=[1])

@@ -1,0 +1,70 @@
+"""Unit tests for the tracing substrate and the Message record."""
+
+from fractions import Fraction
+
+from repro.postal.message import Message
+from repro.sim.trace import TraceRecord, Tracer
+from repro.types import Time
+
+
+class TestTracer:
+    def test_emit_and_records(self):
+        tracer = Tracer()
+        tracer.emit(Time(0), "send", {"src": 0})
+        tracer.emit(Time(2), "deliver", {"dst": 1})
+        assert len(tracer) == 2
+        assert [r.kind for r in tracer] == ["send", "deliver"]
+
+    def test_kind_filter(self):
+        tracer = Tracer()
+        for k in ("a", "b", "a"):
+            tracer.emit(Time(1), k)
+        assert len(tracer.records("a")) == 2
+        assert len(tracer.records("b")) == 1
+        assert len(tracer.records()) == 3
+
+    def test_subscription(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        rec = tracer.emit(Time(3), "send")
+        assert seen == [rec]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(Time(0), "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_record_ordering_by_time(self):
+        records = [
+            TraceRecord(Time(5), "late"),
+            TraceRecord(Time(1), "early"),
+        ]
+        assert sorted(records)[0].kind == "early"
+
+    def test_record_str(self):
+        rec = TraceRecord(Fraction(5, 2), "send", {"src": 0})
+        assert "[t=2.5] send" in str(rec)
+
+
+class TestMessage:
+    def test_fields_and_str(self):
+        msg = Message(0, 3, 7, Fraction(1), Fraction(7, 2), payload="hi")
+        assert "M1 p3->p7" in str(msg)
+        assert "sent t=1" in str(msg)
+        assert "arrived t=3.5" in str(msg)
+
+    def test_frozen(self):
+        msg = Message(0, 0, 1, Time(0), Time(2))
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.payload = "new"  # type: ignore[misc]
+
+    def test_equality(self):
+        a = Message(0, 0, 1, Time(0), Time(2), payload="x")
+        b = Message(0, 0, 1, Time(0), Time(2), payload="x")
+        assert a == b

@@ -1,0 +1,78 @@
+"""Tests for exact time arithmetic (repro.types)."""
+
+from decimal import Decimal
+from fractions import Fraction
+
+import pytest
+
+from repro.types import ONE, ZERO, as_time, is_integral, time_repr
+
+
+class TestAsTime:
+    def test_int(self):
+        assert as_time(3) == Fraction(3)
+
+    def test_float_exact(self):
+        # binary floats convert exactly
+        assert as_time(2.5) == Fraction(5, 2)
+        assert as_time(0.75) == Fraction(3, 4)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(7, 3)
+        assert as_time(f) is f
+
+    def test_string_decimal(self):
+        assert as_time("2.5") == Fraction(5, 2)
+
+    def test_string_ratio(self):
+        assert as_time("7/3") == Fraction(7, 3)
+
+    def test_decimal(self):
+        assert as_time(Decimal("1.25")) == Fraction(5, 4)
+
+    def test_negative_ok(self):
+        # as_time itself is sign-agnostic; model classes check ranges
+        assert as_time(-2) == Fraction(-2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_time(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            as_time(float("inf"))
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_time(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_time(object())
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(ValueError):
+            as_time("not-a-number")
+
+
+class TestHelpers:
+    def test_constants(self):
+        assert ZERO == 0 and ONE == 1
+
+    def test_is_integral(self):
+        assert is_integral(Fraction(4))
+        assert not is_integral(Fraction(5, 2))
+
+    def test_repr_integer(self):
+        assert time_repr(Fraction(7)) == "7"
+
+    def test_repr_decimal(self):
+        assert time_repr(Fraction(15, 2)) == "7.5"
+        assert time_repr(Fraction(1, 4)) == "0.25"
+
+    def test_repr_ratio(self):
+        assert time_repr(Fraction(7, 3)) == "7/3"
+
+    def test_repr_roundtrip(self):
+        for t in [Fraction(0), Fraction(5, 2), Fraction(22, 7), Fraction(9)]:
+            assert as_time(time_repr(t)) == t
