@@ -1,0 +1,83 @@
+"""OBS — observability-layer overhead and artifacts.
+
+Quantifies what the tentpole costs and produces: (1) live metrics
+collection must be a small tax on a full protocol simulation (it is one
+dict update per trace record); (2) Chrome-trace export is linear in the
+record count; (3) the critical-path walk over a builder schedule is
+linear in the send count.  The printed artifacts (``-s``) are the
+utilization table and critical path for the README example.
+"""
+
+from fractions import Fraction
+
+from repro.algorithms import PipelineProtocol
+from repro.core.multi import pipeline_schedule
+from repro.obs import chrome_trace, collect_metrics, critical_path
+from repro.postal import run_protocol
+from repro.report.tables import utilization_table
+
+from benchmarks._utils import emit
+
+
+LAM = Fraction(3)
+
+
+def test_metrics_collection_overhead(benchmark):
+    """Full 64-processor, 8-message PIPELINE simulation with the live
+    collector attached (the run_protocol default)."""
+    res = benchmark(run_protocol, PipelineProtocol(64, 8, LAM), collect=True)
+    assert res.metrics is not None
+    assert res.metrics.total_sends == res.sends == 504
+    emit(
+        "OBS utilization (PIPELINE n=64 m=8 lambda=3)",
+        utilization_table(res.metrics),
+    )
+
+
+def test_simulation_without_collection_baseline(benchmark):
+    """The same simulation with collection disabled — the baseline the
+    overhead is measured against."""
+    res = benchmark(run_protocol, PipelineProtocol(64, 8, LAM), collect=False)
+    assert res.metrics is None
+    assert res.sends == 504
+
+
+def test_posthoc_metrics_replay(benchmark):
+    """Folding a finished 504-send trace through a fresh collector."""
+    res = run_protocol(PipelineProtocol(64, 8, LAM), collect=False)
+    metrics = benchmark(collect_metrics, res.system)
+    assert metrics.total_deliveries == 504
+    assert metrics.makespan == res.completion_time
+
+
+def test_chrome_export_throughput(benchmark):
+    """Rendering the trace-event dict for a ~1500-record run."""
+    res = run_protocol(PipelineProtocol(64, 8, LAM), collect=False)
+    doc = benchmark(chrome_trace, res.system)
+    sends = [
+        e for e in doc["traceEvents"] if e.get("cat") == "send" and e["ph"] == "X"
+    ]
+    assert len(sends) == 504
+
+
+def test_critical_path_walk(benchmark):
+    """Zero-slack walk over a large builder schedule (no simulation)."""
+    sched = pipeline_schedule(512, 16, LAM, validate=False)
+    path = benchmark(critical_path, sched)
+    assert path.length == sched.completion_time()
+    assert path.tight
+    emit(
+        "OBS critical path length (PIPELINE n=512 m=16 lambda=3)",
+        f"{len(path.events)} sends, length {path.length}",
+    )
+
+
+def test_engine_profiler_overhead(benchmark):
+    """The instrumented env.step vs the plain one (per-step tax)."""
+    res = benchmark(
+        run_protocol, PipelineProtocol(32, 4, LAM), collect=False, profile=True
+    )
+    assert res.profile is not None
+    assert res.profile.events_processed > 0
+    assert res.profile.heap_peak >= 1
+    emit("OBS engine profile (PIPELINE n=32 m=4 lambda=3)", str(res.profile))

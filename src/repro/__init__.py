@@ -57,7 +57,20 @@ from repro.algorithms import (
     StarProtocol,
 )
 from repro.mpi import SimComm
-from repro.report import render_gantt, render_tree
+from repro.obs import (
+    CriticalPath,
+    EngineProfile,
+    EngineProfiler,
+    MetricsCollector,
+    RunMetrics,
+    chrome_trace,
+    collect_metrics,
+    critical_path,
+    event_slacks,
+    schedule_to_chrome,
+    write_chrome_trace,
+)
+from repro.report import render_gantt, render_tree, utilization_table
 
 __version__ = "1.0.0"
 
@@ -106,5 +119,17 @@ __all__ = [
     "SimComm",
     "render_tree",
     "render_gantt",
+    "utilization_table",
+    "MetricsCollector",
+    "RunMetrics",
+    "collect_metrics",
+    "CriticalPath",
+    "critical_path",
+    "event_slacks",
+    "chrome_trace",
+    "schedule_to_chrome",
+    "write_chrome_trace",
+    "EngineProfile",
+    "EngineProfiler",
     "__version__",
 ]

@@ -17,6 +17,9 @@ Commands:
 * ``phase``    — ASCII winner phase diagram over the (m, lambda) plane.
 * ``reliable`` — reliable broadcast over a lossy network (seeded,
   replayable).
+* ``trace``    — observability: run an algorithm and report per-port
+  utilization, the zero-slack critical path (checked against the closed
+  form), and export the trace as Chrome trace-event JSON / CSV / JSONL.
 
 All latency/time arguments accept ints, decimals, or ratios (``5/2``).
 """
@@ -223,6 +226,101 @@ def cmd_reliable(args: argparse.Namespace) -> int:
     return 0
 
 
+def _closed_form_time(algorithm: str, n: int, m: int, lam):
+    """Exact closed-form completion time for the named algorithm, or
+    ``None`` when only an upper bound is known (DTREE for d >= 2)."""
+    from repro.core.analysis import (
+        bcast_time,
+        dtree_upper,
+        pack_time,
+        pipeline_time,
+        repeat_time,
+    )
+
+    algorithm = algorithm.lower()
+    if algorithm == "bcast":
+        return bcast_time(n, lam)
+    if algorithm == "repeat":
+        return repeat_time(n, m, lam)
+    if algorithm == "pack":
+        return pack_time(n, m, lam)
+    if algorithm == "pipeline":
+        return pipeline_time(n, m, lam)
+    if algorithm == "dtree-1":
+        return dtree_upper(n, m, lam, 1)  # exact for the line
+    return None
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        critical_path,
+        dump_csv,
+        dump_jsonl,
+        format_critical_path,
+        write_chrome_trace,
+    )
+    from repro.postal import run_protocol
+    from repro.report.tables import utilization_table
+
+    lam = as_time(args.lam)
+    proto = _protocol_for(args.algorithm, args.n, args.m, lam)
+    result = run_protocol(proto, profile=args.profile)
+    metrics = result.metrics
+    assert metrics is not None
+    print(f"algorithm : {proto.name}")
+    print(f"machine   : MPS(n={args.n}, lambda={time_repr(lam)})")
+    print(f"messages  : {proto.m}")
+    print(f"completion: {time_repr(result.completion_time)}")
+    print(f"sends     : {result.sends}")
+
+    closed = _closed_form_time(args.algorithm, args.n, proto.m, lam)
+    if result.schedule is not None:
+        path = critical_path(result.schedule)
+        anchored = "tight to t=0" if path.tight else "has upstream slack"
+        print(
+            f"critical path: {len(path.events)} sends, "
+            f"length {time_repr(path.length)} ({anchored})"
+        )
+        if closed is not None:
+            verdict = "matches" if closed == path.length else "DIFFERS FROM"
+            print(
+                f"closed form  : {time_repr(closed)} — "
+                f"critical path {verdict} the exact formula"
+            )
+        if args.critical_path:
+            print()
+            print(format_critical_path(path, lam))
+
+    if args.summary:
+        print()
+        print("per-port utilization over the makespan "
+              f"({time_repr(metrics.makespan)}):")
+        print(utilization_table(metrics))
+        if metrics.latency_histogram:
+            hist = ", ".join(
+                f"{time_repr(latency)}x{count}"
+                for latency, count in metrics.latency_histogram
+            )
+            print(f"\nlatency histogram (latency x count): {hist}")
+
+    if args.profile and result.profile is not None:
+        print(f"\nengine    : {result.profile}")
+
+    if args.chrome:
+        write_chrome_trace(args.chrome, result.system)
+        print(f"\nChrome trace written to {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.csv:
+        with open(args.csv, "w", newline="") as fh:
+            rows = dump_csv(result.system.tracer, fh)
+        print(f"CSV dump written to {args.csv} ({rows} records)")
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            rows = dump_jsonl(result.system.tracer, fh)
+        print(f"JSONL dump written to {args.jsonl} ({rows} records)")
+    return 0
+
+
 def cmd_collectives(args: argparse.Namespace) -> int:
     from repro.collectives import (
         allgather_time,
@@ -320,6 +418,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--ratio", action="store_true", help="show winner/LB ratios")
     p.set_defaults(func=cmd_phase)
+
+    p = sub.add_parser(
+        "trace",
+        help="observability: utilization, critical path, Chrome trace export",
+    )
+    p.add_argument("-n", "--n", dest="n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.add_argument("-m", "--m", dest="m", type=int, default=1)
+    p.add_argument("--algorithm", default="bcast")
+    p.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (chrome://tracing / Perfetto)",
+    )
+    p.add_argument("--csv", metavar="PATH", help="write the trace as CSV")
+    p.add_argument(
+        "--jsonl", metavar="PATH", help="write the trace as JSON-lines"
+    )
+    p.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the per-port utilization table and latency histogram",
+    )
+    p.add_argument(
+        "--critical-path",
+        action="store_true",
+        dest="critical_path",
+        help="print the zero-slack critical path hop by hop",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="report engine-level profiling (events, heap peak, wall time)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "reliable", help="reliable broadcast over a lossy network"

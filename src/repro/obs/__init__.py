@@ -1,0 +1,58 @@
+"""``repro.obs`` — the observability layer.
+
+Everything here sits *on top of* the trace stream
+(:mod:`repro.sim.trace`); nothing in the simulator or the algorithms
+depends on it, so observability can be disabled without touching a hot
+path.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsCollector` /
+  :class:`RunMetrics`: exact per-processor busy time, port utilization,
+  inbox high-water marks, latency histograms, makespan.
+* :mod:`repro.obs.export` — Chrome trace-event (``chrome://tracing`` /
+  Perfetto) JSON, CSV, and JSON-lines exporters.
+* :mod:`repro.obs.critical` — zero-slack critical-path extraction and
+  per-event slack over any :class:`~repro.core.schedule.Schedule`.
+* :mod:`repro.obs.profile` — engine-level profiling (events processed,
+  heap peak, wall time per simulated unit).
+
+The trace schema, metric definitions (with their Lemma cross-
+references), and a Chrome-trace walkthrough live in
+``docs/observability.md``.  CLI entry point: ``python -m repro trace``.
+"""
+
+from repro.obs.critical import (
+    CriticalPath,
+    critical_path,
+    event_slacks,
+    format_critical_path,
+)
+from repro.obs.export import (
+    CSV_FIELDS,
+    chrome_trace,
+    dump_csv,
+    dump_jsonl,
+    record_fields,
+    schedule_to_chrome,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsCollector, RunMetrics, collect_metrics
+from repro.obs.profile import EngineProfile, EngineProfiler
+
+__all__ = [
+    "MetricsCollector",
+    "RunMetrics",
+    "collect_metrics",
+    "CriticalPath",
+    "critical_path",
+    "event_slacks",
+    "format_critical_path",
+    "chrome_trace",
+    "schedule_to_chrome",
+    "write_chrome_trace",
+    "dump_csv",
+    "dump_jsonl",
+    "record_fields",
+    "CSV_FIELDS",
+    "EngineProfile",
+    "EngineProfiler",
+]

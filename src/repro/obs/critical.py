@@ -1,0 +1,170 @@
+"""Critical-path extraction and slack analysis over a realized schedule.
+
+In the postal model, a send event ``e`` by processor ``p`` cannot start
+before either of its two *structural* predecessors finishes:
+
+* **data edge** — the delivery that put ``(p, e.msg)`` in ``p``'s hands
+  (arrival time; time 0 if ``p`` is the root);
+* **port edge** — ``p``'s previous send finishing (``send_time + 1``;
+  Definition 1's unit-rate send port).
+
+``slack(e) = e.send_time - max(data_ready, port_free)`` is therefore an
+exact, nonnegative Fraction for every valid schedule.  The **critical
+path** is the zero-slack chain walked backwards from the event achieving
+the completion time ``T_A`` — the sequence of sends along which the run
+cannot be compressed.  Its *length* is the completion time itself, so for
+BCAST/REPEAT/PACK/PIPELINE the reported length equals the paper's closed
+forms (Theorem 6, Lemmas 10/12/14/16) with Fraction equality — asserted
+across a parameter grid in the test suite.
+
+Whether the chain is *anchored* (``tight``: reaches ``t = 0`` with zero
+slack at every hop) is itself diagnostic:
+
+* BCAST and PIPELINE chains are always tight — every hop is either a
+  back-to-back port handoff or a forward-on-arrival data handoff.
+* PACK is tight only at ``m = 1``: a forwarder idles ``m - 1`` units
+  waiting for the whole pack before relaying message 1, which is exactly
+  the structural reason PIPELINE dominates PACK (Section 4.2).
+* REPEAT may break on ``F_lambda`` plateaus, where the root finishes an
+  iteration early and Lemma 10's fixed stride leaves a genuine gap — the
+  slack the greedy-REPEAT sharpening reclaims.
+
+The walk prefers the port edge when both edges are tight (yielding a
+chain that is contiguous in time at one processor before hopping), which
+makes the rendered path read like a Gantt critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule, SendEvent
+from repro.types import ONE, Time, ZERO, time_repr
+
+__all__ = ["CriticalPath", "event_slacks", "critical_path", "format_critical_path"]
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The extracted zero-slack chain.
+
+    Attributes:
+        events: the chain, chronological (empty for ``n == 1`` runs).
+        length: arrival time of the final event — by construction the
+            schedule's ``completion_time()``.
+        tight: the chain reaches ``t = 0`` with zero slack at every hop.
+        break_time: when not tight, the start time of the earliest chain
+            event (the instant before which slack appears); ``None``
+            when tight.
+    """
+
+    events: tuple[SendEvent, ...]
+    length: Time
+    tight: bool
+    break_time: Time | None = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _structure(
+    schedule: Schedule,
+) -> tuple[
+    dict[SendEvent, Time],
+    dict[SendEvent, SendEvent | None],
+    dict[SendEvent, SendEvent | None],
+]:
+    """Per-event slack plus the two predecessor maps (port, data)."""
+    arrivals = schedule.arrivals()
+    delivering: dict[tuple[int, int], SendEvent] = {
+        (ev.receiver, ev.msg): ev for ev in schedule.events
+    }
+    slack: dict[SendEvent, Time] = {}
+    pred_port: dict[SendEvent, SendEvent | None] = {}
+    pred_data: dict[SendEvent, SendEvent | None] = {}
+    last_send: dict[int, SendEvent] = {}
+    for ev in schedule.events:  # chronological
+        data_ready = arrivals[(ev.sender, ev.msg)]
+        prev = last_send.get(ev.sender)
+        port_free = prev.send_time + ONE if prev is not None else ZERO
+        slack[ev] = ev.send_time - max(data_ready, port_free)
+        pred_port[ev] = prev
+        pred_data[ev] = delivering.get((ev.sender, ev.msg))
+        last_send[ev.sender] = ev
+    return slack, pred_port, pred_data
+
+
+def event_slacks(schedule: Schedule) -> dict[SendEvent, Time]:
+    """Exact start slack of every send event (nonnegative for any valid
+    postal schedule)."""
+    slack, _, _ = _structure(schedule)
+    return slack
+
+
+def critical_path(schedule: Schedule) -> CriticalPath:
+    """Walk the zero-slack chain backwards from the completion event.
+
+    Deterministic: the terminal event is the lexicographically largest
+    among those achieving the completion time, and port edges are
+    preferred over data edges when both are tight.
+    """
+    if not schedule.events:
+        return CriticalPath(events=(), length=ZERO, tight=True)
+    lam = schedule.lam
+    slack, pred_port, pred_data = _structure(schedule)
+    terminal = max(
+        schedule.events, key=lambda ev: (ev.arrival_time(lam), ev)
+    )
+    chain = [terminal]
+    ev = terminal
+    tight = True
+    break_time: Time | None = None
+    while True:
+        t = ev.send_time
+        if slack[ev] > 0:
+            tight = False
+            break_time = t
+            break
+        if t == 0:
+            break
+        prev = pred_port[ev]
+        if prev is not None and prev.send_time + ONE == t:
+            ev = prev
+        else:
+            dep = pred_data[ev]
+            # slack == 0 and t > 0 and the port edge is loose, so the
+            # data edge must be tight: dep exists and arrives exactly at t
+            assert dep is not None and dep.arrival_time(lam) == t
+            ev = dep
+        chain.append(ev)
+    chain.reverse()
+    return CriticalPath(
+        events=tuple(chain),
+        length=terminal.arrival_time(lam),
+        tight=tight,
+        break_time=break_time,
+    )
+
+
+def format_critical_path(path: CriticalPath, lam: Time) -> str:
+    """Human-readable rendering, one hop per line."""
+    if not path.events:
+        return "(empty schedule: nothing to broadcast)"
+    lines = []
+    if path.tight:
+        lines.append(
+            f"critical path: {len(path.events)} sends, tight back to t=0, "
+            f"length {time_repr(path.length)}"
+        )
+    else:
+        lines.append(
+            f"critical path: {len(path.events)} sends, slack appears before "
+            f"t={time_repr(path.break_time)}, length {time_repr(path.length)}"
+        )
+    for ev in path.events:
+        lines.append(
+            f"  p{ev.sender} --M{ev.msg + 1}--> p{ev.receiver}  "
+            f"send t={time_repr(ev.send_time)}  "
+            f"arrive t={time_repr(ev.arrival_time(lam))}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,389 @@
+"""Trace exporters: Chrome trace-event JSON, CSV, and JSON-lines.
+
+The Chrome exporter targets the `Trace Event Format` consumed by
+``chrome://tracing`` and by Perfetto's legacy-JSON importer:
+
+* every **processor** becomes a process (``pid`` = processor id, named
+  ``p0 .. p{n-1}``) with two threads: ``tid 0`` = *send port*, ``tid 1``
+  = *recv port*;
+* every traced **send** becomes a one-unit complete (``"X"``) event on
+  the sender's send-port track, and every **delivery** a one-unit
+  ``"X"`` on the receiver's recv-port track covering the receive window
+  ``[arrived-1, arrived)``;
+* each message's network **flight** is a flow arrow (``"s"``/``"f"``)
+  from the send to the matching receive — in Perfetto, enable *flow
+  events* to see the broadcast tree as arrows;
+* inbox **queue depth** is a counter track (``"C"``) per processor,
+  stepped up on delivery and down on consumption;
+* **drops** (lossy extension) are instant events (``"i"``) on the
+  sender's track.
+
+Timestamps are in microseconds as the format requires; one simulated
+postal time unit maps to ``scale`` microseconds (default 1000, so one
+unit renders as 1 ms).  Simulation times are exact Fractions; scaled
+timestamps are emitted as floats, ordered exactly (events are sorted by
+exact time before conversion, so ``ts`` is monotone in file order).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, TYPE_CHECKING, Any, Iterable
+
+from repro.core.schedule import Schedule
+from repro.sim.trace import TraceRecord
+from repro.types import ONE, Time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.postal.machine import PostalSystem
+
+__all__ = [
+    "record_fields",
+    "chrome_trace",
+    "schedule_to_chrome",
+    "write_chrome_trace",
+    "dump_jsonl",
+    "dump_csv",
+    "CSV_FIELDS",
+]
+
+#: Column order of the CSV dump (the union of all per-kind payloads).
+CSV_FIELDS = (
+    "t",
+    "kind",
+    "src",
+    "dst",
+    "proc",
+    "msg",
+    "sent_at",
+    "arrived_at",
+    "waited",
+)
+
+
+def _timestr(value: Any) -> Any:
+    """Fractions to exact strings (``"5/2"``), everything else as-is."""
+    return str(value) if isinstance(value, Time) else value
+
+
+def record_fields(rec: TraceRecord) -> dict[str, Any]:
+    """Flatten one record to a JSON-safe dict (exact times as strings).
+
+    ``send``/``consume``/``drop`` carry dict payloads that pass through;
+    ``deliver`` carries a :class:`~repro.postal.message.Message` that is
+    exploded into ``msg``/``src``/``dst``/``sent_at``/``arrived_at``.
+    """
+    out: dict[str, Any] = {"t": _timestr(rec.time), "kind": rec.kind}
+    data = rec.data
+    if data is None:
+        return out
+    if isinstance(data, dict):
+        for key, value in data.items():
+            out[key] = _timestr(value)
+        return out
+    # Message-like payload (duck-typed: no import cycle with repro.postal)
+    for attr in ("msg", "src", "dst", "sent_at", "arrived_at"):
+        if hasattr(data, attr):
+            out[attr] = _timestr(getattr(data, attr))
+    return out
+
+
+# ------------------------------------------------------------------ chrome
+
+
+def _meta(pid: int, n_label: str) -> list[dict[str, Any]]:
+    return [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": n_label},
+        },
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_sort_index",
+            "args": {"sort_index": pid},
+        },
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "thread_name",
+            "args": {"name": "send port"},
+        },
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 1,
+            "name": "thread_name",
+            "args": {"name": "recv port"},
+        },
+    ]
+
+
+def chrome_trace(
+    system: "PostalSystem", *, scale: int = 1000
+) -> dict[str, Any]:
+    """Render a finished system's trace as a Chrome trace-event dict.
+
+    ``json.dump`` the result (or use :func:`write_chrome_trace`) and load
+    it in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: list[tuple[Time, int, dict[str, Any]]] = []  # (time, seq, event)
+    seq = 0
+
+    def push(time: Time, event: dict[str, Any]) -> None:
+        nonlocal seq
+        event["ts"] = float(time * scale)
+        events.append((time, seq, event))
+        seq += 1
+
+    flow_ids: dict[tuple[int, int, int, Time], int] = {}
+    depth: dict[int, int] = {}
+    pids: set[int] = set()
+    for rec in system.tracer:
+        kind = rec.kind
+        if kind == "send":
+            src, dst, msg = rec.data["src"], rec.data["dst"], rec.data["msg"]
+            pids.update((src, dst))
+            push(
+                rec.time,
+                {
+                    "ph": "X",
+                    "pid": src,
+                    "tid": 0,
+                    "name": f"send M{msg + 1} to p{dst}",
+                    "cat": "send",
+                    "dur": float(scale),
+                    "args": {"msg": msg, "dst": dst},
+                },
+            )
+            flow = flow_ids[(src, dst, msg, rec.time)] = len(flow_ids)
+            push(
+                rec.time,
+                {
+                    "ph": "s",
+                    "pid": src,
+                    "tid": 0,
+                    "id": flow,
+                    "name": "flight",
+                    "cat": "flight",
+                },
+            )
+        elif kind == "deliver":
+            message = rec.data
+            pids.update((message.src, message.dst))
+            push(
+                message.arrived_at - ONE,
+                {
+                    "ph": "X",
+                    "pid": message.dst,
+                    "tid": 1,
+                    "name": f"recv M{message.msg + 1} from p{message.src}",
+                    "cat": "recv",
+                    "dur": float(scale),
+                    "args": {"msg": message.msg, "src": message.src},
+                },
+            )
+            key = (message.src, message.dst, message.msg, message.sent_at)
+            flow = flow_ids.get(key)
+            if flow is not None:
+                push(
+                    message.arrived_at - ONE,
+                    {
+                        "ph": "f",
+                        "bp": "e",
+                        "pid": message.dst,
+                        "tid": 1,
+                        "id": flow,
+                        "name": "flight",
+                        "cat": "flight",
+                    },
+                )
+            d = depth.get(message.dst, 0) + 1
+            depth[message.dst] = d
+            push(
+                message.arrived_at,
+                {
+                    "ph": "C",
+                    "pid": message.dst,
+                    "tid": 1,
+                    "name": "inbox",
+                    "args": {"depth": d},
+                },
+            )
+        elif kind == "consume":
+            proc = rec.data["proc"]
+            pids.add(proc)
+            d = depth.get(proc, 0) - 1
+            depth[proc] = d
+            push(
+                rec.time,
+                {
+                    "ph": "C",
+                    "pid": proc,
+                    "tid": 1,
+                    "name": "inbox",
+                    "args": {"depth": d},
+                },
+            )
+        elif kind == "drop":
+            src, dst, msg = rec.data["src"], rec.data["dst"], rec.data["msg"]
+            pids.update((src, dst))
+            push(
+                rec.time,
+                {
+                    "ph": "i",
+                    "pid": src,
+                    "tid": 0,
+                    "s": "p",
+                    "name": f"drop M{msg + 1} to p{dst}",
+                    "cat": "drop",
+                },
+            )
+
+    trace_events: list[dict[str, Any]] = []
+    for pid in sorted(pids if pids else range(system.n)):
+        for meta in _meta(pid, f"p{pid}"):
+            meta["ts"] = 0.0
+            trace_events.append(meta)
+    events.sort(key=lambda item: (item[0], item[1]))
+    trace_events.extend(event for _, _, event in events)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "n": system.n,
+            "lam": str(system.lam),
+            "policy": system.policy.value,
+            "records": len(system.tracer),
+            "scale_us_per_unit": scale,
+        },
+    }
+
+
+def schedule_to_chrome(
+    schedule: Schedule, *, scale: int = 1000
+) -> dict[str, Any]:
+    """Chrome trace of a *static* :class:`~repro.core.schedule.Schedule`
+    (no simulation required): send and receive windows plus flight flows,
+    derived from the schedule arithmetic."""
+    lam = schedule.lam
+    events: list[tuple[Time, int, dict[str, Any]]] = []
+    seq = 0
+
+    def push(time: Time, event: dict[str, Any]) -> None:
+        nonlocal seq
+        event["ts"] = float(time * scale)
+        events.append((time, seq, event))
+        seq += 1
+
+    for flow, ev in enumerate(schedule.events):
+        push(
+            ev.send_time,
+            {
+                "ph": "X",
+                "pid": ev.sender,
+                "tid": 0,
+                "name": f"send M{ev.msg + 1} to p{ev.receiver}",
+                "cat": "send",
+                "dur": float(scale),
+                "args": {"msg": ev.msg, "dst": ev.receiver},
+            },
+        )
+        push(
+            ev.send_time,
+            {
+                "ph": "s",
+                "pid": ev.sender,
+                "tid": 0,
+                "id": flow,
+                "name": "flight",
+                "cat": "flight",
+            },
+        )
+        arrival = ev.arrival_time(lam)
+        push(
+            arrival - ONE,
+            {
+                "ph": "X",
+                "pid": ev.receiver,
+                "tid": 1,
+                "name": f"recv M{ev.msg + 1} from p{ev.sender}",
+                "cat": "recv",
+                "dur": float(scale),
+                "args": {"msg": ev.msg, "src": ev.sender},
+            },
+        )
+        push(
+            arrival - ONE,
+            {
+                "ph": "f",
+                "bp": "e",
+                "pid": ev.receiver,
+                "tid": 1,
+                "id": flow,
+                "name": "flight",
+                "cat": "flight",
+            },
+        )
+
+    trace_events: list[dict[str, Any]] = []
+    for pid in range(schedule.n):
+        for meta in _meta(pid, f"p{pid}"):
+            meta["ts"] = 0.0
+            trace_events.append(meta)
+    events.sort(key=lambda item: (item[0], item[1]))
+    trace_events.extend(event for _, _, event in events)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "n": schedule.n,
+            "m": schedule.m,
+            "lam": str(lam),
+            "scale_us_per_unit": scale,
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str, source: "PostalSystem | Schedule", *, scale: int = 1000
+) -> None:
+    """Write a Chrome trace JSON file for a finished system or a static
+    schedule."""
+    if isinstance(source, Schedule):
+        doc = schedule_to_chrome(source, scale=scale)
+    else:
+        doc = chrome_trace(source, scale=scale)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+# ------------------------------------------------------------- flat dumps
+
+
+def dump_jsonl(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+    """Write one JSON object per trace record; returns the line count."""
+    count = 0
+    for rec in records:
+        fh.write(json.dumps(record_fields(rec), sort_keys=True))
+        fh.write("\n")
+        count += 1
+    return count
+
+
+def dump_csv(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+    """Write the records as CSV (columns :data:`CSV_FIELDS`); returns the
+    data-row count."""
+    writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS, extrasaction="ignore")
+    writer.writeheader()
+    count = 0
+    for rec in records:
+        writer.writerow(record_fields(rec))
+        count += 1
+    return count

@@ -1,0 +1,281 @@
+"""Run metrics, computed live from the trace stream.
+
+A :class:`MetricsCollector` subscribes to a
+:class:`~repro.sim.trace.Tracer` and folds every record into exact
+per-processor counters; :meth:`MetricsCollector.finalize` freezes them
+into a :class:`RunMetrics` summary.  All arithmetic is
+:class:`fractions.Fraction`-exact, so the summary quantities compare
+against the paper's closed forms with ``==``:
+
+* **makespan** — arrival of the last message, the paper's ``T_A(n, m,
+  lambda)`` (Lemmas 10/12/14/16 give it in closed form for
+  REPEAT/PACK/PIPELINE).
+* **send/receive busy time** — one unit per traced send/delivery
+  (Definition 1: ports are unit-rate), so busy time is exactly the event
+  count.
+* **port utilization** — busy time over makespan.  Lemma 8's lower bound
+  ``(m-1) + f_lambda(n)`` is at heart a *root send-port utilization*
+  argument: the root alone must emit ``m`` distinct messages.
+* **inbox high-water mark** — peak queue depth between delivery
+  (``"deliver"``) and consumption (``"consume"``); bounded streams are
+  what make PIPELINE's order preservation cheap.
+* **latency histogram** — exact ``arrived_at - sent_at`` per delivery:
+  a single bucket at ``lambda`` under the strict uniform policy, a
+  spread under the queued policy or pair-dependent latencies.
+
+The collector never inspects the system it observes — everything derives
+from the trace stream alone, which is what makes the numbers auditable
+(the trace is one of the three independent records ``validate_run``
+cross-checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.sim.trace import TraceRecord, Tracer
+from repro.types import Time, ZERO, time_repr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.postal.machine import PostalSystem
+
+__all__ = ["RunMetrics", "MetricsCollector", "collect_metrics"]
+
+
+def _per_proc(counts: Mapping[int, Any], n: int, default: Any) -> tuple:
+    return tuple(counts.get(p, default) for p in range(n))
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Frozen summary of one run's trace stream.
+
+    All times are exact :class:`~fractions.Fraction`; per-processor
+    sequences are indexed by processor id.  Two runs of the same
+    deterministic protocol produce *equal* ``RunMetrics`` (asserted in the
+    test suite).
+    """
+
+    n: int
+    lam: Time | None
+    makespan: Time
+    total_sends: int
+    total_deliveries: int
+    total_consumed: int
+    total_drops: int
+    sends: tuple[int, ...]
+    receives: tuple[int, ...]
+    send_busy: tuple[Time, ...]
+    recv_busy: tuple[Time, ...]
+    send_utilization: tuple[Time, ...]
+    recv_utilization: tuple[Time, ...]
+    inbox_high_water: tuple[int, ...]
+    inbox_residual: tuple[int, ...]
+    latency_histogram: tuple[tuple[Time, int], ...]
+    min_latency: Time | None
+    max_latency: Time | None
+    mean_latency: Time | None
+    max_inbox_wait: Time | None
+
+    # ------------------------------------------------------------ queries
+
+    def busiest_sender(self) -> int:
+        """Processor with the most sends (ties break low)."""
+        return max(range(self.n), key=lambda p: (self.sends[p], -p))
+
+    def deepest_inbox(self) -> int:
+        """Processor with the highest inbox high-water mark (ties low)."""
+        return max(range(self.n), key=lambda p: (self.inbox_high_water[p], -p))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict: Fractions rendered via ``str`` (``"5/2"``)."""
+
+        def t(v):
+            return None if v is None else str(v)
+
+        return {
+            "n": self.n,
+            "lam": t(self.lam),
+            "makespan": t(self.makespan),
+            "total_sends": self.total_sends,
+            "total_deliveries": self.total_deliveries,
+            "total_consumed": self.total_consumed,
+            "total_drops": self.total_drops,
+            "sends": list(self.sends),
+            "receives": list(self.receives),
+            "send_busy": [t(v) for v in self.send_busy],
+            "recv_busy": [t(v) for v in self.recv_busy],
+            "send_utilization": [t(v) for v in self.send_utilization],
+            "recv_utilization": [t(v) for v in self.recv_utilization],
+            "inbox_high_water": list(self.inbox_high_water),
+            "inbox_residual": list(self.inbox_residual),
+            "latency_histogram": [
+                [t(latency), count] for latency, count in self.latency_histogram
+            ],
+            "min_latency": t(self.min_latency),
+            "max_latency": t(self.max_latency),
+            "mean_latency": t(self.mean_latency),
+            "max_inbox_wait": t(self.max_inbox_wait),
+        }
+
+    def __str__(self) -> str:
+        lam = "?" if self.lam is None else time_repr(self.lam)
+        return (
+            f"RunMetrics(n={self.n}, lambda={lam}, "
+            f"makespan={time_repr(self.makespan)}, "
+            f"sends={self.total_sends}, drops={self.total_drops})"
+        )
+
+
+class MetricsCollector:
+    """Folds a trace stream into exact run metrics.
+
+    Typical lifecycle (what :func:`repro.postal.runner.run_protocol`
+    does)::
+
+        collector = MetricsCollector()
+        collector.attach(tracer)        # live subscription
+        ...                             # run the simulation
+        metrics = collector.finalize(n=system.n, lam=system.lam)
+        collector.detach()              # explicit teardown
+
+    A collector may also be applied *post hoc* to a finished tracer —
+    :meth:`attach` with ``replay=True`` (the default) folds in records
+    that were emitted before the subscription.
+    """
+
+    def __init__(self) -> None:
+        self._tracer: Tracer | None = None
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (the attachment, if any, is kept)."""
+        self._sends: dict[int, int] = {}
+        self._recvs: dict[int, int] = {}
+        self._consumed: dict[int, int] = {}
+        self._drops = 0
+        self._depth: dict[int, int] = {}
+        self._high_water: dict[int, int] = {}
+        self._latency: dict[Time, int] = {}
+        self._latency_sum: Time = ZERO
+        self._latency_count = 0
+        self._max_wait: Time | None = None
+        self._makespan: Time = ZERO
+
+    # -------------------------------------------------------- subscription
+
+    def attach(self, tracer: Tracer, *, replay: bool = True) -> "MetricsCollector":
+        """Subscribe to *tracer* (optionally replaying its existing
+        records first).  Returns ``self`` for chaining."""
+        if self._tracer is not None:
+            raise ValueError("collector is already attached to a tracer")
+        if replay:
+            for rec in tracer:
+                self.on_record(rec)
+        tracer.subscribe(self.on_record)
+        self._tracer = tracer
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the attached tracer."""
+        if self._tracer is None:
+            raise ValueError("collector is not attached to a tracer")
+        self._tracer.unsubscribe(self.on_record)
+        self._tracer = None
+
+    @property
+    def attached(self) -> bool:
+        return self._tracer is not None
+
+    # ------------------------------------------------------------ folding
+
+    def on_record(self, rec: TraceRecord) -> None:
+        """Fold one trace record (the subscriber callback)."""
+        kind = rec.kind
+        if kind == "send":
+            src = rec.data["src"]
+            self._sends[src] = self._sends.get(src, 0) + 1
+        elif kind == "deliver":
+            msg = rec.data
+            dst = msg.dst
+            self._recvs[dst] = self._recvs.get(dst, 0) + 1
+            depth = self._depth.get(dst, 0) + 1
+            self._depth[dst] = depth
+            if depth > self._high_water.get(dst, 0):
+                self._high_water[dst] = depth
+            latency = msg.arrived_at - msg.sent_at
+            self._latency[latency] = self._latency.get(latency, 0) + 1
+            self._latency_sum += latency
+            self._latency_count += 1
+            if msg.arrived_at > self._makespan:
+                self._makespan = msg.arrived_at
+        elif kind == "consume":
+            proc = rec.data["proc"]
+            self._consumed[proc] = self._consumed.get(proc, 0) + 1
+            self._depth[proc] = self._depth.get(proc, 0) - 1
+            waited = rec.data["waited"]
+            if self._max_wait is None or waited > self._max_wait:
+                self._max_wait = waited
+        elif kind == "drop":
+            self._drops += 1
+        # unknown kinds are ignored: forward-compatible with extensions
+
+    # ----------------------------------------------------------- summary
+
+    def finalize(self, *, n: int, lam: Time | None = None) -> RunMetrics:
+        """Freeze the counters into a :class:`RunMetrics` for an
+        ``n``-processor machine with nominal latency *lam*."""
+        makespan = self._makespan
+        sends = _per_proc(self._sends, n, 0)
+        recvs = _per_proc(self._recvs, n, 0)
+        send_busy = tuple(Time(c) for c in sends)
+        recv_busy = tuple(Time(c) for c in recvs)
+        if makespan > 0:
+            send_util = tuple(b / makespan for b in send_busy)
+            recv_util = tuple(b / makespan for b in recv_busy)
+        else:
+            send_util = tuple(ZERO for _ in range(n))
+            recv_util = tuple(ZERO for _ in range(n))
+        total_sends = sum(sends)
+        total_deliveries = sum(recvs)
+        total_consumed = sum(self._consumed.values())
+        latencies = sorted(self._latency)
+        mean = (
+            self._latency_sum / self._latency_count
+            if self._latency_count
+            else None
+        )
+        return RunMetrics(
+            n=n,
+            lam=lam,
+            makespan=makespan,
+            total_sends=total_sends,
+            total_deliveries=total_deliveries,
+            total_consumed=total_consumed,
+            total_drops=self._drops,
+            sends=sends,
+            receives=recvs,
+            send_busy=send_busy,
+            recv_busy=recv_busy,
+            send_utilization=send_util,
+            recv_utilization=recv_util,
+            inbox_high_water=_per_proc(self._high_water, n, 0),
+            inbox_residual=_per_proc(self._depth, n, 0),
+            latency_histogram=tuple(
+                (latency, self._latency[latency]) for latency in latencies
+            ),
+            min_latency=latencies[0] if latencies else None,
+            max_latency=latencies[-1] if latencies else None,
+            mean_latency=mean,
+            max_inbox_wait=self._max_wait,
+        )
+
+
+def collect_metrics(system: "PostalSystem") -> RunMetrics:
+    """Post-hoc metrics for a finished :class:`~repro.postal.machine.
+    PostalSystem`: replay its trace through a fresh collector."""
+    collector = MetricsCollector()
+    for rec in system.tracer:
+        collector.on_record(rec)
+    return collector.finalize(n=system.n, lam=system.lam)

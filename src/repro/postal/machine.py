@@ -168,9 +168,31 @@ class PostalSystem:
 
     def recv(self, dst: ProcId) -> Event:
         """An event yielding the next :class:`Message` from *dst*'s inbox
-        (fires the instant the receive completes if one is in flight)."""
+        (fires the instant the receive completes if one is in flight).
+
+        When the event fires a ``"consume"`` trace record is emitted with
+        the inbox sojourn time (``now - arrived_at``) — the raw material
+        for the queue-depth metrics in :mod:`repro.obs`.  A cancelled
+        recv (:meth:`cancel_recv`) never fires and emits nothing.
+        """
         self._check_proc(dst)
-        return self._inboxes[dst].get()
+        ev = self._inboxes[dst].get()
+        assert ev.callbacks is not None  # freshly created, never processed
+        ev.callbacks.append(lambda e: self._trace_consume(dst, e))
+        return ev
+
+    def _trace_consume(self, dst: ProcId, event: Event) -> None:
+        msg = event.value
+        self.tracer.emit(
+            self.env.now,
+            "consume",
+            {
+                "proc": dst,
+                "msg": msg.msg,
+                "src": msg.src,
+                "waited": self.env.now - msg.arrived_at,
+            },
+        )
 
     def cancel_recv(self, dst: ProcId, event: Event) -> None:
         """Withdraw a pending :meth:`recv` (e.g. after racing it against a

@@ -5,7 +5,9 @@
 processor from the protocol's ``program``, runs to quiescence, and returns
 a :class:`ProtocolResult` bundling the realized schedule (validated for
 broadcast-semantics protocols under the strict policy), the completion
-time, and the finished system for trace/port inspection.
+time, run metrics folded live from the trace stream
+(:class:`~repro.obs.metrics.RunMetrics`), and the finished system for
+trace/port inspection.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.schedule import Schedule
+from repro.obs.metrics import MetricsCollector, RunMetrics
+from repro.obs.profile import EngineProfile, EngineProfiler
 from repro.postal.machine import ContentionPolicy, PostalSystem
 from repro.postal.validator import audit_ports, schedule_from_trace, validate_run
 from repro.sim.engine import Environment
@@ -33,12 +37,18 @@ class ProtocolResult:
         completion_time: arrival of the last message.
         system: the (finished) postal system, for trace/port inspection.
         sends: total number of messages transmitted.
+        metrics: exact run metrics folded from the trace stream
+            (``None`` when collected with ``collect=False``).
+        profile: engine profiling summary (``None`` unless requested
+            with ``profile=True``).
     """
 
     schedule: Schedule | None
     completion_time: Time
     system: PostalSystem
     sends: int
+    metrics: RunMetrics | None = None
+    profile: EngineProfile | None = None
 
 
 def run_protocol(
@@ -46,21 +56,35 @@ def run_protocol(
     *,
     policy: ContentionPolicy = ContentionPolicy.STRICT,
     validate: bool = True,
+    collect: bool = True,
+    profile: bool = False,
 ) -> ProtocolResult:
     """Execute *protocol* (a :class:`repro.algorithms.base.Protocol`) on a
     fresh ``MPS(n, lambda)`` and audit the run.
 
     The simulation runs until no events remain (all processor programs
     finished and all messages delivered).
+
+    Args:
+        protocol: the distributed program to execute.
+        policy: receive-port contention policy.
+        validate: audit the run against the postal model.
+        collect: attach a live :class:`~repro.obs.metrics.
+            MetricsCollector` and populate ``result.metrics``.
+        profile: install an :class:`~repro.obs.profile.EngineProfiler`
+            and populate ``result.profile``.
     """
     env = Environment()
     latency_fn = getattr(protocol, "latency_fn", None)
+    tracer = Tracer()
+    collector = MetricsCollector().attach(tracer) if collect else None
+    profiler = EngineProfiler(env) if profile else None
     system = PostalSystem(
         env,
         protocol.n,
         protocol.lam,
         policy=policy,
-        tracer=Tracer(),
+        tracer=tracer,
         latency=latency_fn,
     )
     for proc in range(protocol.n):
@@ -93,9 +117,20 @@ def run_protocol(
             (rec.data.arrived_at for rec in deliveries), default=ZERO
         )
         sends = len(system.tracer.records("send"))
+
+    metrics: RunMetrics | None = None
+    if collector is not None:
+        metrics = collector.finalize(n=system.n, lam=system.lam)
+        collector.detach()
+    engine_profile: EngineProfile | None = None
+    if profiler is not None:
+        engine_profile = profiler.report()
+        profiler.uninstall()
     return ProtocolResult(
         schedule=schedule,
         completion_time=completion,
         system=system,
         sends=sends,
+        metrics=metrics,
+        profile=engine_profile,
     )

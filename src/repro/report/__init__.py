@@ -7,7 +7,11 @@
 """
 
 from repro.report.render import render_gantt, render_tree
-from repro.report.tables import format_table, markdown_table
+from repro.report.tables import (
+    format_table,
+    markdown_table,
+    utilization_table,
+)
 from repro.report.phase import phase_diagram, winner_grid
 
 __all__ = [
@@ -15,6 +19,7 @@ __all__ = [
     "render_gantt",
     "format_table",
     "markdown_table",
+    "utilization_table",
     "phase_diagram",
     "winner_grid",
 ]

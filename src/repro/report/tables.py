@@ -1,13 +1,25 @@
-"""Plain-text and Markdown table formatting for the benchmark harness."""
+"""Plain-text and Markdown table formatting for the benchmark harness,
+plus the rendered per-processor utilization table of the observability
+layer (``python -m repro trace --summary``)."""
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.types import time_repr
 
-__all__ = ["format_cell", "format_table", "markdown_table"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import RunMetrics
+
+__all__ = [
+    "format_cell",
+    "format_table",
+    "markdown_table",
+    "utilization_rows",
+    "utilization_table",
+    "UTILIZATION_HEADERS",
+]
 
 
 def format_cell(value: Any) -> str:
@@ -34,6 +46,70 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     out = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
     out.extend(fmt_row(r) for r in cells)
     return "\n".join(out)
+
+
+#: Column headers of the utilization table.
+UTILIZATION_HEADERS = (
+    "proc",
+    "sends",
+    "send busy",
+    "send util",
+    "recvs",
+    "recv busy",
+    "recv util",
+    "inbox hwm",
+)
+
+
+def _percent(fraction: Fraction) -> str:
+    return f"{float(fraction) * 100:.1f}%"
+
+
+def utilization_rows(metrics: "RunMetrics") -> list[list[Any]]:
+    """Per-processor utilization rows (plus an ``all`` summary row) from a
+    :class:`~repro.obs.metrics.RunMetrics`.  Busy times stay exact;
+    utilization fractions render as percentages."""
+    rows: list[list[Any]] = []
+    for p in range(metrics.n):
+        rows.append(
+            [
+                f"p{p}",
+                metrics.sends[p],
+                metrics.send_busy[p],
+                _percent(metrics.send_utilization[p]),
+                metrics.receives[p],
+                metrics.recv_busy[p],
+                _percent(metrics.recv_utilization[p]),
+                metrics.inbox_high_water[p],
+            ]
+        )
+    denom = metrics.n * metrics.makespan
+    total_send_busy = sum(metrics.send_busy, Fraction(0))
+    total_recv_busy = sum(metrics.recv_busy, Fraction(0))
+    rows.append(
+        [
+            "all",
+            metrics.total_sends,
+            total_send_busy,
+            _percent(total_send_busy / denom) if denom else "0.0%",
+            metrics.total_deliveries,
+            total_recv_busy,
+            _percent(total_recv_busy / denom) if denom else "0.0%",
+            max(metrics.inbox_high_water, default=0),
+        ]
+    )
+    return rows
+
+
+def utilization_table(metrics: "RunMetrics", *, markdown: bool = False) -> str:
+    """Rendered per-port utilization table — the ``repro trace --summary``
+    artifact.  The ``all`` row aggregates: total busy time over
+    ``n * makespan`` (so 100% would mean every port saturated for the
+    whole run)."""
+    rows = utilization_rows(metrics)
+    if markdown:
+        return markdown_table(list(UTILIZATION_HEADERS), rows)
+    return format_table(list(UTILIZATION_HEADERS), rows)
 
 
 def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:

@@ -1,8 +1,23 @@
 """Structured tracing of simulation runs.
 
 A :class:`Tracer` collects timestamped :class:`TraceRecord` entries; the
-postal machine emits one record per send-start, delivery, and receive-
-completion, which the validator and the schedule extractor consume.
+postal machine emits one record per send-start, delivery, inbox
+consumption, and (in the lossy extension) drop, which the validator, the
+schedule extractor, and the observability layer (:mod:`repro.obs`)
+consume.
+
+The record *schema* — every ``kind`` the library emits, its ``data``
+payload, its emission point, and the ordering guarantees — is documented
+in ``docs/observability.md`` and pinned by the test suite.
+
+Subscriber lifetime
+-------------------
+
+Live subscribers registered with :meth:`Tracer.subscribe` are independent
+of the record log: :meth:`Tracer.clear` resets the *log* but deliberately
+keeps subscribers attached (a metrics collector survives a between-phases
+reset).  Detach explicitly with :meth:`Tracer.unsubscribe`, or pass
+``clear(subscribers=True)`` to drop everything.
 """
 
 from __future__ import annotations
@@ -12,7 +27,17 @@ from typing import Any, Callable, Iterator
 
 from repro.types import Time, time_repr
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "TRACE_KINDS"]
+
+#: Every trace ``kind`` the library emits, with its emitter.  The full
+#: payload schema lives in ``docs/observability.md``; tests assert the two
+#: stay in sync.
+TRACE_KINDS: dict[str, str] = {
+    "send": "PostalSystem._send_proc (send port granted)",
+    "deliver": "PostalSystem._deliver_proc (receive completed)",
+    "consume": "PostalSystem.recv (message taken from the inbox)",
+    "drop": "FaultyPostalSystem._deliver_proc (message lost)",
+}
 
 
 @dataclass(frozen=True, order=True)
@@ -35,7 +60,13 @@ class TraceRecord:
 
 
 class Tracer:
-    """An append-only log of trace records with simple querying."""
+    """An append-only log of trace records with simple querying.
+
+    Records are appended in event-processing order, so iteration yields
+    them with nondecreasing ``time`` (the engine's clock never moves
+    backwards) — the ordering guarantee the exporters in
+    :mod:`repro.obs.export` rely on.
+    """
 
     def __init__(self) -> None:
         self._records: list[TraceRecord] = []
@@ -50,8 +81,32 @@ class Tracer:
         return rec
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke *callback* on every future record."""
+        """Invoke *callback* on every future record.
+
+        The subscription persists across :meth:`clear` (unless asked to
+        drop subscribers too); detach with :meth:`unsubscribe`.
+        """
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Detach a previously registered *callback*.
+
+        Raises:
+            ValueError: *callback* was never subscribed (or was already
+                unsubscribed) — a silent no-op here would hide lifecycle
+                bugs in collectors.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            raise ValueError(
+                f"{callback!r} is not subscribed to this tracer"
+            ) from None
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of live subscribers."""
+        return len(self._subscribers)
 
     def records(self, kind: str | None = None) -> list[TraceRecord]:
         """All records, optionally filtered by *kind*, in emit order."""
@@ -65,5 +120,13 @@ class Tracer:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
 
-    def clear(self) -> None:
+    def clear(self, *, subscribers: bool = False) -> None:
+        """Reset the record log.
+
+        Subscribers stay attached by default so a long-lived collector
+        keeps observing after a between-phases reset; pass
+        ``subscribers=True`` to detach them as well.
+        """
         self._records.clear()
+        if subscribers:
+            self._subscribers.clear()

@@ -165,3 +165,90 @@ class TestParser:
         )
         assert proc.returncode == 0
         assert "f_2(8) = 5" in proc.stdout
+
+
+class TestTrace:
+    def test_bcast_defaults(self, capsys):
+        code, out = run_cli(capsys, "trace", "-n", "14", "--lam", "5/2")
+        assert code == 0
+        assert "algorithm : BCAST" in out
+        assert "completion: 7.5" in out
+        assert "critical path:" in out and "tight to t=0" in out
+        assert "matches the exact formula" in out
+
+    def test_acceptance_command(self, capsys, tmp_path):
+        """The issue's acceptance check: pipeline n=64 m=8 lam=3 with
+        --chrome and --summary yields a Perfetto-loadable JSON, the
+        utilization table, and a critical path equal to Lemma 14/16."""
+        from repro.core.analysis import pipeline_time
+        from repro.types import time_repr
+
+        chrome = tmp_path / "out.json"
+        code, out = run_cli(
+            capsys, "trace", "--algorithm", "pipeline", "-n", "64",
+            "-m", "8", "--lam", "3", "--chrome", str(chrome), "--summary",
+        )
+        assert code == 0
+        expected = pipeline_time(64, 8, 3)
+        assert f"completion: {time_repr(expected)}" in out
+        assert f"length {time_repr(expected)}" in out
+        assert "matches the exact formula" in out
+        assert "per-port utilization" in out
+        assert "inbox hwm" in out  # the table header
+        assert "latency histogram" in out
+        doc = json.loads(chrome.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert events
+        last = -1.0
+        for event in events:
+            assert event["ts"] >= 0.0 and event["ts"] >= last
+            last = event["ts"]
+
+    def test_critical_path_listing(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "-n", "8", "--lam", "2", "-m", "2",
+            "--algorithm", "pipeline", "--critical-path",
+        )
+        assert code == 0
+        assert "tight back to t=0" in out
+        assert "-->" in out
+
+    def test_pack_reports_slack(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "-n", "13", "--lam", "5/2", "-m", "4",
+            "--algorithm", "pack",
+        )
+        assert code == 0
+        assert "has upstream slack" in out
+        assert "matches the exact formula" in out
+
+    def test_csv_and_jsonl(self, capsys, tmp_path):
+        csv_path = tmp_path / "run.csv"
+        jsonl_path = tmp_path / "run.jsonl"
+        code, out = run_cli(
+            capsys, "trace", "-n", "5", "--lam", "2",
+            "--csv", str(csv_path), "--jsonl", str(jsonl_path),
+        )
+        assert code == 0
+        rows = csv_path.read_text().splitlines()
+        lines = jsonl_path.read_text().splitlines()
+        assert rows[0].startswith("t,kind,")
+        assert len(rows) - 1 == len(lines)
+        for line in lines:
+            json.loads(line)
+
+    def test_profile(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "-n", "8", "--lam", "2", "--profile",
+        )
+        assert code == 0
+        assert "engine    :" in out
+
+    def test_binomial_has_no_closed_form_line(self, capsys):
+        code, out = run_cli(
+            capsys, "trace", "-n", "8", "--lam", "2",
+            "--algorithm", "binomial",
+        )
+        assert code == 0
+        assert "critical path:" in out
+        assert "exact formula" not in out

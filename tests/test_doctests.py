@@ -1,6 +1,13 @@
-"""Execute every doctest embedded in the library's docstrings."""
+"""Execute every doctest embedded in the library's docstrings *and* in
+the documentation pages (docs/*.md, README.md).
+
+The docs pages embed ``>>>`` examples in their fenced code blocks;
+running them here is what keeps the documentation from drifting away
+from the code silently.
+"""
 
 import doctest
+import pathlib
 
 import pytest
 
@@ -9,9 +16,37 @@ import repro.types
 
 MODULES = [repro.mpi.comm, repro.types]
 
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_PAGES = sorted(ROOT.glob("docs/*.md")) + [ROOT / "README.md"]
+
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
 def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False)
     # modules without examples are fine; examples that exist must pass
     assert result.failed == 0
+
+
+@pytest.mark.parametrize(
+    "page", DOC_PAGES, ids=lambda p: str(p.relative_to(ROOT))
+)
+def test_docs_page_doctests(page):
+    """Run the ``>>>`` examples embedded in one documentation page."""
+    text = page.read_text()
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(
+        text, globs={}, name=page.name, filename=str(page), lineno=0
+    )
+    runner = doctest.DocTestRunner(verbose=False)
+    runner.run(test)
+    # pages without examples are fine; examples that exist must pass
+    assert runner.failures == 0, f"doctest failures in {page}"
+
+
+def test_observability_page_has_examples():
+    """The observability page's examples are load-bearing (they pin the
+    metric values); make sure they are actually being collected."""
+    text = (ROOT / "docs" / "observability.md").read_text()
+    parser = doctest.DocTestParser()
+    examples = parser.get_examples(text)
+    assert len(examples) >= 10

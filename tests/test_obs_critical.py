@@ -1,0 +1,165 @@
+"""Tests for critical-path extraction and slack analysis (repro.obs.critical).
+
+The headline contract: the zero-slack chain walked backwards from the
+completion event has length exactly equal to the schedule's completion
+time, which for BCAST/REPEAT/PACK/PIPELINE (and the d=1 line) equals the
+paper's closed forms with Fraction equality.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.pipeline_protocol import PipelineProtocol
+from repro.core.analysis import (
+    bcast_time,
+    dtree_upper,
+    pack_time,
+    pipeline_time,
+    repeat_time,
+)
+from repro.core.bcast import bcast_schedule
+from repro.core.dtree import dtree_schedule
+from repro.core.multi import pack_schedule, pipeline_schedule, repeat_schedule
+from repro.obs import critical_path, event_slacks, format_critical_path
+from repro.postal.runner import run_protocol
+from repro.types import ZERO
+
+NS = [2, 5, 13, 21, 40]
+MS = [1, 2, 5]
+LAMBDAS = [Fraction(1), Fraction(3, 2), Fraction(5, 2), Fraction(4)]
+
+
+def _grid():
+    for n in NS:
+        for m in MS:
+            for lam in LAMBDAS:
+                yield n, m, lam
+
+
+GRID = list(_grid())
+GRID_IDS = [f"n{n}-m{m}-lam{lam}" for n, m, lam in GRID]
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("n", NS)
+    @pytest.mark.parametrize("lam", LAMBDAS, ids=str)
+    def test_bcast(self, n, lam):
+        s = bcast_schedule(n, lam)
+        path = critical_path(s)
+        assert path.length == s.completion_time() == bcast_time(n, lam)
+        assert path.tight  # BCAST chains anchor at t=0
+        assert path.break_time is None
+
+    @pytest.mark.parametrize("n,m,lam", GRID, ids=GRID_IDS)
+    def test_repeat(self, n, m, lam):
+        s = repeat_schedule(n, m, lam)
+        path = critical_path(s)
+        assert path.length == s.completion_time() == repeat_time(n, m, lam)
+
+    @pytest.mark.parametrize("n,m,lam", GRID, ids=GRID_IDS)
+    def test_pack(self, n, m, lam):
+        s = pack_schedule(n, m, lam)
+        path = critical_path(s)
+        assert path.length == s.completion_time() == pack_time(n, m, lam)
+
+    @pytest.mark.parametrize("n,m,lam", GRID, ids=GRID_IDS)
+    def test_pipeline(self, n, m, lam):
+        s = pipeline_schedule(n, m, lam)
+        path = critical_path(s)
+        assert path.length == s.completion_time() == pipeline_time(n, m, lam)
+        assert path.tight  # PIPELINE forwards on arrival: always anchored
+
+    @pytest.mark.parametrize("n,m,lam", GRID, ids=GRID_IDS)
+    def test_line(self, n, m, lam):
+        s = dtree_schedule(n, m, lam, 1)
+        path = critical_path(s)
+        # d=1 is the one DTREE with an *exact* formula: (m-1) + (n-1)*lam
+        assert path.length == s.completion_time() == dtree_upper(n, m, lam, 1)
+        assert path.tight
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_dtree_within_lemma_18(self, d):
+        s = dtree_schedule(21, 3, Fraction(5, 2), d)
+        path = critical_path(s)
+        assert path.length == s.completion_time()
+        assert path.length <= dtree_upper(21, 3, Fraction(5, 2), d)
+
+
+class TestSlacks:
+    @pytest.mark.parametrize("n,m,lam", GRID, ids=GRID_IDS)
+    def test_nonnegative_everywhere(self, n, m, lam):
+        s = pipeline_schedule(n, m, lam)
+        assert all(v >= 0 for v in event_slacks(s).values())
+
+    def test_pack_forwarders_carry_slack(self):
+        # m > 1: a PACK forwarder waits for the whole pack before
+        # relaying message 1 — the structural reason PIPELINE <= PACK.
+        s = pack_schedule(13, 4, Fraction(5, 2))
+        assert not critical_path(s).tight
+        assert any(v > 0 for v in event_slacks(s).values())
+
+    def test_pack_tight_at_m_1(self):
+        assert critical_path(pack_schedule(13, 1, Fraction(5, 2))).tight
+
+    def test_repeat_breaks_on_plateau(self):
+        # n=5, lam=5/2: F_lambda has a plateau, the root finishes each
+        # iteration early, and Lemma 10's fixed stride leaves a real gap.
+        path = critical_path(repeat_schedule(5, 4, Fraction(5, 2)))
+        assert not path.tight
+        assert path.break_time is not None and path.break_time > 0
+
+    def test_bcast_slacks_all_zero(self):
+        s = bcast_schedule(21, 2)
+        assert set(event_slacks(s).values()) == {ZERO}
+
+
+class TestPathShape:
+    def test_chronological_and_connected(self):
+        s = pipeline_schedule(14, 4, Fraction(5, 2))
+        path = critical_path(s)
+        lam = s.lam
+        events = path.events
+        assert len(events) == len(path)
+        for prev, cur in zip(events, events[1:]):
+            port_hop = (
+                prev.sender == cur.sender
+                and prev.send_time + 1 == cur.send_time
+            )
+            data_hop = (
+                prev.receiver == cur.sender
+                and prev.arrival_time(lam) == cur.send_time
+            )
+            assert port_hop or data_hop
+        # terminal event achieves the completion time
+        assert events[-1].arrival_time(lam) == s.completion_time()
+
+    def test_empty_schedule(self):
+        path = critical_path(bcast_schedule(1, 2))
+        assert len(path) == 0 and path.length == ZERO and path.tight
+        assert "nothing to broadcast" in format_critical_path(path, Fraction(2))
+
+    def test_format_mentions_every_hop(self):
+        s = bcast_schedule(5, 2)
+        path = critical_path(s)
+        text = format_critical_path(path, s.lam)
+        assert "tight back to t=0" in text
+        assert text.count("-->") == len(path)
+
+    def test_format_reports_break(self):
+        s = pack_schedule(13, 4, Fraction(5, 2))
+        text = format_critical_path(critical_path(s), s.lam)
+        assert "slack appears before" in text
+
+
+class TestRealizedSchedules:
+    """The simulated (protocol) schedule yields the same critical path
+    length as the closed form — the measured reproduction check."""
+
+    @pytest.mark.parametrize("n,m,lam", [(14, 4, Fraction(5, 2)), (8, 2, Fraction(2))])
+    def test_pipeline_protocol(self, n, m, lam):
+        result = run_protocol(PipelineProtocol(n, m, lam))
+        assert result.schedule is not None
+        path = critical_path(result.schedule)
+        assert path.length == pipeline_time(n, m, lam)
+        assert path.tight

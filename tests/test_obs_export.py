@@ -1,0 +1,209 @@
+"""Tests for the trace exporters (repro.obs.export): Chrome trace-event
+JSON, CSV, and JSON-lines."""
+
+import io
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.bcast_protocol import BcastProtocol
+from repro.algorithms.pipeline_protocol import PipelineProtocol
+from repro.core.bcast import bcast_schedule
+from repro.extensions.faulty import LossyPostalSystem
+from repro.obs import (
+    CSV_FIELDS,
+    chrome_trace,
+    dump_csv,
+    dump_jsonl,
+    record_fields,
+    schedule_to_chrome,
+    write_chrome_trace,
+)
+from repro.postal.runner import run_protocol
+from repro.sim.engine import Environment
+
+
+def _run_pipeline(n=8, m=2, lam=2):
+    return run_protocol(PipelineProtocol(n, m, lam))
+
+
+def _data_events(doc):
+    """Non-metadata trace events, in file order."""
+    return [e for e in doc["traceEvents"] if e["ph"] != "M"]
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        doc = chrome_trace(_run_pipeline().system)
+        text = json.dumps(doc)
+        assert json.loads(text) == doc
+
+    def test_ts_monotone_and_nonnegative(self):
+        doc = chrome_trace(_run_pipeline(14, 4, "5/2").system)
+        last = -1.0
+        for event in _data_events(doc):
+            assert event["ts"] >= 0.0
+            assert event["ts"] >= last
+            last = event["ts"]
+            if "dur" in event:
+                assert event["dur"] >= 0.0
+
+    def test_deterministic(self):
+        a = json.dumps(chrome_trace(_run_pipeline().system), sort_keys=True)
+        b = json.dumps(chrome_trace(_run_pipeline().system), sort_keys=True)
+        assert a == b
+
+    def test_event_census(self):
+        result = _run_pipeline(8, 2, 2)
+        doc = chrome_trace(result.system)
+        events = _data_events(doc)
+        sends = [e for e in events if e.get("cat") == "send"]
+        recvs = [e for e in events if e.get("cat") == "recv"]
+        flows_s = [e for e in events if e["ph"] == "s"]
+        flows_f = [e for e in events if e["ph"] == "f"]
+        counters = [e for e in events if e["ph"] == "C"]
+        metrics = result.metrics
+        assert len(sends) == metrics.total_sends
+        assert len(recvs) == metrics.total_deliveries
+        # strict lossless machine: every flight arrow terminates
+        assert len(flows_s) == len(flows_f) == metrics.total_sends
+        # one counter step per deliver + one per consume
+        assert len(counters) == metrics.total_deliveries + metrics.total_consumed
+
+    def test_every_processor_has_metadata(self):
+        doc = chrome_trace(_run_pipeline(8, 2, 2).system)
+        named = {
+            e["pid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert named == set(range(8))
+        thread_names = {
+            (e["pid"], e["tid"], e["args"]["name"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert (0, 0, "send port") in thread_names
+        assert (0, 1, "recv port") in thread_names
+
+    def test_other_data(self):
+        doc = chrome_trace(_run_pipeline().system, scale=500)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["n"] == 8
+        assert doc["otherData"]["scale_us_per_unit"] == 500
+
+    def test_scale_applies(self):
+        system = _run_pipeline().system
+        unit = chrome_trace(system, scale=1)
+        kilo = chrome_trace(system, scale=1000)
+        for a, b in zip(_data_events(unit), _data_events(kilo)):
+            assert b["ts"] == pytest.approx(a["ts"] * 1000)
+
+    def test_drops_exported_as_instants(self):
+        env = Environment()
+        system = LossyPostalSystem(env, 2, 2, loss=0.99, seed=7)
+
+        def prog():
+            for k in range(20):
+                yield system.send(0, 1, k)
+
+        env.process(prog())
+        env.run()
+        doc = chrome_trace(system)
+        drops = [e for e in _data_events(doc) if e.get("cat") == "drop"]
+        assert len(drops) == system.dropped > 0
+        assert all(e["ph"] == "i" for e in drops)
+
+
+class TestScheduleToChrome:
+    def test_static_schedule_exports(self):
+        s = bcast_schedule(14, "5/2")
+        doc = schedule_to_chrome(s)
+        events = _data_events(doc)
+        sends = [e for e in events if e.get("cat") == "send"]
+        assert len(sends) == len(s.events) == 13
+        last = -1.0
+        for event in events:
+            assert event["ts"] >= last >= -1.0
+            last = event["ts"]
+
+    def test_matches_simulated_export(self):
+        """The static export of the builder schedule and the live export
+        of the protocol run paint the same send slices."""
+        result = run_protocol(BcastProtocol(14, "5/2"))
+        live = chrome_trace(result.system)
+        static = schedule_to_chrome(bcast_schedule(14, "5/2"))
+
+        def sends(doc):
+            return sorted(
+                (e["ts"], e["pid"], e["name"])
+                for e in _data_events(doc)
+                if e.get("cat") == "send"
+            )
+
+        assert sends(live) == sends(static)
+
+
+class TestWriteChromeTrace:
+    def test_writes_system(self, tmp_path):
+        path = tmp_path / "run.json"
+        write_chrome_trace(str(path), _run_pipeline().system)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_writes_schedule(self, tmp_path):
+        path = tmp_path / "static.json"
+        write_chrome_trace(str(path), bcast_schedule(5, 2))
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["m"] == 1
+
+
+class TestFlatDumps:
+    def test_record_fields_deliver_exploded(self):
+        system = _run_pipeline().system
+        rec = system.tracer.records("deliver")[0]
+        fields = record_fields(rec)
+        assert fields["kind"] == "deliver"
+        for key in ("msg", "src", "dst", "sent_at", "arrived_at"):
+            assert key in fields
+        # exact times serialized as strings
+        assert isinstance(fields["t"], str)
+
+    def test_record_fields_no_data(self):
+        from repro.sim.trace import TraceRecord
+        from repro.types import Time
+
+        assert record_fields(TraceRecord(Time(1), "send")) == {
+            "t": "1",
+            "kind": "send",
+        }
+
+    def test_jsonl(self):
+        system = _run_pipeline().system
+        fh = io.StringIO()
+        count = dump_jsonl(system.tracer, fh)
+        lines = fh.getvalue().splitlines()
+        assert count == len(lines) == len(system.tracer)
+        for line in lines:
+            obj = json.loads(line)
+            assert obj["kind"] in {"send", "deliver", "consume", "drop"}
+
+    def test_csv(self):
+        import csv as csv_mod
+
+        system = _run_pipeline().system
+        fh = io.StringIO()
+        count = dump_csv(system.tracer, fh)
+        fh.seek(0)
+        rows = list(csv_mod.reader(fh))
+        assert tuple(rows[0]) == CSV_FIELDS
+        assert len(rows) - 1 == count == len(system.tracer)
+
+    def test_exact_times_survive_round_trip(self):
+        system = run_protocol(PipelineProtocol(5, 2, Fraction(5, 2))).system
+        fh = io.StringIO()
+        dump_jsonl(system.tracer, fh)
+        for line in fh.getvalue().splitlines():
+            obj = json.loads(line)
+            Fraction(obj["t"])  # parses back exactly, never a float

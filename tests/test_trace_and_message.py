@@ -2,8 +2,10 @@
 
 from fractions import Fraction
 
+import pytest
+
 from repro.postal.message import Message
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace import TRACE_KINDS, TraceRecord, Tracer
 from repro.types import Time
 
 
@@ -35,6 +37,56 @@ class TestTracer:
         tracer.emit(Time(0), "x")
         tracer.clear()
         assert len(tracer) == 0
+
+    def test_unsubscribe(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.unsubscribe(seen.append)
+        tracer.emit(Time(0), "send")
+        assert seen == []
+        assert tracer.subscriber_count == 0
+
+    def test_unsubscribe_unknown_raises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.unsubscribe(lambda rec: None)
+
+    def test_clear_keeps_subscribers_by_default(self):
+        # a long-lived collector must survive a between-phases reset
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit(Time(0), "send")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.subscriber_count == 1
+        tracer.emit(Time(1), "send")
+        assert len(seen) == 2  # still receiving after the reset
+
+    def test_clear_subscribers_true_drops_both(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit(Time(0), "send")
+        tracer.clear(subscribers=True)
+        assert len(tracer) == 0
+        assert tracer.subscriber_count == 0
+        tracer.emit(Time(1), "send")
+        assert len(seen) == 1  # only the pre-clear record was observed
+
+    def test_multiple_subscribers_all_invoked(self):
+        tracer = Tracer()
+        a, b = [], []
+        tracer.subscribe(a.append)
+        tracer.subscribe(b.append)
+        rec = tracer.emit(Time(2), "deliver")
+        assert a == b == [rec]
+
+    def test_trace_kinds_registry(self):
+        assert set(TRACE_KINDS) == {"send", "deliver", "consume", "drop"}
+        for kind, emitter in TRACE_KINDS.items():
+            assert isinstance(emitter, str) and emitter
 
     def test_record_ordering_by_time(self):
         records = [
