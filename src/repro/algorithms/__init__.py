@@ -23,7 +23,13 @@ from repro.algorithms.repeat_protocol import RepeatProtocol
 from repro.algorithms.pack_protocol import PackProtocol
 from repro.algorithms.pipeline_protocol import PipelineProtocol
 from repro.algorithms.dtree_protocol import DTreeProtocol
-from repro.algorithms.baselines import BinomialProtocol, StarProtocol, binomial_schedule
+from repro.algorithms.baselines import (
+    BinomialProtocol,
+    StarProtocol,
+    binomial_schedule,
+    binomial_time,
+    star_time,
+)
 
 __all__ = [
     "Protocol",
@@ -35,4 +41,6 @@ __all__ = [
     "BinomialProtocol",
     "StarProtocol",
     "binomial_schedule",
+    "binomial_time",
+    "star_time",
 ]

@@ -25,11 +25,60 @@ from repro.sim.engine import Event
 from repro.types import ProcId, Time, TimeLike, ZERO, as_time
 
 __all__ = [
+    "star_time",
+    "binomial_time",
     "star_schedule",
     "binomial_schedule",
     "StarProtocol",
     "BinomialProtocol",
 ]
+
+
+def star_time(n: int, m: int, lam: TimeLike) -> Time:
+    """Exact completion time of the ``m``-message star broadcast: the root
+    emits ``m * (n - 1)`` back-to-back sends, the last starting at
+    ``m(n-1) - 1``, so ``T_STAR = m(n-1) - 1 + lambda`` (0 for ``n == 1``).
+    Degenerates to the ``(n-2) + lambda`` of :func:`star_schedule` at
+    ``m == 1``."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    if m < 1:
+        raise InvalidParameterError(f"need m >= 1, got {m}")
+    lam_t = as_time(lam)
+    if n == 1:
+        return ZERO
+    return Time(m * (n - 1) - 1) + lam_t
+
+
+def binomial_time(n: int, lam: TimeLike) -> Time:
+    """Exact completion time of :func:`binomial_schedule` — the recursion
+    the builder realizes: a range of ``size`` processors splits into a kept
+    range of ``j = size - half`` (the sender continues one unit later) and a
+    transferred range of ``half`` (the largest power of two below ``size``,
+    reachable after ``lambda``), so::
+
+        T(1)    = 0
+        T(size) = max(1 + T(j), lambda + T(half))
+
+    At ``lambda = 1`` this is the telephone-model optimum
+    ``ceil(log2 n)``; for larger ``lambda`` it quantifies exactly how much
+    the latency-oblivious tree loses to BCAST."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    lam_t = as_time(lam)
+
+    def rec(size: int) -> Time:
+        if size == 1:
+            return ZERO
+        half = 1
+        while half * 2 < size:
+            half *= 2
+        j = size - half
+        sender = Time(1) + rec(j)
+        recipient = lam_t + rec(half)
+        return sender if sender > recipient else recipient
+
+    return rec(n)
 
 
 def star_schedule(n: int, lam: TimeLike, *, validate: bool = True) -> Schedule:

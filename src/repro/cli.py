@@ -20,6 +20,10 @@ Commands:
 * ``trace``    — observability: run an algorithm and report per-port
   utilization, the zero-slack critical path (checked against the closed
   form), and export the trace as Chrome trace-event JSON / CSV / JSONL.
+* ``conformance`` — the seeded differential fuzzer: certify every
+  protocol family against its closed form (``--smoke`` for the CI grid,
+  ``--deep`` for the nightly one); failures are filed as self-contained
+  repro artifacts.
 
 All latency/time arguments accept ints, decimals, or ratios (``5/2``).
 """
@@ -350,6 +354,57 @@ def cmd_collectives(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_conformance(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.conformance import (
+        deep_options,
+        families,
+        run_fuzz,
+        smoke_options,
+    )
+    from repro.report.tables import conformance_table
+
+    if args.deep:
+        opts = deep_options(seed=args.seed, artifact_dir=args.artifacts)
+    else:
+        opts = smoke_options(seed=args.seed, artifact_dir=args.artifacts)
+    overrides = {}
+    if args.iterations is not None:
+        overrides["iterations"] = args.iterations
+    if args.families:
+        overrides["families"] = tuple(
+            f.strip() for f in args.families.split(",") if f.strip()
+        )
+    if args.chaos is not None:
+        overrides["chaos_rate"] = args.chaos
+    if overrides:
+        opts = replace(opts, **overrides)
+
+    mode = "deep" if args.deep else "smoke"
+    print(
+        f"conformance fuzz ({mode}): {opts.iterations} configs over "
+        f"{len(opts.families or families())} families, seed {opts.seed}"
+    )
+    report = run_fuzz(opts)
+    print()
+    print(conformance_table(report, markdown=args.markdown))
+    print()
+    print(report.summary())
+    if report.artifacts:
+        print(f"artifacts ({len(report.artifacts)}):")
+        for path in report.artifacts:
+            print(f"  {path}")
+    if not report.ok:
+        for result in report.failures:
+            print()
+            print(result.summary())
+            for violation in result.violations:
+                print(f"  - {violation}")
+        return 1
+    return 0
+
+
 # --------------------------------------------------------------- parser
 
 
@@ -453,6 +508,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="report engine-level profiling (events, heap peak, wall time)",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "conformance",
+        help="certify every family against its closed form (seeded fuzz)",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the CI grid: every family, a few seconds (default)",
+    )
+    mode.add_argument(
+        "--deep",
+        action="store_true",
+        help="the nightly grid: larger machines, chaos self-tests",
+    )
+    p.add_argument("--seed", type=int, default=0, help="master fuzz seed")
+    p.add_argument(
+        "--iterations",
+        type=int,
+        help="override the number of configs to certify",
+    )
+    p.add_argument(
+        "--families",
+        help="comma-separated family subset (e.g. BCAST,PIPELINE-2)",
+    )
+    p.add_argument(
+        "--chaos",
+        type=float,
+        help="override the chaos (corruption self-test) probability",
+    )
+    p.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="file failure artifacts (config + repro.py + traces) here",
+    )
+    p.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the summary table as Markdown",
+    )
+    p.set_defaults(func=cmd_conformance)
 
     p = sub.add_parser(
         "reliable", help="reliable broadcast over a lossy network"

@@ -1,0 +1,153 @@
+"""Failure artifacts: everything needed to re-live one divergence.
+
+When the fuzzer certifies a config and :attr:`CertResult.violations` is
+non-empty, :func:`write_failure_artifact` files a self-contained
+directory:
+
+``config.json``
+    The :class:`~repro.conformance.certify.ConformanceConfig` (exact
+    rational ``lambda`` as a string), the violation list, the oracle
+    citation, the predicted/realized times, and — for chaos configs —
+    the corruption description.  Everything a human needs at a glance.
+``reproduce.py``
+    A standalone script that re-evaluates the recorded config through
+    :func:`~repro.conformance.certify.certify_config` and exits ``1``
+    iff the violation reproduces.  It imports only ``repro``; run it
+    with ``PYTHONPATH=src python <artifact>/reproduce.py`` from the repo
+    root.  (It is *not* named ``repro.py`` — Python prepends the
+    script's own directory to ``sys.path``, and a ``repro.py`` would
+    shadow the ``repro`` package it needs to import.)  Because every
+    random choice (grid sampling, chaos mutation) is derived from seeds
+    stored *inside* the config, the script needs no other state.
+``trace-<policy>.jsonl``
+    The full simulation trace per contention policy, one JSON object
+    per record (:func:`repro.obs.export.dump_jsonl`) — only when the
+    fuzzer kept the finished systems.
+``chrome-<policy>.json`` / ``chrome-static.json``
+    Chrome trace-event JSON (``chrome://tracing`` / Perfetto) of the
+    simulated run, or of the (possibly corrupted) static schedule when
+    no simulation ran.
+
+Artifact directories are named ``<family>-n<n>-m<m>-<hash>`` so repeated
+fuzz runs do not collide; the hash covers the full config dict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from pathlib import Path
+
+from repro.obs.export import dump_jsonl, write_chrome_trace
+from repro.types import time_repr
+
+from repro.conformance.certify import CertResult
+from repro.conformance.chaos import corrupt_schedule
+from repro.conformance.oracles import get_oracle
+
+__all__ = ["artifact_name", "write_failure_artifact"]
+
+_REPRO_TEMPLATE = '''\
+#!/usr/bin/env python3
+"""Auto-generated conformance failure repro.
+
+Re-certifies the recorded configuration and exits 1 iff the violation
+reproduces.  Run from the repository root:
+
+    PYTHONPATH=src python {name}/reproduce.py
+"""
+
+import sys
+
+from repro.conformance import ConformanceConfig, certify_config
+
+CONFIG = {config!r}
+
+EXPECTED_VIOLATIONS = {violations!r}
+
+
+def main() -> int:
+    result = certify_config(ConformanceConfig.from_dict(CONFIG))
+    print(result.summary())
+    for violation in result.violations:
+        print(f"  - {{violation}}")
+    if result.ok:
+        print("violation did NOT reproduce")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def artifact_name(result: CertResult) -> str:
+    """Deterministic, collision-resistant directory name for a result."""
+    cfg = result.config
+    digest = hashlib.sha256(
+        json.dumps(cfg.to_dict(), sort_keys=True).encode()
+    ).hexdigest()[:10]
+    return f"{cfg.family.lower()}-n{cfg.n}-m{cfg.m}-{digest}"
+
+
+def write_failure_artifact(result: CertResult, root: "str | Path") -> Path:
+    """File a failure artifact for *result* under *root*.
+
+    Returns the artifact directory.  Never raises on partial data: a
+    result without kept systems simply produces no simulation traces.
+    """
+    directory = Path(root) / artifact_name(result)
+    directory.mkdir(parents=True, exist_ok=True)
+    cfg = result.config
+
+    summary = {
+        "config": cfg.to_dict(),
+        "citation": result.citation,
+        "predicted": time_repr(result.predicted)
+        if result.predicted is not None
+        else None,
+        "lower_bound": time_repr(result.lower_bound)
+        if result.lower_bound is not None
+        else None,
+        "static_time": time_repr(result.static_time)
+        if result.static_time is not None
+        else None,
+        "sim_times": {
+            policy: time_repr(t) for policy, t in result.sim_times.items()
+        },
+        "corruption": result.corruption,
+        "violations": result.violations,
+    }
+    (directory / "config.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+
+    (directory / "reproduce.py").write_text(
+        _REPRO_TEMPLATE.format(
+            name=directory.name,
+            config=cfg.to_dict(),
+            violations=result.violations,
+        )
+    )
+
+    for policy, system in result.systems.items():
+        with open(directory / f"trace-{policy}.jsonl", "w") as fh:
+            dump_jsonl(system.tracer, fh)
+        write_chrome_trace(str(directory / f"chrome-{policy}.json"), system)
+
+    if not result.systems and cfg.chaos_seed is not None:
+        # no simulation ran; regenerate the corrupted static schedule
+        # from the recorded seed so the trace is still inspectable
+        oracle = get_oracle(cfg.family)
+        if oracle.schedule is not None:
+            pristine = oracle.schedule(cfg.n, cfg.m, cfg.lam_time)
+            corrupted, _ = corrupt_schedule(
+                pristine, random.Random(cfg.chaos_seed)
+            )
+            write_chrome_trace(
+                str(directory / "chrome-static.json"), corrupted
+            )
+
+    return directory

@@ -1,0 +1,175 @@
+"""Seeded schedule corruption — the certifier's self-test.
+
+A conformance subsystem that never sees a failure proves nothing: maybe
+every family is correct, or maybe the certifier silently accepts
+everything.  :func:`corrupt_schedule` closes that loop.  Given a pristine
+static schedule and a seeded :class:`random.Random`, it applies exactly
+one mutation drawn from a small catalogue of postal-model violations and
+returns the corrupted schedule (constructed **unvalidated** — the whole
+point is to hand the certifier something broken) together with a
+human-readable description of what was done.
+
+The mutation catalogue targets one certification layer each:
+
+``drop``
+    Remove one send event.  Some processor never receives some message —
+    :meth:`Schedule.validate` reports an incomplete broadcast.
+``hasten``
+    Move a non-root sender's event to ``t = 0``, before the sender can
+    possibly hold the message — a possession violation (Definition 1).
+    When every sender is the root (e.g. STAR), fall back to ``clash``.
+``clash``
+    Re-time one event to collide with another send by the same sender —
+    two sends on one port at once (:class:`SimultaneousIOError`,
+    Definition 2).  Falls back to duplicating the root's first send time
+    when a sender has only one event.
+``delay``
+    Push the latest-arriving event one unit later.  The schedule stays
+    postal-valid but its makespan now exceeds the exact closed form (or,
+    for a tight schedule, trips the differential against the builder).
+
+Determinism matters: the fuzzer records only ``chaos_seed`` in the
+failure artifact, and the repro script must regenerate the *same*
+mutation from it.  All randomness therefore flows through the single
+``rng`` argument, and event selection is over the schedule's sorted
+event tuple (itself deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import InvalidParameterError
+from repro.types import ONE, ZERO, time_repr
+
+__all__ = ["MUTATIONS", "corrupt_schedule"]
+
+#: Mutation names, in the order the seeded draw indexes them.
+MUTATIONS = ("drop", "hasten", "clash", "delay")
+
+
+def _rebuild(schedule: Schedule, events: list[SendEvent]) -> Schedule:
+    """A copy of *schedule* with *events*, skipping validation."""
+    return Schedule(
+        schedule.n,
+        schedule.lam,
+        events,
+        m=schedule.m,
+        root=schedule.root,
+        validate=False,
+    )
+
+
+def _drop(
+    schedule: Schedule, rng: random.Random
+) -> tuple[Schedule, str] | None:
+    events = list(schedule.events)
+    victim = rng.randrange(len(events))
+    ev = events.pop(victim)
+    return _rebuild(schedule, events), f"drop: removed {ev}"
+
+
+def _hasten(
+    schedule: Schedule, rng: random.Random
+) -> tuple[Schedule, str] | None:
+    events = list(schedule.events)
+    candidates = [
+        i
+        for i, ev in enumerate(events)
+        if ev.sender != schedule.root and ev.send_time > ZERO
+    ]
+    if not candidates:
+        return None
+    victim = rng.choice(candidates)
+    ev = events[victim]
+    events[victim] = SendEvent(ZERO, ev.sender, ev.msg, ev.receiver)
+    return (
+        _rebuild(schedule, events),
+        f"hasten: moved {ev} to t=0 (p{ev.sender} cannot hold "
+        f"M{ev.msg + 1} yet)",
+    )
+
+
+def _clash(
+    schedule: Schedule, rng: random.Random
+) -> tuple[Schedule, str] | None:
+    events = list(schedule.events)
+    by_sender: dict[int, list[int]] = {}
+    for i, ev in enumerate(events):
+        by_sender.setdefault(ev.sender, []).append(i)
+    multi = sorted(s for s, idxs in by_sender.items() if len(idxs) >= 2)
+    if not multi:
+        return None
+    sender = rng.choice(multi)
+    first, second = by_sender[sender][0], by_sender[sender][1]
+    ev = events[second]
+    moved = SendEvent(
+        events[first].send_time, ev.sender, ev.msg, ev.receiver
+    )
+    events[second] = moved
+    return (
+        _rebuild(schedule, events),
+        f"clash: re-timed {ev} to t={time_repr(moved.send_time)}, "
+        f"colliding with {events[first]} on p{sender}'s send port",
+    )
+
+
+def _delay(
+    schedule: Schedule, rng: random.Random
+) -> tuple[Schedule, str] | None:
+    events = list(schedule.events)
+    lam = schedule.lam
+    victim = max(
+        range(len(events)), key=lambda i: events[i].arrival_time(lam)
+    )
+    ev = events[victim]
+    events[victim] = SendEvent(
+        ev.send_time + ONE, ev.sender, ev.msg, ev.receiver
+    )
+    return (
+        _rebuild(schedule, events),
+        f"delay: pushed {ev} one unit later "
+        f"(new arrival t={time_repr(ev.arrival_time(lam) + ONE)})",
+    )
+
+
+_APPLY = {
+    "drop": _drop,
+    "hasten": _hasten,
+    "clash": _clash,
+    "delay": _delay,
+}
+
+
+def corrupt_schedule(
+    schedule: Schedule, rng: random.Random
+) -> tuple[Schedule, str]:
+    """Apply one seeded mutation to *schedule*.
+
+    Args:
+        schedule: a pristine (presumed-valid) static schedule with at
+            least one event.
+        rng: the seeded source of all randomness; identical seeds yield
+            identical corruptions on identical schedules.
+
+    Returns:
+        ``(corrupted, description)`` — the corrupted schedule is built
+        with ``validate=False`` so the certifier gets first look.
+
+    Raises:
+        InvalidParameterError: the schedule has no events to corrupt.
+    """
+    if not schedule.events:
+        raise InvalidParameterError("cannot corrupt an empty schedule")
+    start = rng.randrange(len(MUTATIONS))
+    # try the drawn mutation first; fall through the catalogue so every
+    # seed yields *some* corruption even on degenerate schedules
+    for offset in range(len(MUTATIONS)):
+        name = MUTATIONS[(start + offset) % len(MUTATIONS)]
+        outcome = _APPLY[name](schedule, rng)
+        if outcome is not None:
+            return outcome
+    raise InvalidParameterError(
+        "no mutation applies to this schedule"
+    )  # pragma: no cover — drop always applies

@@ -1,0 +1,286 @@
+"""The seeded differential fuzzer.
+
+:func:`run_fuzz` walks a reproducible grid of
+:class:`~repro.conformance.certify.ConformanceConfig` points — families
+round-robin (so even a tiny smoke run covers *every* registered family),
+parameters drawn from one ``random.Random(seed)`` — and certifies each
+point with :func:`~repro.conformance.certify.certify_config`.
+
+Everything is derived from the single seed: the family rotation, the
+``(n, m, lambda)`` draws (rational ``lambda`` included), the contention
+policy, and any chaos-mutation seeds.  Two runs with the same options
+certify the same configs in the same order and — because the simulator
+itself is deterministic — produce byte-identical failure artifacts.
+
+Sampling is *constructive* per family: PIPELINE-1 draws ``m`` from
+``1..floor(lambda)``, PIPELINE-2 from ``ceil(lambda)..``, DTREE-LATENCY
+draws ``n >= ceil(lambda)+2`` so the tree degree is not clamped, and the
+single-message families pin ``m = 1``.  Every emitted config therefore
+satisfies its oracle's applicability predicate by construction; a
+sampler bug surfaces as an :class:`InvalidParameterError` from the
+certifier, not as silent grid shrinkage.
+
+Chaos points (``chaos_rate``) invert the contract: the certifier *must*
+report a violation there.  A chaos config that certifies clean is the
+real failure — it means the certifier cannot see corruption — and is
+reported as ``chaos_missed``.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _wallclock
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from math import ceil, floor
+from pathlib import Path
+
+from repro.errors import InvalidParameterError
+
+from repro.conformance.artifacts import write_failure_artifact
+from repro.conformance.certify import (
+    POLICIES,
+    CertResult,
+    ConformanceConfig,
+    certify_config,
+)
+from repro.conformance.oracles import families, get_oracle
+
+__all__ = [
+    "FuzzOptions",
+    "FamilyStats",
+    "FuzzReport",
+    "smoke_options",
+    "deep_options",
+    "sample_config",
+    "run_fuzz",
+]
+
+
+@dataclass(frozen=True)
+class FuzzOptions:
+    """Everything that determines a fuzz run (hence its reproducibility).
+
+    Attributes:
+        seed: master seed; all randomness derives from it.
+        iterations: number of configs to certify.
+        families: restrict to these families (default: all registered).
+        max_n: processor-count ceiling (floor is 2).
+        max_m: message-count ceiling for multi-message families.
+        max_lam: ceiling on ``lambda`` (as an integer part).
+        max_denominator: rational ``lambda`` denominators are drawn from
+            ``1..max_denominator`` — ``1`` disables rational latencies.
+        chaos_rate: probability that a point is corrupted (chaos) —
+            only exact families with a static builder are eligible.
+        policies: contention policies to draw from.
+        artifact_dir: when set, keep finished systems and file failure
+            artifacts (including chaos detections) under this directory.
+    """
+
+    seed: int = 0
+    iterations: int = 64
+    families: tuple[str, ...] | None = None
+    max_n: int = 12
+    max_m: int = 4
+    max_lam: int = 5
+    max_denominator: int = 3
+    chaos_rate: float = 0.0
+    policies: tuple[str, ...] = POLICIES
+    artifact_dir: str | None = None
+
+
+def smoke_options(seed: int = 0, artifact_dir: str | None = None) -> FuzzOptions:
+    """The CI grid: every family, rational lambdas, a few seconds."""
+    return FuzzOptions(
+        seed=seed,
+        iterations=4 * len(families()),
+        max_n=10,
+        max_m=3,
+        max_lam=4,
+        max_denominator=3,
+        artifact_dir=artifact_dir,
+    )
+
+
+def deep_options(seed: int = 0, artifact_dir: str | None = None) -> FuzzOptions:
+    """The nightly grid: larger machines, longer rotation, some chaos."""
+    return FuzzOptions(
+        seed=seed,
+        iterations=40 * len(families()),
+        max_n=33,
+        max_m=6,
+        max_lam=8,
+        max_denominator=4,
+        chaos_rate=0.05,
+        artifact_dir=artifact_dir,
+    )
+
+
+@dataclass
+class FamilyStats:
+    """Per-family tallies for the report table."""
+
+    runs: int = 0
+    certified: int = 0
+    failed: int = 0
+    chaos_detected: int = 0
+    chaos_missed: int = 0
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz run learned.
+
+    ``ok`` means no *real* failures: every normal config certified clean
+    and every chaos config was caught.  Chaos detections are successes
+    (they prove the certifier can fail) and never flip ``ok``.
+    """
+
+    options: FuzzOptions
+    stats: dict[str, FamilyStats] = field(default_factory=dict)
+    failures: list[CertResult] = field(default_factory=list)
+    chaos_results: list[CertResult] = field(default_factory=list)
+    artifacts: list[Path] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def total_runs(self) -> int:
+        return sum(s.runs for s in self.stats.values())
+
+    def summary(self) -> str:
+        certified = sum(s.certified for s in self.stats.values())
+        caught = sum(s.chaos_detected for s in self.stats.values())
+        head = (
+            f"seed={self.options.seed}: {certified}/{self.total_runs} "
+            f"certified across {len(self.stats)} families "
+            f"in {self.elapsed:.1f}s"
+        )
+        if caught:
+            head += f", {caught} chaos corruption(s) caught"
+        if self.failures:
+            head += f", {len(self.failures)} FAILURE(S)"
+        return head
+
+
+# ---------------------------------------------------------------- sampling
+
+
+def _sample_lam(rng: random.Random, opts: FuzzOptions) -> Fraction:
+    """Draw ``lambda >= 1`` with denominator ``<= max_denominator``."""
+    den = rng.randint(1, max(1, opts.max_denominator))
+    num = rng.randint(den, max(den, opts.max_lam * den))
+    return Fraction(num, den)
+
+
+def sample_config(
+    rng: random.Random, family: str, opts: FuzzOptions
+) -> ConformanceConfig:
+    """Draw one applicable-by-construction config for *family*."""
+    oracle = get_oracle(family)
+    lam = _sample_lam(rng, opts)
+    n = rng.randint(2, max(2, opts.max_n))
+    m = rng.randint(1, max(1, opts.max_m))
+
+    key = oracle.family
+    if key == "PIPELINE-1":
+        m = rng.randint(1, max(1, floor(lam)))
+    elif key == "PIPELINE-2":
+        lo = ceil(lam)
+        m = rng.randint(lo, max(lo, opts.max_m))
+    elif key == "DTREE-LATENCY":
+        lo = ceil(lam) + 2
+        n = rng.randint(lo, max(lo, opts.max_n))
+    elif not oracle.applicable(n, m, Fraction(lam)):
+        # single-message families (BCAST, BINOMIAL, collectives)
+        m = 1
+
+    policy = rng.choice(list(opts.policies))
+
+    chaos_seed: int | None = None
+    chaos_draw = rng.random()  # always drawn: keeps the stream aligned
+    if (
+        opts.chaos_rate > 0
+        and chaos_draw < opts.chaos_rate
+        and oracle.exact
+        and oracle.schedule is not None
+    ):
+        chaos_seed = rng.randrange(2**32)
+
+    config = ConformanceConfig(
+        family=key,
+        n=n,
+        m=m,
+        lam=str(lam),
+        policy=policy,
+        chaos_seed=chaos_seed,
+    )
+    oracle.check_applicable(config.n, config.m, config.lam_time)
+    return config
+
+
+# ---------------------------------------------------------------- the run
+
+
+def run_fuzz(opts: FuzzOptions) -> FuzzReport:
+    """Certify ``opts.iterations`` seeded grid points.
+
+    Never raises on a conformance violation; inspect
+    :attr:`FuzzReport.failures`.  A sampler or registry bug (an
+    inapplicable config reaching the certifier) *does* raise — that is
+    an infrastructure failure, not a model divergence.
+    """
+    chosen = opts.families if opts.families is not None else families()
+    if not chosen:
+        raise InvalidParameterError("no families to fuzz")
+    chosen = tuple(get_oracle(f).family for f in chosen)  # canonicalize
+
+    rng = random.Random(opts.seed)
+    report = FuzzReport(options=opts)
+    keep = opts.artifact_dir is not None
+    started = _wallclock.perf_counter()
+
+    for i in range(opts.iterations):
+        family = chosen[i % len(chosen)]
+        config = sample_config(rng, family, opts)
+        result = certify_config(config, keep_system=keep)
+        stats = report.stats.setdefault(family, FamilyStats())
+        stats.runs += 1
+
+        if config.chaos_seed is not None:
+            report.chaos_results.append(result)
+            if result.ok:
+                # the real failure: corruption went undetected
+                stats.chaos_missed += 1
+                result.violations.append(
+                    f"chaos: corruption {result.corruption!r} went "
+                    f"undetected by the certifier"
+                )
+                report.failures.append(result)
+            else:
+                stats.chaos_detected += 1
+            if keep:
+                report.artifacts.append(
+                    write_failure_artifact(result, opts.artifact_dir)
+                )
+        elif result.ok:
+            stats.certified += 1
+        else:
+            stats.failed += 1
+            report.failures.append(result)
+            if keep:
+                report.artifacts.append(
+                    write_failure_artifact(result, opts.artifact_dir)
+                )
+        result.systems.clear()  # free the kept machines
+
+    report.elapsed = _wallclock.perf_counter() - started
+    return report
+
+
+def _replay(opts: FuzzOptions) -> FuzzOptions:  # pragma: no cover - helper
+    """Options for replaying a run without artifacts (debug aid)."""
+    return replace(opts, artifact_dir=None)

@@ -1,0 +1,419 @@
+"""The oracle registry: every protocol family mapped to its closed form.
+
+An :class:`Oracle` is the *certifiable identity* of one protocol family:
+its exact (or upper-bound) running-time formula with the paper citation,
+its applicability predicate over ``(n, m, lambda)``, the event-driven
+:class:`~repro.algorithms.base.Protocol` factory, and — where one exists —
+the independent static schedule builder the simulation is diffed against.
+
+Registered families and their certificates:
+
+========== ==================== =========================================
+family     citation             predicted time
+========== ==================== =========================================
+BCAST      Theorem 6            ``f_lambda(n)`` (m = 1)
+REPEAT     Lemma 10 / Cor. 11   ``m f_lambda(n) - (m-1)(lambda-1)``
+PACK       Lemma 12 / Cor. 13   ``m f_{1+(lambda-1)/m}(n)``
+PIPELINE-1 Lemma 14 / Cor. 15   ``m f_{lambda/m}(n) + (m-1)`` (m <= lambda)
+PIPELINE-2 Lemma 16 / Cor. 17   ``lambda f_{m/lambda}(n) + (lambda-1)``
+DTREE-LINE Lemma 18 (d = 1)     ``(m-1) + (n-1) lambda``
+DTREE-BINARY  Lemma 18 (d = 2)  upper bound ``d(m-1)+(d-1+lambda)ceil(log_d n)``
+DTREE-LATENCY Lemma 18          upper bound, ``d = ceil(lambda)+1``
+STAR       Section 4.3 (d=n-1)  ``m(n-1) - 1 + lambda``
+BINOMIAL   Section 1 baseline   exact split recursion (telephone optimum)
+REDUCE     Cidon-Gopal-Kutten   ``f_lambda(n)`` (time-reversed BCAST)
+SCATTER    Section 5            ``(n-2) + lambda``
+GATHER     Section 5            ``(n-2) + lambda``
+ALLTOALL   Section 5            ``(n-2) + lambda``
+ALLREDUCE  combine + broadcast  ``2 f_lambda(n)``
+BARRIER    combine + notify     ``2 f_lambda(n)``
+========== ==================== =========================================
+
+Broadcast families additionally certify the Lemma 5 population bound
+``N(t) <= F_lambda(t)`` per message and the Lemma 8 lower bound
+``(m-1) + f_lambda(n)`` (Corollary 9's explicit forms are implied).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.algorithms import (
+    BcastProtocol,
+    BinomialProtocol,
+    DTreeProtocol,
+    PackProtocol,
+    PipelineProtocol,
+    Protocol,
+    RepeatProtocol,
+    StarProtocol,
+    binomial_schedule,
+    binomial_time,
+    star_time,
+)
+from repro.collectives import (
+    AllreduceProtocol,
+    AllToAllProtocol,
+    alltoall_time,
+    allreduce_time,
+    barrier_time,
+    BarrierProtocol,
+    GatherProtocol,
+    gather_time,
+    ReduceProtocol,
+    reduce_time,
+    ScatterProtocol,
+    scatter_time,
+)
+from repro.core.analysis import (
+    bcast_time,
+    dtree_upper,
+    multi_lower_bound,
+    pack_time,
+    pipeline_time,
+    repeat_time,
+)
+from repro.core.bcast import bcast_schedule
+from repro.core.dtree import dtree_schedule
+from repro.core.multi import pack_schedule, pipeline_schedule, repeat_schedule
+from repro.core.schedule import Schedule
+from repro.errors import InvalidParameterError
+from repro.types import Time, TimeLike, as_time
+
+__all__ = [
+    "Oracle",
+    "register",
+    "get_oracle",
+    "families",
+    "broadcast_families",
+    "collective_families",
+    "REGISTRY",
+]
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One protocol family's certifiable identity.
+
+    Attributes:
+        family: registry key, e.g. ``"PIPELINE-1"``.
+        citation: the paper result the formula comes from.
+        exact: True when :attr:`time` is the family's exact running time
+            (certified with ``==``); False when it is an upper bound
+            (certified with ``<=`` plus equality against the
+            deterministic builder).
+        semantics: ``"broadcast"`` (full schedule certification applies)
+            or the collective's label (completion + port/delivery audits).
+        applicable: predicate over ``(n, m, lam)`` — e.g. ``m <= lambda``
+            for PIPELINE-1.
+        time: ``(n, m, lam) -> Time`` — the closed form (or upper bound).
+        protocol: ``(n, m, lam) -> Protocol`` — the event-driven program.
+        schedule: optional ``(n, m, lam) -> Schedule`` — the independent
+            static builder (constructed **unvalidated**; the certifier
+            validates, so a buggy builder cannot hide behind its own
+            constructor).
+        order_preserving: the family guarantees index-order delivery.
+        supports_queued: meaningful to re-run under the queued contention
+            policy (every registered family is collision-free, so queued
+            and strict must realize identical arrival times).
+    """
+
+    family: str
+    citation: str
+    exact: bool
+    semantics: str
+    applicable: Callable[[int, int, Time], bool]
+    time: Callable[[int, int, Time], Time]
+    protocol: Callable[[int, int, Time], Protocol]
+    schedule: Callable[[int, int, Time], Schedule] | None = None
+    order_preserving: bool = True
+    supports_queued: bool = True
+
+    def lower_bound(self, n: int, m: int, lam: Time) -> Time | None:
+        """The Lemma 8 certificate ``(m-1) + f_lambda(n)`` for broadcast
+        semantics; ``None`` for collectives (their optimality arguments
+        are family-specific and encoded in :attr:`time`)."""
+        if self.semantics != "broadcast":
+            return None
+        return multi_lower_bound(n, m, lam)
+
+    def check_applicable(self, n: int, m: int, lam: TimeLike) -> None:
+        lam_t = as_time(lam)
+        if not self.applicable(n, m, lam_t):
+            raise InvalidParameterError(
+                f"{self.family} is not applicable at (n={n}, m={m}, "
+                f"lambda={lam_t})"
+            )
+
+
+#: The registry, keyed by family name.
+REGISTRY: dict[str, Oracle] = {}
+
+
+def register(oracle: Oracle) -> Oracle:
+    """Add *oracle* to the registry (rejecting duplicate names)."""
+    if oracle.family in REGISTRY:
+        raise InvalidParameterError(
+            f"oracle {oracle.family!r} is already registered"
+        )
+    REGISTRY[oracle.family] = oracle
+    return oracle
+
+
+def get_oracle(family: str) -> Oracle:
+    """Look up a family (case-insensitive)."""
+    key = family.upper()
+    if key not in REGISTRY:
+        raise InvalidParameterError(
+            f"unknown protocol family {family!r} "
+            f"(registered: {', '.join(sorted(REGISTRY))})"
+        )
+    return REGISTRY[key]
+
+
+def families() -> tuple[str, ...]:
+    """All registered family names, sorted."""
+    return tuple(sorted(REGISTRY))
+
+
+def broadcast_families() -> tuple[str, ...]:
+    return tuple(
+        sorted(f for f, o in REGISTRY.items() if o.semantics == "broadcast")
+    )
+
+
+def collective_families() -> tuple[str, ...]:
+    return tuple(
+        sorted(f for f, o in REGISTRY.items() if o.semantics != "broadcast")
+    )
+
+
+# ----------------------------------------------------------- registrations
+
+
+def _any(n: int, m: int, lam: Time) -> bool:
+    return True
+
+
+def _single_message(n: int, m: int, lam: Time) -> bool:
+    return m == 1
+
+
+register(
+    Oracle(
+        family="BCAST",
+        citation="Theorem 6",
+        exact=True,
+        semantics="broadcast",
+        applicable=_single_message,
+        time=lambda n, m, lam: bcast_time(n, lam),
+        protocol=lambda n, m, lam: BcastProtocol(n, lam),
+        schedule=lambda n, m, lam: bcast_schedule(n, lam, validate=False),
+    )
+)
+
+register(
+    Oracle(
+        family="REPEAT",
+        citation="Lemma 10 / Corollary 11",
+        exact=True,
+        semantics="broadcast",
+        applicable=_any,
+        time=repeat_time,
+        protocol=lambda n, m, lam: RepeatProtocol(n, m, lam),
+        schedule=lambda n, m, lam: repeat_schedule(n, m, lam, validate=False),
+    )
+)
+
+register(
+    Oracle(
+        family="PACK",
+        citation="Lemma 12 / Corollary 13",
+        exact=True,
+        semantics="broadcast",
+        applicable=_any,
+        time=pack_time,
+        protocol=lambda n, m, lam: PackProtocol(n, m, lam),
+        schedule=lambda n, m, lam: pack_schedule(n, m, lam, validate=False),
+    )
+)
+
+register(
+    Oracle(
+        family="PIPELINE-1",
+        citation="Lemma 14 / Corollary 15",
+        exact=True,
+        semantics="broadcast",
+        applicable=lambda n, m, lam: m <= lam,
+        time=pipeline_time,
+        protocol=lambda n, m, lam: PipelineProtocol(n, m, lam),
+        schedule=lambda n, m, lam: pipeline_schedule(n, m, lam, validate=False),
+    )
+)
+
+register(
+    Oracle(
+        family="PIPELINE-2",
+        citation="Lemma 16 / Corollary 17",
+        exact=True,
+        semantics="broadcast",
+        applicable=lambda n, m, lam: m >= lam,
+        time=pipeline_time,
+        protocol=lambda n, m, lam: PipelineProtocol(n, m, lam),
+        schedule=lambda n, m, lam: pipeline_schedule(n, m, lam, validate=False),
+    )
+)
+
+register(
+    Oracle(
+        family="DTREE-LINE",
+        citation="Lemma 18 (d = 1, exact)",
+        exact=True,
+        semantics="broadcast",
+        applicable=_any,
+        time=lambda n, m, lam: dtree_upper(n, m, lam, 1),
+        protocol=lambda n, m, lam: DTreeProtocol(n, m, lam, 1),
+        schedule=lambda n, m, lam: dtree_schedule(n, m, lam, 1, validate=False),
+    )
+)
+
+register(
+    Oracle(
+        family="DTREE-BINARY",
+        citation="Lemma 18 (d = 2, upper bound)",
+        exact=False,
+        semantics="broadcast",
+        applicable=lambda n, m, lam: n >= 2,
+        time=lambda n, m, lam: dtree_upper(n, m, lam, 2),
+        protocol=lambda n, m, lam: DTreeProtocol(n, m, lam, 2),
+        schedule=lambda n, m, lam: dtree_schedule(n, m, lam, 2, validate=False),
+    )
+)
+
+register(
+    Oracle(
+        family="DTREE-LATENCY",
+        citation="Lemma 18 (d = ceil(lambda)+1, upper bound)",
+        exact=False,
+        semantics="broadcast",
+        applicable=lambda n, m, lam: n >= 2 and math.ceil(lam) + 1 <= n - 1,
+        time=lambda n, m, lam: dtree_upper(n, m, lam, math.ceil(lam) + 1),
+        protocol=lambda n, m, lam: DTreeProtocol(
+            n, m, lam, math.ceil(lam) + 1
+        ),
+        schedule=lambda n, m, lam: dtree_schedule(
+            n, m, lam, math.ceil(lam) + 1, validate=False
+        ),
+    )
+)
+
+register(
+    Oracle(
+        family="STAR",
+        citation="Section 4.3 (d = n-1)",
+        exact=True,
+        semantics="broadcast",
+        applicable=_any,
+        time=star_time,
+        protocol=lambda n, m, lam: StarProtocol(n, m, lam),
+        schedule=lambda n, m, lam: dtree_schedule(
+            n, m, lam, max(1, n - 1), validate=False
+        ),
+    )
+)
+
+register(
+    Oracle(
+        family="BINOMIAL",
+        citation="telephone-model baseline (Section 1)",
+        exact=True,
+        semantics="broadcast",
+        applicable=_single_message,
+        time=lambda n, m, lam: binomial_time(n, lam),
+        protocol=lambda n, m, lam: BinomialProtocol(n, lam),
+        schedule=lambda n, m, lam: binomial_schedule(n, lam, validate=False),
+    )
+)
+
+
+# collectives — completion certified against the closed form; the port and
+# delivery audits still apply, but the broadcast schedule IR does not
+
+register(
+    Oracle(
+        family="REDUCE",
+        citation="reversal of Theorem 6 (Cidon-Gopal-Kutten [6])",
+        exact=True,
+        semantics="reduction",
+        applicable=lambda n, m, lam: m == 1 and n >= 1,
+        time=lambda n, m, lam: reduce_time(n, lam),
+        protocol=lambda n, m, lam: ReduceProtocol(n, lam),
+    )
+)
+
+register(
+    Oracle(
+        family="SCATTER",
+        citation="Section 5 (direct star, optimal)",
+        exact=True,
+        semantics="scatter",
+        applicable=_single_message,
+        time=lambda n, m, lam: scatter_time(n, lam),
+        protocol=lambda n, m, lam: ScatterProtocol(n, lam),
+        order_preserving=False,
+    )
+)
+
+register(
+    Oracle(
+        family="GATHER",
+        citation="Section 5 (direct, optimal)",
+        exact=True,
+        semantics="gather",
+        applicable=_single_message,
+        time=lambda n, m, lam: gather_time(n, lam),
+        protocol=lambda n, m, lam: GatherProtocol(n, lam),
+        order_preserving=False,
+    )
+)
+
+register(
+    Oracle(
+        family="ALLTOALL",
+        citation="Section 5 (rotation, optimal)",
+        exact=True,
+        semantics="alltoall",
+        applicable=_single_message,
+        time=lambda n, m, lam: alltoall_time(n, lam),
+        protocol=lambda n, m, lam: AllToAllProtocol(n, lam),
+        order_preserving=False,
+    )
+)
+
+register(
+    Oracle(
+        family="ALLREDUCE",
+        citation="combine + broadcast (2x combine LB)",
+        exact=True,
+        semantics="allreduce",
+        applicable=_single_message,
+        time=lambda n, m, lam: allreduce_time(n, lam),
+        protocol=lambda n, m, lam: AllreduceProtocol(n, lam),
+        order_preserving=False,
+    )
+)
+
+register(
+    Oracle(
+        family="BARRIER",
+        citation="combine + notify",
+        exact=True,
+        semantics="barrier",
+        applicable=_single_message,
+        time=lambda n, m, lam: barrier_time(n, lam),
+        protocol=lambda n, m, lam: BarrierProtocol(n, lam),
+        order_preserving=False,
+    )
+)

@@ -36,6 +36,7 @@ Special cases, as in the paper:
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Iterable, Iterator
 
@@ -43,7 +44,13 @@ from repro.core.stepfunc import StepFunction
 from repro.errors import InvalidParameterError
 from repro.types import Time, TimeLike, ZERO, as_time
 
-__all__ = ["GeneralizedFibonacci", "postal_F", "postal_f"]
+__all__ = [
+    "GeneralizedFibonacci",
+    "postal_F",
+    "postal_f",
+    "cache_info",
+    "clear_cache",
+]
 
 
 class GeneralizedFibonacci(StepFunction):
@@ -164,7 +171,11 @@ class GeneralizedFibonacci(StepFunction):
 
 # ------------------------------------------------------------- module cache
 
-_CACHE: dict[Time, GeneralizedFibonacci] = {}
+# LRU-bounded: long fuzzing runs sweep thousands of rational lambda values,
+# and each GeneralizedFibonacci holds a value table, so an unbounded (or
+# clear-all) cache would either grow without limit or periodically throw
+# away every hot entry.  An OrderedDict gives exact LRU eviction instead.
+_CACHE: "OrderedDict[Time, GeneralizedFibonacci]" = OrderedDict()
 _CACHE_LIMIT = 256
 
 
@@ -172,10 +183,23 @@ def _cached(lam: TimeLike) -> GeneralizedFibonacci:
     key = as_time(lam)
     fib = _CACHE.get(key)
     if fib is None:
-        if len(_CACHE) >= _CACHE_LIMIT:
-            _CACHE.clear()
+        while len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.popitem(last=False)  # evict least recently used
         fib = _CACHE[key] = GeneralizedFibonacci(key)
+    else:
+        _CACHE.move_to_end(key)
     return fib
+
+
+def cache_info() -> tuple[int, int]:
+    """``(current_size, limit)`` of the module-level ``F_lambda`` cache."""
+    return len(_CACHE), _CACHE_LIMIT
+
+
+def clear_cache() -> None:
+    """Drop every cached ``GeneralizedFibonacci`` instance (tests and
+    memory-sensitive embedders)."""
+    _CACHE.clear()
 
 
 def postal_F(lam: TimeLike, t: TimeLike) -> int:

@@ -54,6 +54,10 @@ class LossyPostalSystem(PostalSystem):
     Args:
         loss: per-transmission drop probability in ``[0, 1)``.
         seed: PRNG seed — identical seeds replay identical runs.
+        rng: an externally owned :class:`random.Random` to draw from
+            instead of constructing one from *seed* — lets a harness (the
+            conformance fuzzer) thread **one** seeded stream through every
+            sampling path so whole campaigns replay byte-identically.
 
     Dropped transmissions are traced as ``"drop"`` records.
     """
@@ -66,6 +70,7 @@ class LossyPostalSystem(PostalSystem):
         *,
         loss: float,
         seed: int = 0,
+        rng: random.Random | None = None,
         policy: ContentionPolicy = ContentionPolicy.QUEUED,
         tracer: Tracer | None = None,
     ):
@@ -73,7 +78,7 @@ class LossyPostalSystem(PostalSystem):
             raise InvalidParameterError(f"loss must be in [0, 1), got {loss}")
         super().__init__(env, n, lam, policy=policy, tracer=tracer)
         self._loss = loss
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
         self.dropped = 0
 
     @property
@@ -188,6 +193,7 @@ def run_reliable_bcast(
     *,
     loss: float,
     seed: int = 0,
+    rng: random.Random | None = None,
     rto: TimeLike | None = None,
 ) -> tuple[Time, int, int]:
     """Run :class:`ReliableBcastProtocol` on a :class:`LossyPostalSystem`.
@@ -195,11 +201,15 @@ def run_reliable_bcast(
     Returns ``(data_completion_time, retransmissions, drops)`` where the
     completion time is when the last processor first receives the data.
     Termination is guaranteed: every edge retries until acknowledged and
-    ``loss < 1``.
+    ``loss < 1``.  Pass *rng* to draw losses from an externally owned
+    seeded stream (campaign-level determinism); otherwise a fresh
+    ``random.Random(seed)`` is used.
     """
     env = Environment()
     protocol = ReliableBcastProtocol(n, lam, rto=rto)
-    system = LossyPostalSystem(env, n, protocol.lam, loss=loss, seed=seed)
+    system = LossyPostalSystem(
+        env, n, protocol.lam, loss=loss, seed=seed, rng=rng
+    )
     for proc in range(n):
         gen = protocol.program(proc, system)
         if gen is not None:

@@ -35,13 +35,19 @@ from repro.obs.export import (
     schedule_to_chrome,
     write_chrome_trace,
 )
-from repro.obs.metrics import MetricsCollector, RunMetrics, collect_metrics
+from repro.obs.metrics import (
+    MetricsCollector,
+    RunMetrics,
+    collect_metrics,
+    cross_check_metrics,
+)
 from repro.obs.profile import EngineProfile, EngineProfiler
 
 __all__ = [
     "MetricsCollector",
     "RunMetrics",
     "collect_metrics",
+    "cross_check_metrics",
     "CriticalPath",
     "critical_path",
     "event_slacks",

@@ -40,7 +40,12 @@ from repro.types import Time, ZERO, time_repr
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.postal.machine import PostalSystem
 
-__all__ = ["RunMetrics", "MetricsCollector", "collect_metrics"]
+__all__ = [
+    "RunMetrics",
+    "MetricsCollector",
+    "collect_metrics",
+    "cross_check_metrics",
+]
 
 
 def _per_proc(counts: Mapping[int, Any], n: int, default: Any) -> tuple:
@@ -270,6 +275,60 @@ class MetricsCollector:
             mean_latency=mean,
             max_inbox_wait=self._max_wait,
         )
+
+
+def cross_check_metrics(metrics: RunMetrics, schedule) -> list[str]:
+    """Diff a trace-derived :class:`RunMetrics` against an independently
+    built :class:`~repro.core.schedule.Schedule` — the observability half
+    of the conformance certificate (``repro.conformance``).
+
+    Returns a list of human-readable discrepancy strings (empty = the two
+    records agree).  Checked: makespan vs completion time, total sends vs
+    event count, per-processor send/receive counts, and (uniform strict
+    runs) the latency histogram collapsing to a single ``lambda`` bucket.
+    """
+    problems: list[str] = []
+    completion = schedule.completion_time()
+    if metrics.makespan != completion:
+        problems.append(
+            f"makespan {time_repr(metrics.makespan)} != schedule completion "
+            f"{time_repr(completion)}"
+        )
+    if metrics.total_sends != len(schedule.events):
+        problems.append(
+            f"total_sends {metrics.total_sends} != "
+            f"{len(schedule.events)} schedule events"
+        )
+    if metrics.total_deliveries != len(schedule.events):
+        problems.append(
+            f"total_deliveries {metrics.total_deliveries} != "
+            f"{len(schedule.events)} schedule events"
+        )
+    sends: dict[int, int] = {}
+    recvs: dict[int, int] = {}
+    for ev in schedule.events:
+        sends[ev.sender] = sends.get(ev.sender, 0) + 1
+        recvs[ev.receiver] = recvs.get(ev.receiver, 0) + 1
+    for p in range(metrics.n):
+        if metrics.sends[p] != sends.get(p, 0):
+            problems.append(
+                f"p{p}: {metrics.sends[p]} traced sends != "
+                f"{sends.get(p, 0)} schedule events"
+            )
+        if metrics.receives[p] != recvs.get(p, 0):
+            problems.append(
+                f"p{p}: {metrics.receives[p]} traced deliveries != "
+                f"{recvs.get(p, 0)} schedule events"
+            )
+    if metrics.lam is not None and metrics.latency_histogram:
+        buckets = [latency for latency, _ in metrics.latency_histogram]
+        if buckets != [metrics.lam]:
+            problems.append(
+                f"latency histogram buckets "
+                f"{[time_repr(b) for b in buckets]} != [lambda] — "
+                f"a uniform strict run must pay exactly lambda per hop"
+            )
+    return problems
 
 
 def collect_metrics(system: "PostalSystem") -> RunMetrics:

@@ -8,6 +8,7 @@
 
 from repro.report.render import render_gantt, render_tree
 from repro.report.tables import (
+    conformance_table,
     format_table,
     markdown_table,
     utilization_table,
@@ -20,6 +21,7 @@ __all__ = [
     "format_table",
     "markdown_table",
     "utilization_table",
+    "conformance_table",
     "phase_diagram",
     "winner_grid",
 ]

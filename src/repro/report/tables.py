@@ -1,6 +1,7 @@
 """Plain-text and Markdown table formatting for the benchmark harness,
-plus the rendered per-processor utilization table of the observability
-layer (``python -m repro trace --summary``)."""
+the rendered per-processor utilization table of the observability layer
+(``python -m repro trace --summary``), and the per-family summary table
+of the conformance fuzzer (``python -m repro conformance``)."""
 
 from __future__ import annotations
 
@@ -10,6 +11,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.types import time_repr
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.conformance.fuzzer import FuzzReport
     from repro.obs.metrics import RunMetrics
 
 __all__ = [
@@ -19,6 +21,9 @@ __all__ = [
     "utilization_rows",
     "utilization_table",
     "UTILIZATION_HEADERS",
+    "conformance_rows",
+    "conformance_table",
+    "CONFORMANCE_HEADERS",
 ]
 
 
@@ -110,6 +115,57 @@ def utilization_table(metrics: "RunMetrics", *, markdown: bool = False) -> str:
     if markdown:
         return markdown_table(list(UTILIZATION_HEADERS), rows)
     return format_table(list(UTILIZATION_HEADERS), rows)
+
+
+#: Column headers of the conformance summary table.
+CONFORMANCE_HEADERS = (
+    "family",
+    "citation",
+    "runs",
+    "certified",
+    "failed",
+    "chaos caught",
+    "chaos missed",
+)
+
+
+def conformance_rows(report: "FuzzReport") -> list[list[Any]]:
+    """Per-family rows (plus an ``all`` summary row) from a
+    :class:`~repro.conformance.fuzzer.FuzzReport`."""
+    # imported lazily: repro.conformance pulls in the whole algorithm and
+    # collective stack, which plain table formatting must not depend on
+    from repro.conformance.oracles import get_oracle
+
+    rows: list[list[Any]] = []
+    totals = [0, 0, 0, 0, 0]
+    for family in sorted(report.stats):
+        s = report.stats[family]
+        rows.append(
+            [
+                family,
+                get_oracle(family).citation,
+                s.runs,
+                s.certified,
+                s.failed,
+                s.chaos_detected,
+                s.chaos_missed,
+            ]
+        )
+        for i, v in enumerate(
+            (s.runs, s.certified, s.failed, s.chaos_detected, s.chaos_missed)
+        ):
+            totals[i] += v
+    rows.append(["all", "", *totals])
+    return rows
+
+
+def conformance_table(report: "FuzzReport", *, markdown: bool = False) -> str:
+    """Rendered per-family conformance summary — the
+    ``repro conformance`` artifact."""
+    rows = conformance_rows(report)
+    if markdown:
+        return markdown_table(list(CONFORMANCE_HEADERS), rows)
+    return format_table(list(CONFORMANCE_HEADERS), rows)
 
 
 def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:

@@ -36,3 +36,87 @@ SIZES = [1, 2, 3, 4, 5, 8, 13, 14, 21, 40, 100]
 
 #: Message counts for multi-message algorithms.
 MCOUNTS = [1, 2, 3, 5, 8]
+
+
+# ----------------------------------------------------- family strategies
+#
+# Constructive (n, m, lambda) strategies that satisfy each conformance
+# family's applicability predicate *by construction* — no .filter(), so
+# hypothesis never sees a rejected draw.
+
+
+def lambdas(max_int=5, max_denominator=4):
+    """Rational latencies ``lambda >= 1`` with small denominators."""
+    return rationals(1, max_int, max_denominator=max_denominator)
+
+
+def _single_message(max_n):
+    return st.tuples(
+        st.integers(2, max_n), st.just(1), lambdas()
+    )
+
+
+def _any_m(max_n, max_m):
+    return st.tuples(
+        st.integers(2, max_n), st.integers(1, max_m), lambdas()
+    )
+
+
+def _pipeline1(max_n):
+    # m <= lambda: draw lambda first, then m in 1..floor(lambda)
+    return lambdas().flatmap(
+        lambda lam: st.tuples(
+            st.integers(2, max_n),
+            st.integers(1, max(1, math.floor(lam))),
+            st.just(lam),
+        )
+    )
+
+
+def _pipeline2(max_n, max_m):
+    # m >= lambda: draw lambda first, then m from ceil(lambda) up
+    return lambdas().flatmap(
+        lambda lam: st.tuples(
+            st.integers(2, max_n),
+            st.integers(
+                math.ceil(lam), max(math.ceil(lam), max_m)
+            ),
+            st.just(lam),
+        )
+    )
+
+
+def _dtree_latency(max_n):
+    # degree ceil(lambda)+1 must not be clamped: n >= ceil(lambda)+2
+    return lambdas().flatmap(
+        lambda lam: st.tuples(
+            st.integers(
+                math.ceil(lam) + 2, max(math.ceil(lam) + 2, max_n)
+            ),
+            st.integers(1, 3),
+            st.just(lam),
+        )
+    )
+
+
+def family_params(family, max_n=16, max_m=5):
+    """A hypothesis strategy of applicable ``(n, m, lambda)`` triples for
+    one conformance family (see :mod:`repro.conformance.oracles`)."""
+    key = family.upper()
+    if key in ("BCAST", "BINOMIAL") or key in (
+        "REDUCE",
+        "SCATTER",
+        "GATHER",
+        "ALLTOALL",
+        "ALLREDUCE",
+        "BARRIER",
+    ):
+        return _single_message(max_n)
+    if key == "PIPELINE-1":
+        return _pipeline1(max_n)
+    if key == "PIPELINE-2":
+        return _pipeline2(max_n, max_m)
+    if key == "DTREE-LATENCY":
+        return _dtree_latency(max_n)
+    # REPEAT, PACK, DTREE-LINE, DTREE-BINARY, STAR
+    return _any_m(max_n, max_m)

@@ -1,0 +1,157 @@
+"""Tests for end-to-end certification (repro.conformance.certify) and the
+seeded chaos self-test (repro.conformance.chaos)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.conformance import (
+    CertResult,
+    ConformanceConfig,
+    MUTATIONS,
+    certify_config,
+    corrupt_schedule,
+    families,
+    get_oracle,
+)
+from repro.errors import InvalidParameterError
+
+
+def _small_config(family, lam="5/2", policy="both"):
+    """One applicable grid point per family at latency *lam*."""
+    import math
+
+    from repro.types import as_time
+
+    oracle = get_oracle(family)
+    lam_t = as_time(lam)
+    n = 7
+    if family == "DTREE-LATENCY":
+        n = max(7, math.ceil(lam_t) + 2)
+    for m in (2, 3, 1):
+        if oracle.applicable(n, m, lam_t):
+            return ConformanceConfig(family, n, m, lam, policy=policy)
+    raise AssertionError(f"no applicable point for {family}")
+
+
+class TestConfig:
+    def test_round_trips_through_dict(self):
+        cfg = ConformanceConfig("PACK", 9, 3, "7/3", policy="both", chaos_seed=5)
+        assert ConformanceConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_rational_lambda_survives_serialization(self):
+        cfg = ConformanceConfig("BCAST", 5, 1, "5/2")
+        assert cfg.lam_time == Fraction(5, 2)
+        again = ConformanceConfig.from_dict(cfg.to_dict())
+        assert again.lam_time == Fraction(5, 2)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ConformanceConfig("BCAST", 5, 1, "2", policy="loose")
+
+    def test_garbage_lambda_rejected(self):
+        with pytest.raises(Exception):
+            ConformanceConfig("BCAST", 5, 1, "not-a-time")
+
+
+class TestCertifyAllFamilies:
+    @pytest.mark.parametrize("family", families())
+    @pytest.mark.parametrize("lam", ["2", "5/2"])
+    def test_family_certifies_clean(self, family, lam):
+        oracle = get_oracle(family)
+        try:
+            cfg = _small_config(family, lam=lam)
+        except AssertionError:
+            pytest.skip(f"{family} has no point at lambda={lam}")
+        from repro.types import as_time
+
+        if not oracle.applicable(cfg.n, cfg.m, as_time(lam)):
+            pytest.skip(f"{family} inapplicable at lambda={lam}")
+        result = certify_config(cfg)
+        assert isinstance(result, CertResult)
+        assert result.ok, result.violations
+        assert result.predicted is not None
+        assert "certified" in result.summary()
+        # both policies ran for queued-capable families
+        if oracle.supports_queued:
+            assert set(result.sim_times) == {"strict", "queued"}
+
+    def test_keep_system_retains_machines(self):
+        cfg = ConformanceConfig("BCAST", 6, 1, "2", policy="both")
+        result = certify_config(cfg, keep_system=True)
+        assert result.ok
+        assert set(result.systems) == {"strict", "queued"}
+
+
+class TestChaos:
+    """The self-test: a corrupted schedule MUST produce violations."""
+
+    def _exact_builder_families(self):
+        return [
+            f
+            for f in families()
+            if get_oracle(f).exact and get_oracle(f).schedule is not None
+        ]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_corruption_always_detected(self, seed):
+        for family in self._exact_builder_families():
+            cfg = _small_config(family, lam="2", policy="strict")
+            cfg = ConformanceConfig(
+                cfg.family, cfg.n, cfg.m, cfg.lam, chaos_seed=seed
+            )
+            result = certify_config(cfg)
+            assert result.corruption, (family, seed)
+            assert not result.ok, (
+                f"{family} seed={seed}: corruption "
+                f"{result.corruption!r} went undetected"
+            )
+
+    def test_same_seed_same_corruption(self):
+        cfg = ConformanceConfig("REPEAT", 7, 2, "2", chaos_seed=42)
+        a, b = certify_config(cfg), certify_config(cfg)
+        assert a.corruption == b.corruption
+        assert a.violations == b.violations
+
+    def test_chaos_without_builder_raises(self):
+        cfg = ConformanceConfig("REDUCE", 7, 1, "2", chaos_seed=1)
+        with pytest.raises(InvalidParameterError, match="static builder"):
+            certify_config(cfg)
+
+    def test_all_mutations_reachable(self):
+        from repro.core.bcast import bcast_schedule
+
+        sched = bcast_schedule(9, 2)
+        seen = set()
+        for seed in range(64):
+            _, description = corrupt_schedule(sched, random.Random(seed))
+            seen.add(description.split(":")[0])
+        assert seen == set(MUTATIONS)
+
+    def test_corrupt_empty_schedule_rejected(self):
+        from repro.core.schedule import Schedule
+
+        empty = Schedule(1, 2, [], m=1, validate=False)
+        with pytest.raises(InvalidParameterError):
+            corrupt_schedule(empty, random.Random(0))
+
+    def test_corruption_breaks_a_certified_property(self):
+        """Every mutation either violates a postal axiom or shifts the
+        makespan off the closed form — there are no no-op corruptions."""
+        from repro.core.bcast import bcast_schedule
+        from repro.errors import ReproError
+
+        sched = bcast_schedule(9, 2)
+        pristine_time = sched.completion_time()
+        for seed in range(16):
+            corrupted, description = corrupt_schedule(
+                sched, random.Random(seed)
+            )
+            try:
+                corrupted.validate()
+            except ReproError:
+                continue  # axiom violation — the certifier will see it
+            # "delay" keeps the schedule postal-valid; the makespan
+            # must then diverge from the exact prediction
+            assert corrupted.completion_time() != pristine_time, description

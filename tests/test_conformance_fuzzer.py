@@ -1,0 +1,237 @@
+"""Tests for the seeded differential fuzzer and the failure-artifact
+pipeline (repro.conformance.fuzzer / artifacts)."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import (
+    ConformanceConfig,
+    FuzzOptions,
+    certify_config,
+    families,
+    run_fuzz,
+    sample_config,
+    smoke_options,
+    write_failure_artifact,
+)
+from repro.errors import InvalidParameterError
+from repro.obs.export import dump_jsonl
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _quick(seed=0, **overrides):
+    base = dict(
+        seed=seed,
+        iterations=2 * len(families()),
+        max_n=8,
+        max_m=3,
+        max_lam=4,
+        max_denominator=3,
+    )
+    base.update(overrides)
+    return FuzzOptions(**base)
+
+
+class TestSampling:
+    def test_sampled_configs_are_always_applicable(self):
+        import random
+
+        from repro.conformance import get_oracle
+
+        rng = random.Random(123)
+        opts = _quick()
+        for family in families():
+            for _ in range(20):
+                cfg = sample_config(rng, family, opts)
+                oracle = get_oracle(family)
+                # raises on an inapplicable draw
+                oracle.check_applicable(cfg.n, cfg.m, cfg.lam_time)
+
+    def test_rational_lambdas_are_drawn(self):
+        import random
+
+        rng = random.Random(7)
+        opts = _quick()
+        denominators = {
+            sample_config(rng, "REPEAT", opts).lam_time.denominator
+            for _ in range(50)
+        }
+        assert denominators - {1}, "no rational lambda in 50 draws"
+
+
+class TestFuzz:
+    def test_quick_fuzz_certifies_everything(self):
+        report = run_fuzz(_quick())
+        assert report.ok, [f.violations for f in report.failures]
+        assert set(report.stats) == set(families())
+        assert report.total_runs == 2 * len(families())
+        assert "certified" in report.summary()
+
+    def test_smoke_options_cover_every_family(self):
+        opts = smoke_options(seed=1)
+        assert opts.iterations >= len(families())
+
+    def test_no_families_raises(self):
+        with pytest.raises(InvalidParameterError):
+            run_fuzz(FuzzOptions(families=()))
+
+    def test_chaos_corruptions_are_caught(self, tmp_path):
+        opts = _quick(
+            seed=5,
+            iterations=12,
+            chaos_rate=1.0,
+            artifact_dir=str(tmp_path),
+        )
+        report = run_fuzz(opts)
+        assert report.ok, [f.violations for f in report.failures]
+        caught = sum(s.chaos_detected for s in report.stats.values())
+        missed = sum(s.chaos_missed for s in report.stats.values())
+        assert caught > 0 and missed == 0
+        assert len(report.artifacts) == caught
+
+
+class TestDeterminism:
+    """Satellite (a): one seed, one behaviour — byte for byte."""
+
+    def test_same_seed_same_report(self):
+        a, b = run_fuzz(_quick(seed=9)), run_fuzz(_quick(seed=9))
+        assert a.stats == b.stats
+
+    def test_different_seed_different_grid(self):
+        import random
+
+        opts = _quick()
+        cfg_a = sample_config(random.Random(1), "REPEAT", opts)
+        cfg_b = sample_config(random.Random(2), "REPEAT", opts)
+        assert cfg_a != cfg_b  # overwhelmingly likely; pinned seeds
+
+    def test_same_seed_byte_identical_trace_jsonl(self):
+        cfg = ConformanceConfig("PACK", 7, 3, "5/2", policy="strict")
+
+        def dump():
+            result = certify_config(cfg, keep_system=True)
+            assert result.ok, result.violations
+            buf = io.StringIO()
+            dump_jsonl(result.systems["strict"].tracer, buf)
+            return buf.getvalue()
+
+        assert dump() == dump()
+
+    def test_same_seed_identical_artifacts(self, tmp_path):
+        dirs = []
+        for name in ("a", "b"):
+            root = tmp_path / name
+            report = run_fuzz(
+                _quick(
+                    seed=5,
+                    iterations=12,
+                    chaos_rate=1.0,
+                    artifact_dir=str(root),
+                )
+            )
+            assert report.artifacts
+            dirs.append(root)
+        files_a = sorted(
+            p.relative_to(dirs[0]) for p in dirs[0].rglob("*") if p.is_file()
+        )
+        files_b = sorted(
+            p.relative_to(dirs[1]) for p in dirs[1].rglob("*") if p.is_file()
+        )
+        assert files_a == files_b
+        for rel in files_a:
+            if rel.name == "reproduce.py":
+                continue  # embeds the artifact dir name in its docstring
+            assert (dirs[0] / rel).read_bytes() == (
+                dirs[1] / rel
+            ).read_bytes(), rel
+
+
+class TestArtifacts:
+    def _chaos_result(self):
+        cfg = ConformanceConfig("REPEAT", 7, 2, "2", chaos_seed=42)
+        result = certify_config(cfg, keep_system=True)
+        assert not result.ok
+        return result
+
+    def test_artifact_contents(self, tmp_path):
+        directory = write_failure_artifact(self._chaos_result(), tmp_path)
+        names = {p.name for p in directory.iterdir()}
+        assert "config.json" in names
+        assert "reproduce.py" in names
+        assert "chrome-static.json" in names  # corrupted static schedule
+        summary = json.loads((directory / "config.json").read_text())
+        assert summary["config"]["chaos_seed"] == 42
+        assert summary["violations"]
+        assert summary["corruption"]
+
+    def test_simulation_traces_dumped_when_systems_kept(self, tmp_path):
+        cfg = ConformanceConfig("BCAST", 6, 1, "2", policy="both")
+        result = certify_config(cfg, keep_system=True)
+        # force a violation so an artifact is warranted
+        result.violations.append("synthetic: test-injected divergence")
+        directory = write_failure_artifact(result, tmp_path)
+        names = {p.name for p in directory.iterdir()}
+        assert {"trace-strict.jsonl", "trace-queued.jsonl"} <= names
+        assert {"chrome-strict.json", "chrome-queued.json"} <= names
+        first = (directory / "trace-strict.jsonl").read_text().splitlines()
+        assert first and all(json.loads(line) for line in first)
+
+    def test_repro_script_reproduces_violation_from_seed(self, tmp_path):
+        """Acceptance criterion: the filed repro script re-derives the
+        corruption from the recorded seed and exits 1."""
+        directory = write_failure_artifact(self._chaos_result(), tmp_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, str(directory / "reproduce.py")],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(REPO_ROOT),
+            timeout=60,
+        )
+        assert proc.returncode == 1, (proc.stdout, proc.stderr)
+        assert "violation" in proc.stdout
+
+
+class TestCli:
+    def test_conformance_smoke_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "conformance",
+                "--smoke",
+                "--seed",
+                "2",
+                "--iterations",
+                "16",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "certified" in out
+        assert "family" in out  # the summary table rendered
+
+    def test_conformance_family_subset(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "conformance",
+                "--families",
+                "BCAST,PIPELINE-2",
+                "--iterations",
+                "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PIPELINE-2" in out

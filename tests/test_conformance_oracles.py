@@ -1,0 +1,142 @@
+"""Tests for the oracle registry (repro.conformance.oracles)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.conformance.oracles import (
+    REGISTRY,
+    Oracle,
+    broadcast_families,
+    collective_families,
+    families,
+    get_oracle,
+    register,
+)
+from repro.core.analysis import (
+    bcast_time,
+    multi_lower_bound,
+    pack_time,
+    pipeline_time,
+    repeat_time,
+)
+from repro.errors import InvalidParameterError
+
+LAM = Fraction(5, 2)
+
+EXPECTED_FAMILIES = {
+    "BCAST",
+    "REPEAT",
+    "PACK",
+    "PIPELINE-1",
+    "PIPELINE-2",
+    "DTREE-LINE",
+    "DTREE-BINARY",
+    "DTREE-LATENCY",
+    "STAR",
+    "BINOMIAL",
+    "REDUCE",
+    "SCATTER",
+    "GATHER",
+    "ALLTOALL",
+    "ALLREDUCE",
+    "BARRIER",
+}
+
+
+class TestRegistry:
+    def test_every_expected_family_is_registered(self):
+        assert set(families()) == EXPECTED_FAMILIES
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_oracle("bcast") is get_oracle("BCAST")
+        assert get_oracle("pipeline-2").family == "PIPELINE-2"
+
+    def test_unknown_family_raises_with_candidates(self):
+        with pytest.raises(InvalidParameterError, match="BCAST"):
+            get_oracle("NOPE")
+
+    def test_duplicate_registration_rejected(self):
+        clone = REGISTRY["BCAST"]
+        with pytest.raises(InvalidParameterError):
+            register(clone)
+
+    def test_broadcast_collective_partition(self):
+        bc, coll = set(broadcast_families()), set(collective_families())
+        assert bc | coll == EXPECTED_FAMILIES
+        assert not bc & coll
+        assert "REDUCE" in coll and "REPEAT" in bc
+
+
+class TestClosedForms:
+    """The registered formulas are the analysis module's closed forms."""
+
+    @pytest.mark.parametrize(
+        "family,expected",
+        [
+            ("BCAST", lambda n, m, lam: bcast_time(n, lam)),
+            ("REPEAT", repeat_time),
+            ("PACK", pack_time),
+            ("PIPELINE-2", pipeline_time),
+        ],
+    )
+    def test_formula_matches_analysis(self, family, expected):
+        oracle = get_oracle(family)
+        n, m = 8, (1 if family == "BCAST" else 3)
+        assert oracle.time(n, m, LAM) == expected(n, m, LAM)
+
+    def test_lower_bound_is_lemma8_for_broadcast(self):
+        oracle = get_oracle("REPEAT")
+        assert oracle.lower_bound(8, 3, LAM) == multi_lower_bound(8, 3, LAM)
+
+    def test_lower_bound_none_for_collectives(self):
+        assert get_oracle("SCATTER").lower_bound(8, 1, LAM) is None
+
+    def test_exact_formula_never_beats_lower_bound(self):
+        for family in broadcast_families():
+            oracle = get_oracle(family)
+            for n in (2, 5, 9):
+                for m in (1, 2, 4):
+                    if not oracle.applicable(n, m, LAM):
+                        continue
+                    lb = oracle.lower_bound(n, m, LAM)
+                    assert oracle.time(n, m, LAM) >= lb, (family, n, m)
+
+
+class TestApplicability:
+    def test_pipeline1_requires_m_le_lambda(self):
+        oracle = get_oracle("PIPELINE-1")
+        oracle.check_applicable(6, 2, LAM)  # 2 <= 5/2
+        with pytest.raises(InvalidParameterError, match="not applicable"):
+            oracle.check_applicable(6, 3, LAM)
+
+    def test_pipeline2_requires_m_ge_lambda(self):
+        oracle = get_oracle("PIPELINE-2")
+        oracle.check_applicable(6, 3, LAM)
+        with pytest.raises(InvalidParameterError):
+            oracle.check_applicable(6, 2, LAM)
+
+    def test_single_message_families(self):
+        for family in ("BCAST", "BINOMIAL", "REDUCE", "BARRIER"):
+            with pytest.raises(InvalidParameterError):
+                get_oracle(family).check_applicable(6, 2, LAM)
+
+    def test_dtree_latency_degree_not_clamped(self):
+        oracle = get_oracle("DTREE-LATENCY")
+        # degree ceil(5/2)+1 = 4 needs n >= 5
+        oracle.check_applicable(5, 2, LAM)
+        with pytest.raises(InvalidParameterError):
+            oracle.check_applicable(4, 2, LAM)
+
+    def test_oracle_is_frozen(self):
+        with pytest.raises(AttributeError):
+            get_oracle("BCAST").exact = False  # type: ignore[misc]
+
+    def test_every_oracle_has_citation_and_protocol(self):
+        for family in families():
+            oracle = get_oracle(family)
+            assert isinstance(oracle, Oracle)
+            assert oracle.citation
+            assert callable(oracle.protocol)
+            if oracle.semantics == "broadcast":
+                assert oracle.schedule is not None

@@ -1,0 +1,121 @@
+"""Hypothesis property tests: the observability metrics and the realized
+runs agree with the oracle closed forms on randomly drawn applicable
+grid points (satellite of the conformance subsystem).
+
+The quick versions run in tier-1; the ``slow``-marked sweeps widen the
+grids for the nightly job (``pytest -m slow``).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.conformance import certify_config, ConformanceConfig, get_oracle
+from repro.postal.runner import run_protocol
+from tests.grids import family_params
+
+QUICK = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+DEEP = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: The exact multi-message algorithms of Section 4 — the paper's core.
+CORE_FAMILIES = ("BCAST", "REPEAT", "PACK", "PIPELINE-1", "PIPELINE-2")
+
+
+def _metrics_agree_with_oracle(family, params):
+    n, m, lam = params
+    oracle = get_oracle(family)
+    predicted = oracle.time(n, m, lam)
+    result = run_protocol(oracle.protocol(n, m, lam))
+    metrics = result.metrics
+    assert metrics is not None
+
+    # makespan: the metric, the runner, and the closed form all agree
+    assert result.completion_time == predicted
+    assert metrics.makespan == predicted
+
+    # a broadcast delivers each of the m messages to each non-root
+    # processor exactly once; sends mirror deliveries one to one
+    assert metrics.total_deliveries == (n - 1) * m
+    assert metrics.total_sends == (n - 1) * m
+    assert metrics.receives[0] == 0  # the root receives nothing
+
+    # uniform latency: the histogram has a single bucket at lambda
+    assert [latency for latency, _ in metrics.latency_histogram] == [lam]
+
+    # the Lemma 8 lower bound holds for the realized run too
+    lb = oracle.lower_bound(n, m, lam)
+    assert predicted >= lb
+
+
+class TestMetricsVsOracle:
+    @pytest.mark.parametrize("family", CORE_FAMILIES)
+    def test_quick(self, family):
+        @QUICK
+        @given(family_params(family, max_n=12, max_m=4))
+        def run(params):
+            _metrics_agree_with_oracle(family, params)
+
+        run()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("family", CORE_FAMILIES)
+    def test_deep(self, family):
+        @DEEP
+        @given(family_params(family, max_n=34, max_m=7))
+        def run(params):
+            _metrics_agree_with_oracle(family, params)
+
+        run()
+
+
+class TestCertifierProperty:
+    """certify_config never reports a violation on an applicable point —
+    over a wider, randomly drawn grid than the example-based tests."""
+
+    @pytest.mark.parametrize(
+        "family", ("REPEAT", "PACK", "DTREE-BINARY", "STAR")
+    )
+    def test_quick(self, family):
+        @QUICK
+        @given(family_params(family, max_n=10, max_m=3))
+        def run(params):
+            n, m, lam = params
+            cfg = ConformanceConfig(family, n, m, str(lam), policy="both")
+            result = certify_config(cfg)
+            assert result.ok, result.violations
+
+        run()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "family",
+        (
+            "BCAST",
+            "REPEAT",
+            "PACK",
+            "PIPELINE-1",
+            "PIPELINE-2",
+            "DTREE-LINE",
+            "DTREE-BINARY",
+            "DTREE-LATENCY",
+            "STAR",
+            "BINOMIAL",
+        ),
+    )
+    def test_deep(self, family):
+        @DEEP
+        @given(family_params(family, max_n=26, max_m=5))
+        def run(params):
+            n, m, lam = params
+            cfg = ConformanceConfig(family, n, m, str(lam), policy="both")
+            result = certify_config(cfg)
+            assert result.ok, result.violations
+
+        run()

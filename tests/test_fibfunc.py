@@ -163,3 +163,65 @@ class TestAPI:
         b = GeneralizedFibonacci(Fraction(7, 3))
         for n in (5, 50, 7):  # interleaved growth orders
             assert a.index(n) == b.index(n)
+
+
+class TestModuleCache:
+    """The LRU-bounded module-level cache behind postal_F / postal_f."""
+
+    def setup_method(self):
+        from repro.core import fibfunc
+
+        fibfunc.clear_cache()
+
+    def teardown_method(self):
+        from repro.core import fibfunc
+
+        fibfunc.clear_cache()
+
+    def test_cache_hit_reuses_the_instance(self):
+        from repro.core import fibfunc
+
+        postal_f(Fraction(5, 2), 10)
+        size_after_first, limit = fibfunc.cache_info()
+        postal_F(Fraction(5, 2), 7)  # same lambda, other entry point
+        assert fibfunc.cache_info() == (size_after_first, limit)
+        assert size_after_first == 1
+
+    def test_equivalent_lambdas_share_one_entry(self):
+        from repro.core import fibfunc
+
+        postal_f("5/2", 10)
+        postal_f(2.5, 10)
+        postal_f(Fraction(5, 2), 10)
+        assert fibfunc.cache_info()[0] == 1
+
+    def test_cache_size_is_bounded(self, monkeypatch):
+        from repro.core import fibfunc
+
+        monkeypatch.setattr(fibfunc, "_CACHE_LIMIT", 8)
+        for k in range(30):
+            postal_f(Fraction(k + 8, 8), 5)  # 30 distinct lambdas >= 1
+        size, _ = fibfunc.cache_info()
+        assert size <= 8
+
+    def test_eviction_is_least_recently_used(self, monkeypatch):
+        from repro.core import fibfunc
+
+        monkeypatch.setattr(fibfunc, "_CACHE_LIMIT", 2)
+        postal_f(1, 5)  # cache: [1]
+        postal_f(2, 5)  # cache: [1, 2]
+        postal_f(1, 5)  # touch 1 -> cache: [2, 1]
+        postal_f(3, 5)  # evicts 2 -> cache: [1, 3]
+        assert Fraction(1) in fibfunc._CACHE
+        assert Fraction(2) not in fibfunc._CACHE
+        assert Fraction(3) in fibfunc._CACHE
+
+    def test_values_survive_eviction(self, monkeypatch):
+        """Correctness does not depend on the cache: evicted lambdas
+        recompute to identical values."""
+        from repro.core import fibfunc
+
+        monkeypatch.setattr(fibfunc, "_CACHE_LIMIT", 1)
+        before = postal_f(Fraction(5, 2), 14)
+        postal_f(3, 14)  # evicts 5/2
+        assert postal_f(Fraction(5, 2), 14) == before
