@@ -1,0 +1,298 @@
+"""The perf regression harness behind ``python -m repro bench``.
+
+Measures end-to-end wall time of :func:`repro.postal.runner.run_protocol`
+(``validate=False, collect=False`` — pure engine cost) for a fixed case
+grid on **both** execution backends and reports the turbo-vs-exact
+speedup per case.  Three protocol families cover the three structural
+regimes: BCAST (single message, Fibonacci tree fan-out), PIPELINE-2
+(multi-message pipelining, long per-processor send chains), and
+DTREE-BINARY (degree-bounded tree, mixed fan-out).
+
+Two grids:
+
+* ``smoke`` — the CI gate: ``n`` up to ``10^4`` (BCAST) / ``10^3``
+  (the multi-message families); finishes in well under a minute.
+* ``full``  — the nightly trajectory: every family up to ``n = 10^5``.
+
+Results serialize to the committed ``BENCH_turbo.json`` (schema
+``repro-bench-turbo/1``; see ``docs/performance.md``).  Two checks gate
+CI:
+
+* **speedup gate** — turbo must be at least :data:`GATE_MIN_SPEEDUP`
+  times faster than exact for BCAST at ``n = 10^4`` (uniform integer
+  latency), per the acceptance criterion of the turbo lane;
+* **baseline comparison** — optionally, each measured wall time must not
+  exceed the committed baseline's by more than a relative tolerance
+  (default ±30%; wall clocks on shared CI runners are noisy, so the
+  tolerance is deliberately loose and only *slower* is a failure).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.types import Time, as_time, time_repr
+
+__all__ = [
+    "BenchCase",
+    "BenchResult",
+    "GATE_CASE",
+    "GATE_MIN_SPEEDUP",
+    "SCHEMA",
+    "bench_grid",
+    "compare_to_baseline",
+    "format_results",
+    "gate_result",
+    "run_bench",
+    "run_case",
+    "to_json",
+]
+
+#: Schema tag written into every ``BENCH_turbo.json``.
+SCHEMA = "repro-bench-turbo/1"
+
+#: The acceptance gate: ``(family, n)`` that must clear the speedup bar.
+GATE_CASE = ("BCAST", 10_000)
+
+#: Minimum turbo-vs-exact speedup required at :data:`GATE_CASE`.
+GATE_MIN_SPEEDUP = 3.0
+
+#: Per-family message counts used by the grid (``m`` scales work for the
+#: multi-message families without drowning the run in parameters).
+_FAMILY_M = {"BCAST": 1, "PIPELINE-2": 4, "DTREE-BINARY": 2}
+
+#: Uniform latency for every grid case — integer, so the gate measures
+#: the common case (tick scale 1, no rescaling advantage for turbo).
+_LAM = as_time(2)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One grid point: a protocol family at machine size ``n``."""
+
+    family: str
+    n: int
+    m: int
+    lam: Time
+
+    def protocol(self):
+        """A *fresh* protocol instance (protocols hold run state)."""
+        from repro.conformance.oracles import get_oracle
+
+        return get_oracle(self.family).protocol(
+            n=self.n, m=self.m, lam=self.lam
+        )
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Measured wall times for one :class:`BenchCase`."""
+
+    case: BenchCase
+    exact_s: float
+    turbo_s: float
+    sends: int
+
+    @property
+    def speedup(self) -> float:
+        """Exact wall time over turbo wall time (higher is better)."""
+        return self.exact_s / self.turbo_s if self.turbo_s > 0 else float("inf")
+
+
+def bench_grid(mode: str = "smoke") -> list[BenchCase]:
+    """The case grid for *mode* (``"smoke"`` or ``"full"``).
+
+    Smoke keeps the multi-message families at ``n <= 10^3`` so the CI
+    job stays fast while still exercising every family; BCAST goes to
+    ``10^4`` because the acceptance gate is measured there.  Full
+    extends every family to ``10^5``.
+    """
+    if mode not in ("smoke", "full"):
+        raise ValueError(f"unknown bench mode {mode!r}")
+    sizes: dict[str, Sequence[int]] = {
+        "BCAST": (100, 1_000, 10_000),
+        "PIPELINE-2": (100, 1_000),
+        "DTREE-BINARY": (100, 1_000),
+    }
+    if mode == "full":
+        sizes = {
+            "BCAST": (100, 1_000, 10_000, 100_000),
+            "PIPELINE-2": (100, 1_000, 10_000, 100_000),
+            "DTREE-BINARY": (100, 1_000, 10_000, 100_000),
+        }
+    return [
+        BenchCase(family, n, _FAMILY_M[family], _LAM)
+        for family, ns in sizes.items()
+        for n in ns
+    ]
+
+
+def _time_backend(case: BenchCase, backend: str) -> tuple[float, int]:
+    """Best-of-repeats wall time of one backend on *case*.
+
+    A fresh protocol is built per repetition (protocols are stateful).
+    Small cases repeat until ~0.2 s of total measurement (max 5 reps)
+    and report the minimum; anything slower than half a second runs
+    once — repeating a 30 s exact run buys nothing.
+    """
+    from repro.postal.runner import run_protocol
+
+    best = float("inf")
+    total = 0.0
+    sends = 0
+    for _ in range(5):
+        proto = case.protocol()
+        t0 = time.perf_counter()
+        result = run_protocol(
+            proto, validate=False, collect=False, backend=backend
+        )
+        elapsed = time.perf_counter() - t0
+        sends = result.sends
+        best = min(best, elapsed)
+        total += elapsed
+        if elapsed >= 0.5 or total >= 0.2:
+            break
+    return best, sends
+
+
+def run_case(case: BenchCase) -> BenchResult:
+    """Measure *case* on both backends."""
+    exact_s, sends = _time_backend(case, "exact")
+    turbo_s, turbo_sends = _time_backend(case, "turbo")
+    if turbo_sends != sends:  # pragma: no cover - equivalence suite's job
+        raise AssertionError(
+            f"{case.family} n={case.n}: backends disagree on send count "
+            f"(exact {sends}, turbo {turbo_sends})"
+        )
+    return BenchResult(case, exact_s, turbo_s, sends)
+
+
+def run_bench(
+    mode: str = "smoke",
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run the whole *mode* grid; *progress* gets one line per case."""
+    results = []
+    for case in bench_grid(mode):
+        if progress is not None:
+            progress(
+                f"  {case.family:<14} n={case.n:>7,} m={case.m} "
+                f"lam={time_repr(case.lam)} ..."
+            )
+        results.append(run_case(case))
+    return results
+
+
+# ------------------------------------------------------------- reporting
+
+
+def gate_result(results: Iterable[BenchResult]) -> dict:
+    """The acceptance-gate verdict over *results*.
+
+    Returns a JSON-ready dict: the gate case, the bar, the measured
+    speedup, and ``ok``.  Raises :class:`LookupError` if the grid did
+    not include the gate case.
+    """
+    family, n = GATE_CASE
+    for res in results:
+        if res.case.family == family and res.case.n == n:
+            return {
+                "family": family,
+                "n": n,
+                "min_speedup": GATE_MIN_SPEEDUP,
+                "speedup": round(res.speedup, 3),
+                "ok": res.speedup >= GATE_MIN_SPEEDUP,
+            }
+    raise LookupError(f"bench grid did not include the gate case {GATE_CASE}")
+
+
+def to_json(results: Sequence[BenchResult], *, mode: str) -> str:
+    """Serialize *results* to the ``BENCH_turbo.json`` document."""
+    doc = {
+        "schema": SCHEMA,
+        "mode": mode,
+        "python": platform.python_version(),
+        "cases": [
+            {
+                "family": r.case.family,
+                "n": r.case.n,
+                "m": r.case.m,
+                "lam": time_repr(r.case.lam),
+                "sends": r.sends,
+                "exact_s": round(r.exact_s, 6),
+                "turbo_s": round(r.turbo_s, 6),
+                "speedup": round(r.speedup, 3),
+            }
+            for r in results
+        ],
+        "gate": gate_result(results),
+    }
+    return json.dumps(doc, indent=2) + "\n"
+
+
+def compare_to_baseline(
+    results: Sequence[BenchResult],
+    baseline: dict,
+    *,
+    tolerance: float = 0.30,
+) -> list[str]:
+    """Regressions of *results* against a committed *baseline* document.
+
+    A case regresses when its fresh wall time exceeds the baseline's by
+    more than *tolerance* (relative), on either backend.  Cases missing
+    from the baseline are skipped (the grid may grow); being *faster*
+    is never a failure.  Returns human-readable regression lines.
+    """
+    if baseline.get("schema") != SCHEMA:
+        raise ValueError(
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"
+        )
+    base = {
+        (c["family"], c["n"], c["m"], c["lam"]): c
+        for c in baseline.get("cases", [])
+    }
+    regressions: list[str] = []
+    for r in results:
+        key = (r.case.family, r.case.n, r.case.m, time_repr(r.case.lam))
+        ref = base.get(key)
+        if ref is None:
+            continue
+        for label, fresh, committed in (
+            ("exact", r.exact_s, ref["exact_s"]),
+            ("turbo", r.turbo_s, ref["turbo_s"]),
+        ):
+            if committed > 0 and fresh > committed * (1.0 + tolerance):
+                regressions.append(
+                    f"{r.case.family} n={r.case.n} [{label}]: "
+                    f"{fresh:.4f}s vs baseline {committed:.4f}s "
+                    f"(+{(fresh / committed - 1.0):.0%} > "
+                    f"{tolerance:.0%} tolerance)"
+                )
+    return regressions
+
+
+def format_results(results: Sequence[BenchResult]) -> str:
+    """Fixed-width table of the measured grid."""
+    from repro.report.tables import format_table
+
+    rows = [
+        [
+            r.case.family,
+            f"{r.case.n:,}",
+            str(r.case.m),
+            f"{r.sends:,}",
+            f"{r.exact_s:.4f}",
+            f"{r.turbo_s:.4f}",
+            f"{r.speedup:.2f}x",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["family", "n", "m", "sends", "exact (s)", "turbo (s)", "speedup"],
+        rows,
+    )

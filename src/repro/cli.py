@@ -24,6 +24,11 @@ Commands:
   protocol family against its closed form (``--smoke`` for the CI grid,
   ``--deep`` for the nightly one); failures are filed as self-contained
   repro artifacts.
+* ``bench``    — the perf regression harness: wall-time the exact and
+  turbo backends over the BCAST/PIPELINE-2/DTREE-BINARY grid
+  (``--smoke`` for the CI gate, ``--full`` for the nightly trajectory),
+  enforce the >= 3x turbo speedup gate, and optionally diff against the
+  committed ``BENCH_turbo.json`` baseline.
 
 All latency/time arguments accept ints, decimals, or ratios (``5/2``).
 """
@@ -210,6 +215,56 @@ def cmd_phase(args: argparse.Namespace) -> int:
     lams = args.lams.split(",")
     print(phase_diagram(args.n, ms, lams, show_ratio=args.ratio))
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import (
+        GATE_MIN_SPEEDUP,
+        compare_to_baseline,
+        format_results,
+        gate_result,
+        run_bench,
+        to_json,
+    )
+
+    mode = "full" if args.full else "smoke"
+    print(f"perf regression harness ({mode}): exact vs turbo backend")
+    results = run_bench(mode, progress=print)
+    print()
+    print(format_results(results))
+
+    gate = gate_result(results)
+    verdict = "PASS" if gate["ok"] else "FAIL"
+    print(
+        f"\ngate: turbo >= {GATE_MIN_SPEEDUP:.0f}x exact for "
+        f"{gate['family']} at n={gate['n']:,} — measured "
+        f"{gate['speedup']:.2f}x [{verdict}]"
+    )
+
+    ok = gate["ok"]
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        regressions = compare_to_baseline(
+            results, baseline, tolerance=args.tolerance
+        )
+        if regressions:
+            print(f"\nregressions vs {args.baseline} "
+                  f"(tolerance {args.tolerance:.0%}):")
+            for line in regressions:
+                print(f"  {line}")
+            ok = False
+        else:
+            print(f"\nno regressions vs {args.baseline} "
+                  f"(tolerance {args.tolerance:.0%})")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(to_json(results, mode=mode))
+        print(f"\nresults written to {args.out}")
+    return 0 if ok else 1
 
 
 def cmd_reliable(args: argparse.Namespace) -> int:
@@ -550,6 +605,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the summary table as Markdown",
     )
     p.set_defaults(func=cmd_conformance)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf regression harness: exact vs turbo backend wall times",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the CI grid: every family, BCAST up to n=10^4 (default)",
+    )
+    mode.add_argument(
+        "--full",
+        action="store_true",
+        help="the nightly grid: every family up to n=10^5",
+    )
+    p.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the machine-readable results JSON here "
+        "(the BENCH_turbo.json schema)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against this committed BENCH_turbo.json; any case "
+        "slower than baseline by more than the tolerance fails the run",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="relative regression tolerance for --baseline (default 0.30)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "reliable", help="reliable broadcast over a lossy network"

@@ -51,6 +51,13 @@ def bcast_events(
     lam = fib.lam
     t0 = as_time(start)
     events: list[SendEvent] = []
+    if n == 1:
+        return events
+    # Tabulate the whole F_lambda prefix up to the completion horizon in
+    # one pass; the loop then splits every subrange with raw bisects
+    # instead of per-call table lookups (f is monotone, so f(size) <=
+    # f(n) keeps every query inside the prefix).
+    prefix = fib.tabulate(fib.index(n))
     # (lo, size, t): originator `lo` broadcasts to `lo .. lo+size-1`, free
     # to start sending at time t.
     stack: list[tuple[ProcId, int, Time]] = [(offset, n, t0)]
@@ -58,7 +65,7 @@ def bcast_events(
         lo, size, t = stack.pop()
         if size == 1:
             continue
-        j = fib.value_at(fib.index(size) - 1)  # 1 <= j <= size-1 (Lemma 3)
+        j = prefix.split(size)  # 1 <= j <= size-1 (Lemma 3)
         events.append(SendEvent(t, lo, msg, lo + j))
         stack.append((lo, j, t + 1))
         stack.append((lo + j, size - j, t + lam))

@@ -46,11 +46,68 @@ from repro.types import Time, TimeLike, ZERO, as_time
 
 __all__ = [
     "GeneralizedFibonacci",
+    "FibPrefix",
     "postal_F",
     "postal_f",
+    "tabulate",
     "cache_info",
     "clear_cache",
 ]
+
+
+class FibPrefix:
+    """An immutable snapshot of the ``F_lambda`` jump table on
+    ``[0, up_to_t]`` — the whole prefix materialized in one pass by
+    :meth:`GeneralizedFibonacci.tabulate` / :func:`tabulate`.
+
+    Schedule builders query ``F`` and ``f`` thousands of times in their
+    inner loops; against a live :class:`GeneralizedFibonacci` every call
+    re-checks the horizon and re-dispatches.  A prefix is two parallel
+    tuples and raw :mod:`bisect` lookups — nothing else.
+
+    Attributes:
+        times: jump times, ascending (``times[0] == 0``).
+        values: ``F_lambda`` at each jump time, strictly increasing.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self, times: tuple[Time, ...], values: tuple[int, ...]):
+        self.times = times
+        self.values = values
+
+    def value_at(self, t: Time) -> int:
+        """``F_lambda(t)``; *t* must lie within the tabulated prefix."""
+        return self.values[bisect.bisect_right(self.times, t) - 1]
+
+    def index(self, n: int) -> Time:
+        """``f_lambda(n)``; *n* must not exceed the prefix's last value.
+
+        Raises:
+            InvalidParameterError: *n* is beyond the tabulated horizon
+                (use a live :class:`GeneralizedFibonacci` instead).
+        """
+        i = bisect.bisect_left(self.values, n)
+        if i == len(self.values):
+            raise InvalidParameterError(
+                f"f_lambda({n}) lies beyond this prefix "
+                f"(max tabulated value {self.values[-1]})"
+            )
+        return self.times[i]
+
+    def split(self, size: int) -> int:
+        """The BCAST split point ``j = F_lambda(f_lambda(size) - 1)`` for
+        a range of *size* processors (Lemma 3: ``1 <= j <= size - 1``)."""
+        return self.value_at(self.index(size) - 1)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:
+        return (
+            f"FibPrefix({len(self.times)} jumps, "
+            f"up to t={self.times[-1]}, F={self.values[-1]})"
+        )
 
 
 class GeneralizedFibonacci(StepFunction):
@@ -150,6 +207,22 @@ class GeneralizedFibonacci(StepFunction):
         i = bisect.bisect_left(self._values, n)
         return self._times[i]
 
+    def tabulate(self, up_to_t: TimeLike) -> FibPrefix:
+        """The whole ``F_lambda`` prefix on ``[0, up_to_t]`` in one pass.
+
+        One table extension, one slice — then every lookup on the
+        returned :class:`FibPrefix` is a raw bisect with no horizon
+        checks, which is what the schedule builders' inner loops want.
+        """
+        t = as_time(up_to_t)
+        if t < 0:
+            raise InvalidParameterError(
+                f"F_lambda is defined for t >= 0, got {t}"
+            )
+        self._extend_to(t)
+        i = bisect.bisect_right(self._times, t)
+        return FibPrefix(tuple(self._times[:i]), tuple(self._values[:i]))
+
     def jump_times(self, up_to: Time) -> Iterable[Time]:
         self._extend_to(up_to)
         i = bisect.bisect_right(self._times, up_to)
@@ -212,3 +285,16 @@ def postal_f(lam: TimeLike, n: int) -> Fraction:
     """``f_lambda(n)`` — the optimal broadcast time for one message to ``n``
     processors with latency ``lambda`` (Theorem 6)."""
     return _cached(lam).index(n)
+
+
+def tabulate(lam: TimeLike, up_to_t: TimeLike) -> FibPrefix:
+    """The whole ``F_lambda`` prefix on ``[0, up_to_t]`` in one pass,
+    served from the shared per-``lambda`` cache.
+
+    See :class:`FibPrefix`; typical builder usage pairs it with
+    :func:`postal_f` for the horizon::
+
+        prefix = tabulate(lam, postal_f(lam, n))
+        j = prefix.split(size)      # F(f(size) - 1), raw bisects
+    """
+    return _cached(lam).tabulate(up_to_t)

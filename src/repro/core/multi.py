@@ -117,6 +117,10 @@ def pipeline_schedule(n: int, m: int, lam: TimeLike, *, validate: bool = True) -
     lam_p = (lam / m) if sender_first else (Time(m) / lam)
     fib = GeneralizedFibonacci(lam_p)
     events: list[SendEvent] = []
+    if n == 1:
+        return Schedule(n, lam, events, m=m, validate=validate)
+    # one-pass F_{lambda'} prefix; every split below is two raw bisects
+    prefix = fib.tabulate(fib.index(n))
     # (lo, size, t): `lo` holds (or is receiving) the full stream and may
     # start transmitting it at time t to processors in lo .. lo+size-1.
     stack: list[tuple[ProcId, int, Time]] = [(0, n, ZERO)]
@@ -124,7 +128,7 @@ def pipeline_schedule(n: int, m: int, lam: TimeLike, *, validate: bool = True) -
         lo, size, t = stack.pop()
         if size == 1:
             continue
-        j = fib.value_at(fib.index(size) - 1)  # larger-side size
+        j = prefix.split(size)  # larger-side size
         if sender_first:
             keep, give = j, size - j  # sender keeps the larger side
         else:

@@ -17,6 +17,7 @@ __all__ = [
     "OrderViolationError",
     "SimulationError",
     "ProcessInterrupt",
+    "TickDomainError",
 ]
 
 
@@ -54,6 +55,12 @@ class OrderViolationError(ModelError):
 
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
+
+
+class TickDomainError(InvalidParameterError):
+    """A time value cannot be represented losslessly in the integer tick
+    domain of the turbo backend (off-grid delay, or a pathological mix of
+    denominators whose LCM exceeds the supported scale)."""
 
 
 class ProcessInterrupt(ReproError):

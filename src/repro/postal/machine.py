@@ -22,6 +22,7 @@ paths a meaningful integration test.
 from __future__ import annotations
 
 from enum import Enum
+from functools import partial
 from typing import Any, Callable, Generator
 
 from repro.errors import InvalidParameterError
@@ -178,10 +179,13 @@ class PostalSystem:
         self._check_proc(dst)
         ev = self._inboxes[dst].get()
         assert ev.callbacks is not None  # freshly created, never processed
-        ev.callbacks.append(lambda e: self._trace_consume(dst, e))
+        # bound method + partial instead of a fresh closure per recv
+        ev.callbacks.append(partial(self._trace_consume, dst))
         return ev
 
     def _trace_consume(self, dst: ProcId, event: Event) -> None:
+        if not self.tracer.active:
+            return  # skip building the payload dict when nobody listens
         msg = event.value
         self.tracer.emit(
             self.env.now,

@@ -8,6 +8,20 @@ broadcast-semantics protocols under the strict policy), the completion
 time, run metrics folded live from the trace stream
 (:class:`~repro.obs.metrics.RunMetrics`), and the finished system for
 trace/port inspection.
+
+Two execution lanes share this entry point:
+
+* ``backend="exact"`` (default) — the general discrete-event engine
+  (:mod:`repro.sim.engine`): ``Fraction`` clock, generator processes,
+  live tracing.
+* ``backend="turbo"`` — the integer-tick fast lane
+  (:mod:`repro.turbo.fastsim`): the run's rational times are losslessly
+  rescaled to ``int`` ticks, deliveries are direct heap callbacks, and
+  trace records are materialized only when validation or metrics ask.
+  Results are bit-identical to the exact lane for every registered
+  protocol family (pinned by ``tests/test_turbo_equivalence.py``); a
+  protocol whose delays leave the tick grid raises
+  :class:`~repro.errors.TickDomainError` instead of degrading.
 """
 
 from __future__ import annotations
@@ -15,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.schedule import Schedule
+from repro.errors import InvalidParameterError
 from repro.obs.metrics import MetricsCollector, RunMetrics
 from repro.obs.profile import EngineProfile, EngineProfiler
 from repro.postal.machine import ContentionPolicy, PostalSystem
@@ -24,6 +39,9 @@ from repro.sim.trace import Tracer
 from repro.types import Time, ZERO
 
 __all__ = ["ProtocolResult", "run_protocol"]
+
+#: Accepted values of ``run_protocol``'s *backend* argument.
+BACKENDS = ("exact", "turbo")
 
 
 @dataclass
@@ -58,6 +76,7 @@ def run_protocol(
     validate: bool = True,
     collect: bool = True,
     profile: bool = False,
+    backend: str = "exact",
 ) -> ProtocolResult:
     """Execute *protocol* (a :class:`repro.algorithms.base.Protocol`) on a
     fresh ``MPS(n, lambda)`` and audit the run.
@@ -72,8 +91,23 @@ def run_protocol(
         collect: attach a live :class:`~repro.obs.metrics.
             MetricsCollector` and populate ``result.metrics``.
         profile: install an :class:`~repro.obs.profile.EngineProfiler`
-            and populate ``result.profile``.
+            and populate ``result.profile`` (exact backend only).
+        backend: ``"exact"`` for the general engine, ``"turbo"`` for the
+            integer-tick fast lane (identical results, see
+            :mod:`repro.turbo`).
     """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "turbo":
+        return _run_protocol_turbo(
+            protocol,
+            policy=policy,
+            validate=validate,
+            collect=collect,
+            profile=profile,
+        )
     env = Environment()
     latency_fn = getattr(protocol, "latency_fn", None)
     tracer = Tracer()
@@ -133,4 +167,79 @@ def run_protocol(
         sends=sends,
         metrics=metrics,
         profile=engine_profile,
+    )
+
+
+def _run_protocol_turbo(
+    protocol,
+    *,
+    policy: ContentionPolicy,
+    validate: bool,
+    collect: bool,
+    profile: bool,
+) -> ProtocolResult:
+    """The ``backend="turbo"`` lane of :func:`run_protocol`.
+
+    Identical control flow, different substrate: the protocol's programs
+    drive a :class:`~repro.turbo.fastsim.TurboSystem` whose clock is
+    integer ticks.  The audit path is byte-for-byte the same code
+    (``validate_run`` / ``audit_ports`` duck-type the turbo system), fed
+    from trace records materialized on demand by ``flush_trace`` — so a
+    ``validate=False, collect=False`` run never builds a single
+    :class:`~repro.sim.trace.TraceRecord`.
+    """
+    from repro.turbo.fastsim import build_turbo
+
+    if profile:
+        raise InvalidParameterError(
+            "engine profiling requires backend='exact' (the turbo loop has "
+            "no per-event step hook to instrument)"
+        )
+    latency_fn = getattr(protocol, "latency_fn", None)
+    system = build_turbo(
+        protocol.n, protocol.lam, policy=policy, latency=latency_fn
+    )
+    for proc in range(protocol.n):
+        gen = protocol.program(proc, system)
+        if gen is not None:
+            system.env.process(gen)
+    system.env.run()
+
+    is_broadcast = (
+        getattr(protocol, "semantics", "broadcast") == "broadcast"
+        and latency_fn is None
+    )
+    strict = policy is ContentionPolicy.STRICT
+
+    schedule: Schedule | None = None
+    if is_broadcast and strict:
+        if validate:
+            system.flush_trace()
+            schedule = validate_run(system, m=protocol.m, root=protocol.root)
+        else:
+            schedule = system.realized_schedule(
+                m=protocol.m, root=protocol.root, validate=False
+            )
+        completion = schedule.completion_time()
+        sends = len(schedule)
+    else:
+        if validate:
+            system.flush_trace()
+            audit_ports(system)
+        completion = system.completion_time
+        sends = system.send_count
+
+    metrics: RunMetrics | None = None
+    if collect:
+        collector = MetricsCollector()
+        for rec in system.flush_trace():
+            collector.on_record(rec)
+        metrics = collector.finalize(n=system.n, lam=system.lam)
+    return ProtocolResult(
+        schedule=schedule,
+        completion_time=completion,
+        system=system,
+        sends=sends,
+        metrics=metrics,
+        profile=None,
     )

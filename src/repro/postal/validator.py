@@ -24,7 +24,7 @@ Three audit depths are available:
 
 from __future__ import annotations
 
-from repro.core.schedule import Schedule, SendEvent, check_intervals_disjoint
+from repro.core.schedule import Schedule, SendEvent
 from repro.errors import ModelError, ScheduleError, SimultaneousIOError
 from repro.postal.machine import ContentionPolicy, PostalSystem
 from repro.postal.message import Message
@@ -68,6 +68,12 @@ def audit_ports(system: PostalSystem) -> None:
     """Check every port's busy log: intervals pairwise disjoint (half-open)
     and each exactly one unit long.
 
+    Both checks run in a single pass over the port's *sorted* log: since
+    every interval is one unit long, two intervals overlap iff their
+    sorted starts are less than one unit apart, so the disjointness
+    audit is an adjacent-gap sweep rather than a pairwise comparison —
+    ``O(I log I)`` per port.
+
     Raises:
         SimultaneousIOError: overlapping busy intervals on one port.
         ModelError: an interval of the wrong length.
@@ -77,20 +83,20 @@ def audit_ports(system: PostalSystem) -> None:
         ("recv", [system.recv_port(p) for p in range(system.n)]),
     ):
         for port in ports:
-            intervals = port.busy_intervals
-            for s, e in intervals:
+            prev: tuple[Time, Time] | None = None
+            for s, e in sorted(port.busy_intervals):
                 if e - s != 1:
                     raise ModelError(
                         f"p{port.proc} {kind} busy interval "
                         f"[{time_repr(s)},{time_repr(e)}) is not one unit"
                     )
-            clash = check_intervals_disjoint(intervals)
-            if clash is not None:
-                raise SimultaneousIOError(
-                    f"p{port.proc} {kind} port driven twice at once: "
-                    f"[{time_repr(clash[0])},{time_repr(clash[1])}) and "
-                    f"[{time_repr(clash[2])},{time_repr(clash[3])})"
-                )
+                if prev is not None and s < prev[1]:
+                    raise SimultaneousIOError(
+                        f"p{port.proc} {kind} port driven twice at once: "
+                        f"[{time_repr(prev[0])},{time_repr(prev[1])}) and "
+                        f"[{time_repr(s)},{time_repr(e)})"
+                    )
+                prev = (s, e)
 
 
 def _deliveries_by_receiver(system: PostalSystem) -> dict[ProcId, list[Message]]:

@@ -32,13 +32,27 @@ NORMAL = 1
 
 PENDING = object()
 
+#: Cached ``as_time`` results for the delays that dominate postal runs
+#: (zero is handled separately — adding it would still allocate).  Keys
+#: are plain ints; ``dict.get`` finds them for equal ``Fraction``/float
+#: delays too, since equal numbers hash equal.
+_SMALL_DELAYS: dict[TimeLike, Time] = {i: as_time(i) for i in range(1, 17)}
+
 
 class Event:
     """A one-shot occurrence that processes can wait for.
 
     Lifecycle: *pending* -> *triggered* (``succeed``/``fail`` called; queued
     on the environment) -> *processed* (callbacks ran).
+
+    Slotted (as are :class:`Timeout` and :class:`Process`): a postal run
+    allocates one event per send/delivery/resume, so the per-instance
+    ``__dict__`` was measurable.  Subclasses that add attributes and do
+    not declare ``__slots__`` themselves (e.g. resource requests) simply
+    get a dict again — slotting is an optimization, not a contract.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -114,6 +128,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: TimeLike, value: Any = None):
         super().__init__(env)
         d = as_time(delay)
@@ -128,6 +144,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal: starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self.callbacks = [process._resume]
@@ -139,6 +157,8 @@ class Initialize(Event):
 class Process(Event):
     """A running generator.  As an event, it fires when the generator
     returns (value = return value) or raises (failure)."""
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]):
         if not hasattr(generator, "throw"):
@@ -163,7 +183,13 @@ class Process(Event):
         / ``Store.cancel_get``) in its interrupt handler, or a later grant
         will be consumed by a dead waiter.  Timeout-and-retry code should
         prefer ``any_of(claim, timeout)`` + explicit cancel over
-        interrupts."""
+        interrupts.
+
+        Cost note: detaching scans the old target's callback list
+        (``callbacks.remove``), so interrupting is O(w) in the number of
+        waiters *w* on that event — fine for the rare-interrupt designs
+        this library uses, pathological only if many processes wait on
+        one event and all get interrupted."""
         if not self.is_alive:
             raise SimulationError(f"{self!r} has already terminated")
         if self._target is None:
@@ -255,7 +281,16 @@ class Environment:
     def _queue_event(
         self, event: Event, *, delay: TimeLike = 0, priority: int = NORMAL
     ) -> None:
-        at = self._now + as_time(delay)
+        # Zero delay (event triggers, process resumptions — the majority
+        # of queue operations) skips conversion *and* the Fraction add;
+        # small integer delays hit the precomputed table.
+        if delay:
+            step = _SMALL_DELAYS.get(delay)
+            if step is None:
+                step = as_time(delay)
+            at = self._now + step
+        else:
+            at = self._now
         self._seq += 1
         heapq.heappush(self._heap, (at, priority, self._seq, event))
 

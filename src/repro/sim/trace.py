@@ -66,16 +66,40 @@ class Tracer:
     them with nondecreasing ``time`` (the engine's clock never moves
     backwards) — the ordering guarantee the exporters in
     :mod:`repro.obs.export` rely on.
+
+    Args:
+        retain: keep emitted records in the log (the default).  A
+            ``retain=False`` tracer is a pure fan-out hub: with no
+            subscribers attached it is *inactive* and :meth:`emit`
+            short-circuits without even constructing the record —
+            emitters can additionally check :attr:`active` to skip
+            building payload dicts at all.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, retain: bool = True) -> None:
         self._records: list[TraceRecord] = []
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self._retain = retain
 
-    def emit(self, time: Time, kind: str, data: Any = None) -> TraceRecord:
-        """Append a record (and fan out to live subscribers)."""
+    @property
+    def active(self) -> bool:
+        """Whether :meth:`emit` currently does anything — i.e. records
+        are retained or at least one subscriber listens.  Hot emitters
+        check this before building a payload."""
+        return self._retain or bool(self._subscribers)
+
+    def emit(self, time: Time, kind: str, data: Any = None) -> TraceRecord | None:
+        """Append a record (and fan out to live subscribers).
+
+        Returns the record, or ``None`` when the tracer is inactive
+        (``retain=False`` and nobody subscribed) — in that case nothing
+        is constructed or stored.
+        """
+        if not (self._retain or self._subscribers):
+            return None
         rec = TraceRecord(time, kind, data)
-        self._records.append(rec)
+        if self._retain:
+            self._records.append(rec)
         for sub in self._subscribers:
             sub(rec)
         return rec

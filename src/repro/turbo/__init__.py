@@ -1,0 +1,35 @@
+"""The ``backend="turbo"`` execution lane: lossless integer-tick postal
+simulation.
+
+Two pieces:
+
+* :mod:`repro.turbo.ticks` — the :class:`TickDomain` rescaling a run's
+  rational times to plain ``int`` ticks (scale = LCM of denominators;
+  exact round trip, never a float).
+* :mod:`repro.turbo.fastsim` — the flat event loop and
+  :class:`TurboSystem`, a drop-in for
+  :class:`~repro.postal.machine.PostalSystem` selected via
+  ``run_protocol(..., backend="turbo")``.
+
+See ``docs/performance.md`` for the exactness argument and the measured
+speedups (``BENCH_turbo.json``).
+"""
+
+from repro.turbo.fastsim import (
+    TurboEnvironment,
+    TurboEvent,
+    TurboProcess,
+    TurboSystem,
+    build_turbo,
+)
+from repro.turbo.ticks import TickDomain, lcm_denominator
+
+__all__ = [
+    "TickDomain",
+    "lcm_denominator",
+    "TurboEnvironment",
+    "TurboEvent",
+    "TurboProcess",
+    "TurboSystem",
+    "build_turbo",
+]

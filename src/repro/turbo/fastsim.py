@@ -1,0 +1,680 @@
+"""The turbo execution lane: a flat integer-tick event loop for postal runs.
+
+The exact engine (:mod:`repro.sim.engine`) is general: any generator can
+wait on any event, every delay is a :class:`fractions.Fraction`, and every
+send spawns two processes (the port occupation and the network delivery).
+That generality is exactly what large-``n`` reproductions do not need —
+a postal run only ever
+
+* occupies a unit-rate send port (``start = max(now, port_free)``),
+* delivers ``latency`` after the send started (strict: at the due instant
+  or :class:`~repro.errors.SimultaneousIOError`; queued: FIFO through the
+  receive port), and
+* hands the message to an inbox / a waiting ``recv``.
+
+This module specializes for that shape:
+
+* **Integer heap keys** — all times are rescaled to plain ``int`` ticks by
+  a :class:`~repro.turbo.ticks.TickDomain` (lossless: scale = LCM of the
+  run's denominators), so heap ordering is C-speed int comparison instead
+  of ``Fraction.__lt__``.
+* **Direct delivery callbacks** — a send books its delivery as one heap
+  entry ``(tick, seq, fn, args)``; no ``_send_proc`` / ``_deliver_proc``
+  generator pair, no :class:`~repro.sim.resources.Resource` handshake.
+  Port bookkeeping is two integer arrays (``send_free`` / ``recv_free``).
+* **No-op tracing fast path** — the run appends compact tuples to an
+  internal log and never touches the :class:`~repro.sim.trace.Tracer`;
+  :meth:`TurboSystem.flush_trace` materializes real
+  :class:`~repro.sim.trace.TraceRecord` objects *on demand* (the
+  validator / metrics path).  A ``validate=False, collect=False`` run
+  allocates zero trace records.
+
+Protocols run **unchanged**: :class:`TurboSystem` exposes the same
+``send`` / ``recv`` / ``env.now`` / ``env.timeout`` surface as
+:class:`~repro.postal.machine.PostalSystem`, and
+:func:`repro.postal.runner.run_protocol` selects the lane with
+``backend="turbo"``.  Off-grid delays (a timeout or pair latency whose
+denominator does not divide the tick scale) raise
+:class:`~repro.errors.TickDomainError` directing the caller to the exact
+backend — turbo is never silently approximate.
+
+Determinism note: within one tick, work runs in scheduling order (a
+global sequence number), which reproduces the exact engine's tie-breaking
+for every registered protocol family; the differential suite
+(``tests/test_turbo_equivalence.py``) pins this equivalence across the
+conformance grid, rational latencies included.
+"""
+
+from __future__ import annotations
+
+import heapq
+from operator import itemgetter
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import (
+    InvalidParameterError,
+    ModelError,
+    SimulationError,
+    SimultaneousIOError,
+)
+from repro.postal.machine import ContentionPolicy
+from repro.postal.message import Message
+from repro.sim.trace import Tracer
+from repro.types import ProcId, Time, TimeLike, ZERO, as_time, time_repr
+from repro.turbo.ticks import TickDomain
+
+__all__ = [
+    "TurboEnvironment",
+    "TurboEvent",
+    "TurboProcess",
+    "TurboSystem",
+    "build_turbo",
+]
+
+_PENDING = object()
+
+#: Compact log entry codes (first tuple element).
+_SEND = 0  # (_SEND, start_tick, src, dst, msg)
+_DELIVER = 1  # (_DELIVER, arrival_tick, Message)
+_CONSUME = 2  # (_CONSUME, tick, dst, Message)
+
+# Within-tick ordering.  The exact engine breaks same-instant ties by
+# *queueing order* (a global sequence number, with process resumptions
+# running URGENT — i.e. immediately).  The turbo loop reproduces that
+# structurally rather than imitating any particular outcome:
+#
+# * resumptions are synchronous — an event's callbacks run inline at its
+#   heap pop, which is exactly what URGENT preemption achieves;
+# * every delivery is booked as a *window hop* pushed at send time (the
+#   twin of the exact engine's gap timeout, hence the same FIFO position
+#   relative to the sender's completion event), and the hop re-pushes
+#   the landing one unit later (the twin of the receive-unit timeout,
+#   queued at the window);
+# * inbox mutations are synchronous (``Store.put`` / ``Store.get``
+#   semantics) but the consume hop (trace + waiter resume) is pushed
+#   with a fresh seq, like the exact engine's get-event processing.
+#
+# With every push mirroring the exact engine's queueing moment, plain
+# ``(tick, seq)`` heap order reproduces its tie-breaking for every
+# latency — lambda = 1 (a tick's deliveries land after its send
+# completions), lambda = 2 (per-sender interleaving), lambda >= 3
+# (deliveries land first) — with no case analysis and no priority lanes.
+
+
+class TurboEvent:
+    """A one-shot awaitable on the turbo loop (duck-types
+    :class:`~repro.sim.engine.Event` for the protocol-facing surface)."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
+    def __init__(self, env: "TurboEnvironment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "TurboEvent":
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        env = self.env
+        env._push(env._tick, self._fire)
+        return self
+
+    def fail(self, exception: BaseException) -> "TurboEvent":
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        env = self.env
+        env._push(env._tick, self._fire)
+        return self
+
+    def _fire(self) -> None:
+        """Run callbacks (the heap-scheduled half of triggering)."""
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+        elif self._ok is False:
+            # a failure nobody waited for: surface it, like the exact engine
+            raise self._value
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.callbacks is None
+            else "triggered"
+            if self._value is not _PENDING
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class TurboProcess(TurboEvent):
+    """A protocol generator driven by the turbo loop.  As an event it
+    fires when the generator returns (value = return value)."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "TurboEnvironment", generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._gen = generator
+        env._push(env._tick, self._bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def _bootstrap(self) -> None:
+        self._step(True, None)
+
+    def _resume(self, event: TurboEvent) -> None:
+        self._step(event._ok, event._value)
+
+    def _step(self, ok: bool, value: Any) -> None:
+        gen = self._gen
+        env = self.env
+        while True:
+            try:
+                nxt = gen.send(value) if ok else gen.throw(value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env._push(env._tick, self._fire)
+                return
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env._push(env._tick, self._fire)
+                return
+            if not isinstance(nxt, TurboEvent):
+                self._ok = False
+                self._value = SimulationError(
+                    f"process yielded a non-event: {nxt!r}"
+                )
+                env._push(env._tick, self._fire)
+                return
+            if nxt.callbacks is None:
+                # already processed: resume inline with its value
+                ok, value = nxt._ok, nxt._value
+                continue
+            nxt.callbacks.append(self._resume)
+            return
+
+
+class TurboEnvironment:
+    """The integer-tick event loop.
+
+    Heap entries are ``(tick, seq, fn, args)`` — plain-int ordering, FIFO
+    within a tick via the global *seq* counter (mirroring the exact
+    engine's queueing-order tie-breaks, see the ordering note at module
+    top), and a direct callable instead of an event object + callback
+    list.  The rational clock is recovered on demand: :attr:`now` is
+    ``domain.to_time(tick)``, exact.
+    """
+
+    def __init__(self, domain: TickDomain | None = None):
+        self.domain = domain if domain is not None else TickDomain()
+        self._tick = 0
+        self._heap: list[tuple[int, int, Callable, tuple]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> Time:
+        """Current simulation time as an exact :class:`~fractions.Fraction`."""
+        return self.domain.to_time(self._tick)
+
+    # -------------------------------------------------------- construction
+
+    def event(self) -> TurboEvent:
+        """A fresh, untriggered event."""
+        return TurboEvent(self)
+
+    def timeout(self, delay: TimeLike, value: Any = None) -> TurboEvent:
+        """An event firing *delay* from now.
+
+        Raises:
+            TickDomainError: *delay* is off this run's tick grid (use the
+                exact backend for such protocols).
+        """
+        ticks = self.domain.to_ticks(delay)
+        if ticks < 0:
+            raise SimulationError(f"negative timeout delay {as_time(delay)}")
+        ev = TurboEvent(self)
+        ev._ok = True
+        ev._value = value
+        self._push(self._tick + ticks, ev._fire)
+        return ev
+
+    def process(self, generator: Generator) -> TurboProcess:
+        """Start *generator* as a process."""
+        return TurboProcess(self, generator)
+
+    # ----------------------------------------------------------- execution
+
+    def _push(self, tick: int, fn: Callable, *args: Any) -> None:
+        if tick < self._tick:
+            raise SimulationError("event scheduled in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (tick, self._seq, fn, args))
+
+    def peek(self) -> Time | None:
+        """Time of the next scheduled event, or ``None`` if none remain."""
+        return self.domain.to_time(self._heap[0][0]) if self._heap else None
+
+    def run(self, until: Any = None) -> None:
+        """Run to quiescence (the only mode postal runs need)."""
+        if until is not None:
+            raise SimulationError(
+                "the turbo engine only runs to quiescence; "
+                "use backend='exact' for bounded runs"
+            )
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            self._tick = entry[0]
+            entry[2](*entry[3])
+
+
+class TurboSystem:
+    """``MPS(n, lambda)`` on the turbo loop — same protocol-facing and
+    validator-facing surface as :class:`~repro.postal.machine.PostalSystem`,
+    none of its per-message process machinery.
+
+    Port bookkeeping is two integer arrays: a send started at tick ``t``
+    sets ``send_free[src] = t + one`` (``one`` = ticks per time unit) and
+    books the delivery directly on the heap.  The run writes compact
+    tuples to an internal log; :meth:`flush_trace` converts them to real
+    trace records when (and only when) an auditor or collector asks.
+
+    Pair-dependent latencies are converted to ticks lazily; a pair value
+    off the run's grid raises :class:`~repro.errors.TickDomainError`
+    (turbo is exact or loud, never approximate).
+    """
+
+    def __init__(
+        self,
+        env: TurboEnvironment,
+        n: int,
+        lam: TimeLike,
+        *,
+        policy: ContentionPolicy = ContentionPolicy.STRICT,
+        tracer: Tracer | None = None,
+        latency: "Callable[[ProcId, ProcId], TimeLike] | None" = None,
+    ):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+        lam = as_time(lam)
+        if lam < 1:
+            raise InvalidParameterError(
+                f"the postal model requires lambda >= 1, got {lam}"
+            )
+        self.env = env
+        self.domain = env.domain
+        self._n = n
+        self._lam = lam
+        self._latency_fn = latency
+        self._policy = policy
+        self.tracer = tracer if tracer is not None else Tracer()
+        one = self.domain.scale
+        self._one = one
+        self._lam_ticks = self.domain.to_ticks(lam)
+        self._pair_ticks: dict[tuple[int, int], int] = {}
+        self._strict = policy is ContentionPolicy.STRICT
+        self._send_free = [0] * n
+        self._recv_free = [0] * n
+        self._inbox_items: list[list[Message]] = [[] for _ in range(n)]
+        self._inbox_waiters: list[list[TurboEvent]] = [[] for _ in range(n)]
+        self._log: list[tuple] = []
+        self._completion_tick = 0
+        self._flushed = False
+        self._send_views: list["_PortView"] | None = None
+        self._recv_views: list["_PortView"] | None = None
+
+    # ------------------------------------------------------------ metadata
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def lam(self) -> Time:
+        return self._lam
+
+    @property
+    def policy(self) -> ContentionPolicy:
+        return self._policy
+
+    @property
+    def uniform_latency(self) -> bool:
+        return self._latency_fn is None
+
+    def latency(self, src: ProcId, dst: ProcId) -> Time:
+        if self._latency_fn is None:
+            return self._lam
+        lam = as_time(self._latency_fn(src, dst))
+        if lam < 1:
+            raise InvalidParameterError(
+                f"latency({src}, {dst}) = {lam} violates lambda >= 1"
+            )
+        return lam
+
+    def _latency_ticks(self, src: ProcId, dst: ProcId) -> int:
+        if self._latency_fn is None:
+            return self._lam_ticks
+        key = (src, dst)
+        ticks = self._pair_ticks.get(key)
+        if ticks is None:
+            # may raise TickDomainError: pair latency off this run's grid
+            ticks = self.domain.to_ticks(self.latency(src, dst))
+            self._pair_ticks[key] = ticks
+        return ticks
+
+    # ---------------------------------------------------------- primitives
+
+    def send(
+        self, src: ProcId, dst: ProcId, msg: int, payload: Any = None
+    ) -> TurboEvent:
+        """Start sending message *msg* from *src* to *dst*.
+
+        Returns an event that fires when the **sender** finishes its
+        one-unit send, with the send's start time as its value — the same
+        pacing contract as :meth:`PostalSystem.send
+        <repro.postal.machine.PostalSystem.send>`.  Delivery is booked as
+        a *window hop*: a heap entry at ``start + latency - 1`` (the
+        instant the receive window opens) that claims the receive port —
+        colliding windows raise
+        :class:`~repro.errors.SimultaneousIOError` there under the strict
+        policy, or serialize FIFO under the queued policy — and re-pushes
+        the landing one unit later.  The two-entry chain shadows the
+        exact engine's gap-timeout + receive-unit chain, so same-instant
+        ties resolve identically (see the ordering note at module top).
+        """
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            raise InvalidParameterError(f"p{src} cannot send to itself")
+        env = self.env
+        one = self._one
+        now = env._tick
+        start = self._send_free[src]
+        if start < now:
+            start = now
+        self._send_free[src] = start + one
+        self._log.append((_SEND, start, src, dst, msg))
+        # completion first, window hop second: the exact engine queues the
+        # sender's one-unit timeout before the delivery's gap timeout
+        done = TurboEvent(env)
+        done._ok = True
+        done._value = self.domain.to_time(start)
+        env._push(start + one, done._fire)
+        lat = self._latency_ticks(src, dst)
+        book = self._book_strict if self._strict else self._book_queued
+        env._push(start + lat - one, book, start, src, dst, msg, payload)
+        return done
+
+    def _book_strict(
+        self, start: int, src: ProcId, dst: ProcId, msg: int, payload: Any
+    ) -> None:
+        window = self.env._tick
+        free = self._recv_free[dst]
+        if free > window:
+            to_time = self.domain.to_time
+            raise SimultaneousIOError(
+                f"p{dst}: a message delivery due at t="
+                f"{time_repr(to_time(window))} could not start receiving "
+                f"until t={time_repr(to_time(free))} "
+                f"(simultaneous-I/O violation)"
+            )
+        due = window + self._one
+        self._recv_free[dst] = due
+        self.env._push(due, self._deliver, start, src, dst, msg, payload)
+
+    def _book_queued(
+        self, start: int, src: ProcId, dst: ProcId, msg: int, payload: Any
+    ) -> None:
+        window = self.env._tick
+        one = self._one
+        free = self._recv_free[dst]
+        rstart = window if free <= window else free
+        self._recv_free[dst] = rstart + one
+        self.env._push(rstart + one, self._deliver, start, src, dst, msg, payload)
+
+    def _deliver(
+        self, start: int, src: ProcId, dst: ProcId, msg: int, payload: Any
+    ) -> None:
+        env = self.env
+        arrival = env._tick
+        to_time = self.domain.to_time
+        record = Message(msg, src, dst, to_time(start), to_time(arrival), payload)
+        self._log.append((_DELIVER, arrival, record))
+        if arrival > self._completion_tick:
+            self._completion_tick = arrival
+        # the landing is synchronous (Store.put semantics); only the
+        # waiter's consume hop is deferred, behind same-tick deliveries
+        waiters = self._inbox_waiters[dst]
+        if waiters:
+            ev = waiters.pop(0)
+            ev._ok = True
+            ev._value = record
+            env._push(arrival, self._fire_recv, dst, ev)
+        else:
+            self._inbox_items[dst].append(record)
+
+    def recv(self, dst: ProcId) -> TurboEvent:
+        """An event yielding the next :class:`~repro.postal.message.Message`
+        from *dst*'s inbox (fires immediately if one is waiting)."""
+        self._check_proc(dst)
+        env = self.env
+        ev = TurboEvent(env)
+        items = self._inbox_items[dst]
+        if items:
+            ev._ok = True
+            ev._value = items.pop(0)
+            env._push(env._tick, self._fire_recv, dst, ev)
+        else:
+            self._inbox_waiters[dst].append(ev)
+        return ev
+
+    def _fire_recv(self, dst: ProcId, ev: TurboEvent) -> None:
+        self._log.append((_CONSUME, self.env._tick, dst, ev._value))
+        ev._fire()
+
+    def cancel_recv(self, dst: ProcId, event: TurboEvent) -> None:
+        """Withdraw a pending :meth:`recv` so it does not swallow a later
+        message."""
+        self._check_proc(dst)
+        try:
+            self._inbox_waiters[dst].remove(event)
+        except ValueError:
+            raise ValueError(f"{event!r} is not a pending recv of p{dst}") from None
+
+    def inbox_size(self, proc: ProcId) -> int:
+        self._check_proc(proc)
+        return len(self._inbox_items[proc])
+
+    # ------------------------------------------------------- fast accessors
+
+    @property
+    def completion_time(self) -> Time:
+        """Arrival of the last delivered message (``0`` if none)."""
+        if self._completion_tick == 0:
+            return ZERO
+        return self.domain.to_time(self._completion_tick)
+
+    @property
+    def send_count(self) -> int:
+        """Number of sends started (no trace materialization needed)."""
+        return sum(1 for entry in self._log if entry[0] == _SEND)
+
+    def realized_schedule(self, *, m: int = 1, root: int = 0, validate: bool = False):
+        """The run's :class:`~repro.core.schedule.Schedule` built straight
+        from the compact log (strict uniform runs only) — no trace
+        materialization, events pre-sorted by tick so the schedule's sort
+        is a linear pass."""
+        from repro.core.schedule import Schedule, SendEvent
+
+        if self._policy is not ContentionPolicy.STRICT:
+            raise ModelError(
+                "schedule reconstruction requires the strict contention policy"
+            )
+        if not self.uniform_latency:
+            raise ModelError(
+                "schedule reconstruction requires uniform latency; pair-"
+                "dependent runs are audited via audit_ports + delivery records"
+            )
+        to_time = self.domain.to_time
+        sends = sorted(
+            (entry for entry in self._log if entry[0] == _SEND), key=itemgetter(1)
+        )
+        events = [
+            SendEvent(to_time(tick), src, msg, dst)
+            for _, tick, src, dst, msg in sends
+        ]
+        return Schedule(
+            self._n, self._lam, events, m=m, root=root, validate=validate
+        )
+
+    # ------------------------------------------------------ validator views
+
+    def flush_trace(self) -> Tracer:
+        """Materialize the compact log into :attr:`tracer` (idempotent).
+
+        Entries are stable-sorted by tick, so the tracer's nondecreasing-
+        time guarantee holds and every ``deliver`` precedes its
+        ``consume``.  This is the *only* place turbo builds trace records
+        — a run that is never flushed allocates none.
+        """
+        if self._flushed:
+            return self.tracer
+        self._flushed = True
+        emit = self.tracer.emit
+        to_time = self.domain.to_time
+        for entry in sorted(self._log, key=itemgetter(1)):
+            code = entry[0]
+            if code == _SEND:
+                _, tick, src, dst, msg = entry
+                emit(to_time(tick), "send", {"src": src, "dst": dst, "msg": msg})
+            elif code == _DELIVER:
+                record = entry[2]
+                emit(record.arrived_at, "deliver", record)
+            else:  # _CONSUME
+                _, tick, dst, record = entry
+                now = to_time(tick)
+                emit(
+                    now,
+                    "consume",
+                    {
+                        "proc": dst,
+                        "msg": record.msg,
+                        "src": record.src,
+                        "waited": now - record.arrived_at,
+                    },
+                )
+        return self.tracer
+
+    def _build_port_views(self) -> None:
+        n = self._n
+        one = self._one
+        send_ticks: list[list[int]] = [[] for _ in range(n)]
+        recv_ticks: list[list[int]] = [[] for _ in range(n)]
+        for entry in self._log:
+            code = entry[0]
+            if code == _SEND:
+                send_ticks[entry[2]].append(entry[1])
+            elif code == _DELIVER:
+                record = entry[2]
+                recv_ticks[record.dst].append(entry[1] - one)
+        to_time = self.domain.to_time
+        self._send_views = [
+            _PortView(p, [(to_time(t), to_time(t + one)) for t in sorted(ticks)])
+            for p, ticks in enumerate(send_ticks)
+        ]
+        self._recv_views = [
+            _PortView(p, [(to_time(t), to_time(t + one)) for t in sorted(ticks)])
+            for p, ticks in enumerate(recv_ticks)
+        ]
+
+    def send_port(self, proc: ProcId) -> "_PortView":
+        """The send port's busy log, reconstructed from the run log (same
+        shape :func:`~repro.postal.validator.audit_ports` reads)."""
+        if self._send_views is None:
+            self._build_port_views()
+        return self._send_views[proc]
+
+    def recv_port(self, proc: ProcId) -> "_PortView":
+        """The receive port's busy log (each delivery occupies
+        ``[arrival - 1, arrival)``)."""
+        if self._recv_views is None:
+            self._build_port_views()
+        return self._recv_views[proc]
+
+    # ------------------------------------------------------------ internal
+
+    def _check_proc(self, proc: ProcId) -> None:
+        if not 0 <= proc < self._n:
+            raise InvalidParameterError(
+                f"processor p{proc} outside 0..{self._n - 1}"
+            )
+
+
+class _PortView:
+    """A finished port's busy log, duck-typing the auditor-facing slice of
+    :class:`~repro.postal.ports._Port`."""
+
+    __slots__ = ("proc", "busy_intervals")
+
+    def __init__(self, proc: ProcId, busy_intervals: list[tuple[Time, Time]]):
+        self.proc = proc
+        self.busy_intervals = busy_intervals
+
+
+def build_turbo(
+    n: int,
+    lam: TimeLike,
+    *,
+    policy: ContentionPolicy = ContentionPolicy.STRICT,
+    tracer: Tracer | None = None,
+    latency: "Callable[[ProcId, ProcId], TimeLike] | None" = None,
+) -> TurboSystem:
+    """A :class:`TurboSystem` on a fresh loop whose tick domain is derived
+    from ``lam`` (scale = denominator of ``lam``), the turbo analogue of
+    ``PostalSystem(Environment(), n, lam)``.
+
+    >>> system = build_turbo(4, "5/2")
+    >>> system.env.domain.scale
+    2
+    """
+    domain = TickDomain.for_values([as_time(lam)])
+    env = TurboEnvironment(domain)
+    return TurboSystem(
+        env, n, lam, policy=policy, tracer=tracer, latency=latency
+    )

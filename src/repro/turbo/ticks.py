@@ -1,0 +1,134 @@
+"""The integer tick domain: lossless rescaling of rational postal time.
+
+Every quantity a postal run manipulates — the latency ``lambda = p/q``,
+send starts, receive windows, protocol timeouts — lives on the grid
+``{a + b*lambda : a, b in N}``, and therefore in ``(1/q) * Z``.  Fixing a
+run's denominators up front lets the whole simulation run on plain
+``int`` *ticks* (``tick = time * scale``) instead of
+:class:`fractions.Fraction` values: heap keys compare with C-speed
+integer comparison, port bookkeeping is integer ``max``/``+``, and the
+exact rational times are recovered at the boundary with
+:meth:`TickDomain.to_time` — a *lossless* round trip, never a float
+approximation.
+
+This is the arithmetic core of the ``backend="turbo"`` execution lane
+(:mod:`repro.turbo.fastsim`); :class:`TickDomain` itself is independent
+of the simulator and is also usable for tick-sweep schedule validation.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable
+
+from repro.errors import TickDomainError
+from repro.types import Time, TimeLike, as_time
+
+__all__ = ["TickDomain", "lcm_denominator"]
+
+#: Refuse tick scales beyond this: a pathological mix of denominators
+#: (e.g. 1/999983 and 1/999979) would otherwise silently produce huge
+#: integers and lose the very speed the tick domain exists to buy.
+MAX_SCALE = 1 << 24
+
+
+def lcm_denominator(values: Iterable[TimeLike], *, limit: int = MAX_SCALE) -> int | None:
+    """The least common multiple of the denominators of *values*, or
+    ``None`` when it would exceed *limit*.
+
+    >>> lcm_denominator(["5/2", "7/3", 4])
+    6
+    >>> lcm_denominator([1, 2, 3])
+    1
+    """
+    scale = 1
+    for value in values:
+        scale = math.lcm(scale, as_time(value).denominator)
+        if scale > limit:
+            return None
+    return scale
+
+
+class TickDomain:
+    """A lossless ``Fraction <-> int`` time rescaling with factor ``scale``.
+
+    ``scale`` is the number of ticks per model time unit; a time ``t`` is
+    representable exactly iff ``t * scale`` is an integer.  Construct via
+    :meth:`for_values` to derive the scale from a run's rational
+    parameters (the LCM of their denominators).
+
+    >>> dom = TickDomain.for_values(["5/2", 1])
+    >>> dom.scale
+    2
+    >>> dom.to_ticks("7/2")
+    7
+    >>> dom.to_time(7)
+    Fraction(7, 2)
+    """
+
+    __slots__ = ("scale",)
+
+    def __init__(self, scale: int = 1):
+        if not isinstance(scale, int) or isinstance(scale, bool) or scale < 1:
+            raise TickDomainError(f"tick scale must be a positive int, got {scale!r}")
+        if scale > MAX_SCALE:
+            raise TickDomainError(
+                f"tick scale {scale} exceeds the supported maximum {MAX_SCALE}"
+            )
+        self.scale = scale
+
+    @classmethod
+    def for_values(cls, values: Iterable[TimeLike]) -> "TickDomain":
+        """The coarsest domain representing every value in *values* exactly
+        (scale = LCM of the values' denominators).
+
+        Raises:
+            TickDomainError: the LCM exceeds :data:`MAX_SCALE`.
+        """
+        scale = lcm_denominator(values)
+        if scale is None:
+            raise TickDomainError(
+                "the values' common denominator exceeds the supported tick "
+                f"scale {MAX_SCALE}; use the exact backend instead"
+            )
+        return cls(scale)
+
+    # ------------------------------------------------------------ transport
+
+    def to_ticks(self, value: TimeLike) -> int:
+        """``value * scale`` as an exact ``int``.
+
+        Raises:
+            TickDomainError: *value* does not lie on this domain's grid
+                (the conversion would be lossy).
+        """
+        t = as_time(value)
+        num = t.numerator * self.scale
+        den = t.denominator
+        ticks, rem = divmod(num, den)
+        if rem:
+            raise TickDomainError(
+                f"time {t} is not representable at tick scale {self.scale} "
+                f"(off-grid delay or latency; use the exact backend)"
+            )
+        return ticks
+
+    def to_time(self, ticks: int) -> Time:
+        """The exact rational time of *ticks* (inverse of :meth:`to_ticks`)."""
+        return Fraction(ticks, self.scale)
+
+    def representable(self, value: TimeLike) -> bool:
+        """True when *value* lies on this domain's grid."""
+        return (as_time(value).numerator * self.scale) % as_time(value).denominator == 0
+
+    def __repr__(self) -> str:
+        return f"TickDomain(scale={self.scale})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TickDomain):
+            return NotImplemented
+        return self.scale == other.scale
+
+    def __hash__(self) -> int:
+        return hash(("TickDomain", self.scale))

@@ -1,0 +1,182 @@
+"""Differential equivalence: ``backend="turbo"`` vs ``backend="exact"``.
+
+The turbo lane (:mod:`repro.turbo`) promises *bit-identical* results to
+the general engine, not approximately-equal ones.  This suite runs every
+conformance family over a grid of sizes, message counts, rational and
+integer latencies, and both contention policies, on both backends, and
+asserts equality of:
+
+* the realized schedule (sorted ``SendEvent`` tuples), when one exists;
+* the completion time ``T_A(n, m, lambda)`` and total send count;
+* the full :class:`~repro.obs.metrics.RunMetrics`;
+* the trace event multiset ``{(time, kind)}``.
+
+Runs where the model itself raises (e.g. strict-policy collisions) must
+raise the *same exception type* on both lanes.  Plus unit tests for the
+tick domain itself (lossless round trip, off-grid rejection).
+"""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.conformance.oracles import families, get_oracle
+from repro.errors import SimultaneousIOError, TickDomainError
+from repro.postal.machine import ContentionPolicy
+from repro.postal.runner import run_protocol
+from repro.turbo import TickDomain, lcm_denominator
+from repro.types import as_time
+
+#: Latencies: integer, half-integer, and the coarse rationals the issue
+#: calls out (5/2 is the paper's running example; 7/3 exercises a
+#: denominator that is not a power of two).
+LAMBDAS = ["1", "3/2", "2", "5/2", "7/3", "4"]
+
+#: Machine sizes around the jumps of ``F_lambda``.
+SIZES = [2, 3, 5, 8, 13]
+
+#: Message counts for the multi-message families (4 keeps PIPELINE-2,
+#: which needs ``m >= lambda``, applicable at ``lambda = 4``).
+MCOUNTS = [1, 2, 3, 4]
+
+
+def _fingerprint(oracle, n, m, lam, policy, backend):
+    """Everything observable about one run, in comparable form."""
+    proto = oracle.protocol(n=n, m=m, lam=lam)  # fresh: protocols hold state
+    res = run_protocol(proto, policy=policy, backend=backend)
+    system = res.system
+    records = (
+        system.flush_trace() if backend == "turbo" else system.tracer.records()
+    )
+    schedule = None
+    if res.schedule is not None:
+        schedule = sorted(
+            (e.send_time, e.sender, e.msg, e.receiver)
+            for e in res.schedule.events
+        )
+    return {
+        "completion": res.completion_time,
+        "sends": res.sends,
+        "metrics": res.metrics,
+        "schedule": schedule,
+        "trace": Counter((r.time, r.kind) for r in records),
+    }
+
+
+@pytest.mark.parametrize("lam_str", LAMBDAS)
+@pytest.mark.parametrize("family", families())
+def test_backends_agree(family, lam_str):
+    """Turbo reproduces the exact backend bit for bit across the grid."""
+    oracle = get_oracle(family)
+    lam = as_time(lam_str)
+    checked = 0
+    for n in SIZES:
+        for m in MCOUNTS:
+            if not oracle.applicable(n, m, lam):
+                continue
+            policies = [ContentionPolicy.STRICT]
+            if oracle.supports_queued:
+                policies.append(ContentionPolicy.QUEUED)
+            for policy in policies:
+                ctx = f"{family} n={n} m={m} lam={lam_str} {policy.value}"
+                try:
+                    exact = _fingerprint(oracle, n, m, lam, policy, "exact")
+                except Exception as exc:
+                    with pytest.raises(type(exc)):
+                        _fingerprint(oracle, n, m, lam, policy, "turbo")
+                    checked += 1
+                    continue
+                turbo = _fingerprint(oracle, n, m, lam, policy, "turbo")
+                for key in ("completion", "sends", "schedule", "trace", "metrics"):
+                    assert exact[key] == turbo[key], f"{ctx}: {key} differs"
+                checked += 1
+    if checked == 0:
+        pytest.skip(f"no applicable (n, m) for {family} at lambda={lam_str}")
+
+
+# --------------------------------------------------- exception parity
+
+
+class _ColliderProtocol:
+    """Two processors send to the same receiver at the same instant —
+    an illegal simultaneous receive under the strict policy."""
+
+    name = "COLLIDER"
+    semantics = "p2p"
+
+    def __init__(self, lam="2"):
+        self.n = 3
+        self.m = 1
+        self.root = 0
+        self.lam = as_time(lam)
+
+    def program(self, proc, system):
+        if proc in (0, 1):
+            def prog(src=proc):
+                yield system.send(src, 2, 0)
+
+            return prog()
+        return None
+
+
+@pytest.mark.parametrize("backend", ["exact", "turbo"])
+def test_strict_collision_raises_on_both_backends(backend):
+    with pytest.raises(SimultaneousIOError):
+        run_protocol(_ColliderProtocol(), backend=backend)
+
+
+@pytest.mark.parametrize("lam", ["1", "2", "5/2"])
+def test_queued_collider_agrees(lam):
+    """The same collision is legal under the queued policy; both lanes
+    must serialize it identically."""
+    results = {}
+    for backend in ("exact", "turbo"):
+        res = run_protocol(
+            _ColliderProtocol(lam),
+            policy=ContentionPolicy.QUEUED,
+            backend=backend,
+        )
+        results[backend] = (res.completion_time, res.sends, res.metrics)
+    assert results["exact"] == results["turbo"]
+
+
+def test_off_grid_latency_raises_tick_domain_error():
+    """A latency whose denominator exceeds the supported scale cannot be
+    represented in ticks; turbo refuses instead of degrading."""
+    huge = (1 << 25) + 1  # denominator LCM above MAX_SCALE = 2**24
+
+    class _Proto(_ColliderProtocol):
+        def __init__(self):
+            super().__init__(lam=Fraction(huge, 1 << 25))
+
+    with pytest.raises(TickDomainError):
+        run_protocol(
+            _Proto(), policy=ContentionPolicy.QUEUED, backend="turbo"
+        )
+    # the exact lane handles the same latency fine
+    res = run_protocol(
+        _Proto(), policy=ContentionPolicy.QUEUED, backend="exact"
+    )
+    assert res.sends == 2
+
+
+# ------------------------------------------------------- tick domain
+
+
+def test_tick_domain_round_trip_is_lossless():
+    values = [as_time("5/2"), as_time("7/3"), as_time(4), as_time("1/6")]
+    domain = TickDomain.for_values(values)
+    for v in values:
+        assert domain.to_time(domain.to_ticks(v)) == v
+
+
+def test_tick_domain_rejects_off_grid_values():
+    domain = TickDomain.for_values([as_time(2)])  # scale 1
+    with pytest.raises(TickDomainError):
+        domain.to_ticks(as_time("1/2"))
+
+
+def test_lcm_denominator_caps_at_limit():
+    assert lcm_denominator([Fraction(1, 3), Fraction(1, 4)]) == 12
+    assert lcm_denominator([Fraction(1, (1 << 25))]) is None
