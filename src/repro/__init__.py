@@ -7,7 +7,10 @@ Algorithm BCAST, the multi-message Algorithms REPEAT / PACK / PIPELINE /
 DTREE with their exact running-time formulas, a ``Fraction``-exact
 discrete-event simulator of ``MPS(n, lambda)`` the event-driven protocol
 versions run on, plus collectives and Section-5 extensions (adaptive
-latency, hierarchies, LogP).
+latency, hierarchies, LogP).  Performance lanes: the integer-tick turbo
+backend (:mod:`repro.turbo`), the columnar plan layer with its plan
+cache (:mod:`repro.plan`), and deterministic multi-core sweeps
+(:mod:`repro.parallel`).
 
 Quick start::
 
@@ -57,6 +60,8 @@ from repro.algorithms import (
     StarProtocol,
 )
 from repro.mpi import SimComm
+from repro.parallel import derive_seed, parallel_map
+from repro.plan import PlanCache, SchedulePlan, build_plan, compile_plan
 from repro.obs import (
     CriticalPath,
     EngineProfile,
@@ -117,6 +122,12 @@ __all__ = [
     "StarProtocol",
     "BinomialProtocol",
     "SimComm",
+    "SchedulePlan",
+    "compile_plan",
+    "build_plan",
+    "PlanCache",
+    "derive_seed",
+    "parallel_map",
     "render_tree",
     "render_gantt",
     "utilization_table",

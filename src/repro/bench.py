@@ -15,35 +15,55 @@ Two grids:
 * ``full``  — the nightly trajectory: every family up to ``n = 10^5``.
 
 Results serialize to the committed ``BENCH_turbo.json`` (schema
-``repro-bench-turbo/1``; see ``docs/performance.md``).  Two checks gate
-CI:
+``repro-bench-turbo/2``; see ``docs/performance.md``).  Since ``/2`` the
+document also records the runner (``cpu_count``, ``platform``), the
+``jobs`` the sweep ran with, and a ``plan`` section benchmarking the
+columnar plan layer (:mod:`repro.plan`) against classic event-object
+schedule construction at BCAST ``n = 10^5``.  Three checks gate CI:
 
 * **speedup gate** — turbo must be at least :data:`GATE_MIN_SPEEDUP`
   times faster than exact for BCAST at ``n = 10^4`` (uniform integer
   latency), per the acceptance criterion of the turbo lane;
+* **plan gate** — columnar construction must be at least
+  :data:`PLAN_GATE_MIN_SPEEDUP` times faster and hold its events in at
+  least :data:`PLAN_GATE_MIN_MEM_RATIO` times less storage than the
+  event-object builder at BCAST ``n = 10^5``;
 * **baseline comparison** — optionally, each measured wall time must not
   exceed the committed baseline's by more than a relative tolerance
   (default ±30%; wall clocks on shared CI runners are noisy, so the
   tolerance is deliberately loose and only *slower* is a failure).
+  ``/1`` baselines remain readable — the per-case layout is unchanged.
+
+The grid itself can run sharded over worker processes (``run_bench(...,
+jobs=N)``, ``repro bench --jobs N``): cases are independent and merge in
+grid order, so the document is identical for any ``jobs`` — only the
+wall clock changes.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.parallel import parallel_map
 from repro.types import Time, as_time, time_repr
 
 __all__ = [
     "BenchCase",
     "BenchResult",
+    "BASELINE_SCHEMAS",
     "GATE_CASE",
     "GATE_MIN_SPEEDUP",
+    "PLAN_GATE_N",
+    "PLAN_GATE_MIN_SPEEDUP",
+    "PLAN_GATE_MIN_MEM_RATIO",
     "SCHEMA",
     "bench_grid",
+    "bench_plan_layer",
     "compare_to_baseline",
     "format_results",
     "gate_result",
@@ -53,13 +73,27 @@ __all__ = [
 ]
 
 #: Schema tag written into every ``BENCH_turbo.json``.
-SCHEMA = "repro-bench-turbo/1"
+SCHEMA = "repro-bench-turbo/2"
+
+#: Schemas :func:`compare_to_baseline` accepts (the per-case layout has
+#: been stable since ``/1``; ``/2`` only adds runner metadata and the
+#: plan section).
+BASELINE_SCHEMAS = ("repro-bench-turbo/1", "repro-bench-turbo/2")
 
 #: The acceptance gate: ``(family, n)`` that must clear the speedup bar.
 GATE_CASE = ("BCAST", 10_000)
 
 #: Minimum turbo-vs-exact speedup required at :data:`GATE_CASE`.
 GATE_MIN_SPEEDUP = 3.0
+
+#: The plan-layer gate case: BCAST at this ``n`` (single message).
+PLAN_GATE_N = 100_000
+
+#: Minimum columnar-vs-event construction speedup at the plan gate case.
+PLAN_GATE_MIN_SPEEDUP = 3.0
+
+#: Minimum event-storage ratio (event objects over plan columns).
+PLAN_GATE_MIN_MEM_RATIO = 5.0
 
 #: Per-family message counts used by the grid (``m`` scales work for the
 #: multi-message families without drowning the run in parameters).
@@ -175,10 +209,23 @@ def run_bench(
     mode: str = "smoke",
     *,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> list[BenchResult]:
-    """Run the whole *mode* grid; *progress* gets one line per case."""
+    """Run the whole *mode* grid; *progress* gets one line per case.
+
+    With ``jobs > 1`` the cases run across worker processes and merge
+    back in grid order — measurements are per-case wall times either
+    way, so the resulting document layout is identical (though parallel
+    timings share cores and are noisier; the committed baseline is
+    recorded serially).
+    """
+    grid = bench_grid(mode)
+    if jobs > 1:
+        if progress is not None:
+            progress(f"  {len(grid)} cases across {jobs} workers ...")
+        return parallel_map(run_case, grid, jobs=jobs, chunksize=1)
     results = []
-    for case in bench_grid(mode):
+    for case in grid:
         if progress is not None:
             progress(
                 f"  {case.family:<14} n={case.n:>7,} m={case.m} "
@@ -186,6 +233,97 @@ def run_bench(
             )
         results.append(run_case(case))
     return results
+
+
+# ------------------------------------------------------------ plan layer
+
+
+def _best_of(fn: Callable[[], object], *, budget_s: float = 0.5, reps: int = 3) -> float:
+    """Minimum wall time of *fn* over up to *reps* calls (stop early once
+    *budget_s* of total measurement is spent)."""
+    best = float("inf")
+    total = 0.0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        total += elapsed
+        if total >= budget_s:
+            break
+    return best
+
+
+def bench_plan_layer(*, n: int = PLAN_GATE_N, lam: Time = _LAM) -> dict:
+    """Benchmark columnar plan construction against the event-object
+    builder at BCAST size *n* (the ``"plan"`` section of the document).
+
+    Times and memory are measured in separate passes (``tracemalloc``
+    slows allocation-heavy code several-fold, so timing under it would
+    flatter the allocation-light plan path).  ``storage`` is the memory
+    holding the finished events: the materialized ``Schedule`` event
+    tuple for the classic path (tracemalloc-retained bytes), the four
+    integer columns (:attr:`~repro.plan.columns.SchedulePlan.nbytes`)
+    for the plan.  The warm-cache row is the point of the cache: with
+    the plan already resident, "construction" is one LRU lookup.
+    """
+    import tracemalloc
+
+    from repro.core.bcast import bcast_schedule
+    from repro.plan import PlanCache, build_plan, compile_plan
+
+    lam = as_time(lam)
+
+    # -- timing passes (no tracemalloc)
+    events_build_s = _best_of(lambda: bcast_schedule(n, lam, validate=False))
+    plan_build_s = _best_of(lambda: compile_plan("BCAST", n, 1, lam))
+    cache = PlanCache(mode="mem")
+    build_plan("BCAST", n, 1, lam, cache=cache)  # warm it
+    plan_cached_s = _best_of(
+        lambda: build_plan("BCAST", n, 1, lam, cache=cache), reps=5
+    )
+
+    # -- memory passes
+    tracemalloc.start()
+    schedule = bcast_schedule(n, lam, validate=False)
+    events_storage, events_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del schedule
+    tracemalloc.start()
+    plan = compile_plan("BCAST", n, 1, lam)
+    _, plan_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    construction_speedup = (
+        events_build_s / plan_build_s if plan_build_s > 0 else float("inf")
+    )
+    storage_ratio = (
+        events_storage / plan.nbytes if plan.nbytes > 0 else float("inf")
+    )
+    return {
+        "family": "BCAST",
+        "n": n,
+        "m": 1,
+        "lam": time_repr(lam),
+        "events": len(plan),
+        "events_build_s": round(events_build_s, 6),
+        "plan_build_s": round(plan_build_s, 6),
+        "plan_cached_s": round(plan_cached_s, 6),
+        "events_storage_bytes": events_storage,
+        "events_peak_bytes": events_peak,
+        "plan_storage_bytes": plan.nbytes,
+        "plan_peak_bytes": plan_peak,
+        "construction_speedup": round(construction_speedup, 3),
+        "storage_ratio": round(storage_ratio, 3),
+        "gate": {
+            "min_construction_speedup": PLAN_GATE_MIN_SPEEDUP,
+            "min_storage_ratio": PLAN_GATE_MIN_MEM_RATIO,
+            "ok": (
+                construction_speedup >= PLAN_GATE_MIN_SPEEDUP
+                and storage_ratio >= PLAN_GATE_MIN_MEM_RATIO
+            ),
+        },
+    }
 
 
 # ------------------------------------------------------------- reporting
@@ -211,12 +349,27 @@ def gate_result(results: Iterable[BenchResult]) -> dict:
     raise LookupError(f"bench grid did not include the gate case {GATE_CASE}")
 
 
-def to_json(results: Sequence[BenchResult], *, mode: str) -> str:
-    """Serialize *results* to the ``BENCH_turbo.json`` document."""
+def to_json(
+    results: Sequence[BenchResult],
+    *,
+    mode: str,
+    jobs: int = 1,
+    plan: "dict | None" = None,
+) -> str:
+    """Serialize *results* to the ``BENCH_turbo.json`` document.
+
+    *plan* is the :func:`bench_plan_layer` section (measured separately
+    because it benchmarks construction, not simulation); *jobs* records
+    how the sweep was executed — parallel timings share cores, so a
+    baseline diff across different ``jobs`` values deserves suspicion.
+    """
     doc = {
         "schema": SCHEMA,
         "mode": mode,
         "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": jobs,
         "cases": [
             {
                 "family": r.case.family,
@@ -232,6 +385,8 @@ def to_json(results: Sequence[BenchResult], *, mode: str) -> str:
         ],
         "gate": gate_result(results),
     }
+    if plan is not None:
+        doc["plan"] = plan
     return json.dumps(doc, indent=2) + "\n"
 
 
@@ -247,10 +402,15 @@ def compare_to_baseline(
     more than *tolerance* (relative), on either backend.  Cases missing
     from the baseline are skipped (the grid may grow); being *faster*
     is never a failure.  Returns human-readable regression lines.
+
+    Baselines in any of :data:`BASELINE_SCHEMAS` are accepted — ``/1``
+    files predate the runner metadata and plan section but share the
+    per-case layout.
     """
-    if baseline.get("schema") != SCHEMA:
+    if baseline.get("schema") not in BASELINE_SCHEMAS:
         raise ValueError(
-            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"
+            f"baseline schema {baseline.get('schema')!r} not in "
+            f"{BASELINE_SCHEMAS!r}"
         )
     base = {
         (c["family"], c["n"], c["m"], c["lam"]): c

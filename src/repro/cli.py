@@ -22,13 +22,15 @@ Commands:
   form), and export the trace as Chrome trace-event JSON / CSV / JSONL.
 * ``conformance`` — the seeded differential fuzzer: certify every
   protocol family against its closed form (``--smoke`` for the CI grid,
-  ``--deep`` for the nightly one); failures are filed as self-contained
-  repro artifacts.
+  ``--deep`` for the nightly one, ``--jobs N`` to shard the sweep over
+  worker processes with an identical report); failures are filed as
+  self-contained repro artifacts.
 * ``bench``    — the perf regression harness: wall-time the exact and
   turbo backends over the BCAST/PIPELINE-2/DTREE-BINARY grid
-  (``--smoke`` for the CI gate, ``--full`` for the nightly trajectory),
-  enforce the >= 3x turbo speedup gate, and optionally diff against the
-  committed ``BENCH_turbo.json`` baseline.
+  (``--smoke`` for the CI gate, ``--full`` for the nightly trajectory,
+  ``--jobs N`` to shard the grid), enforce the >= 3x turbo speedup gate
+  and the plan-layer construction/memory gate, and optionally diff
+  against the committed ``BENCH_turbo.json`` baseline.
 
 All latency/time arguments accept ints, decimals, or ratios (``5/2``).
 """
@@ -222,16 +224,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench import (
         GATE_MIN_SPEEDUP,
+        bench_plan_layer,
         compare_to_baseline,
         format_results,
         gate_result,
         run_bench,
         to_json,
     )
+    from repro.parallel import effective_jobs
 
     mode = "full" if args.full else "smoke"
-    print(f"perf regression harness ({mode}): exact vs turbo backend")
-    results = run_bench(mode, progress=print)
+    jobs = effective_jobs(args.jobs)
+    suffix = f", {jobs} workers" if jobs > 1 else ""
+    print(f"perf regression harness ({mode}): exact vs turbo backend{suffix}")
+    results = run_bench(mode, progress=print, jobs=jobs)
     print()
     print(format_results(results))
 
@@ -244,6 +250,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
     ok = gate["ok"]
+    plan = None
+    if args.plan_n > 0:
+        plan = bench_plan_layer(n=args.plan_n)
+        pg = plan["gate"]
+        pv = "PASS" if pg["ok"] else "FAIL"
+        print(
+            f"plan gate: columnar build >= "
+            f"{pg['min_construction_speedup']:.0f}x and storage >= "
+            f"{pg['min_storage_ratio']:.0f}x at BCAST n={plan['n']:,} — "
+            f"measured {plan['construction_speedup']:.2f}x build, "
+            f"{plan['storage_ratio']:.2f}x storage, warm cache "
+            f"{plan['plan_cached_s'] * 1e6:.0f}us [{pv}]"
+        )
+        ok = ok and pg["ok"]
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -262,7 +282,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.out:
         with open(args.out, "w") as fh:
-            fh.write(to_json(results, mode=mode))
+            fh.write(to_json(results, mode=mode, jobs=jobs, plan=plan))
         print(f"\nresults written to {args.out}")
     return 0 if ok else 1
 
@@ -436,12 +456,17 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     if overrides:
         opts = replace(opts, **overrides)
 
+    from repro.parallel import effective_jobs
+
+    jobs = effective_jobs(args.jobs)
     mode = "deep" if args.deep else "smoke"
+    suffix = f", {jobs} workers" if jobs > 1 else ""
     print(
         f"conformance fuzz ({mode}): {opts.iterations} configs over "
         f"{len(opts.families or families())} families, seed {opts.seed}"
+        f"{suffix}"
     )
-    report = run_fuzz(opts)
+    report = run_fuzz(opts, jobs=jobs)
     print()
     print(conformance_table(report, markdown=args.markdown))
     print()
@@ -604,6 +629,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the summary table as Markdown",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (0 = one per CPU; the "
+        "report is identical for any value — default 1)",
+    )
     p.set_defaults(func=cmd_conformance)
 
     p = sub.add_parser(
@@ -638,6 +670,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.30,
         help="relative regression tolerance for --baseline (default 0.30)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the case grid (0 = one per CPU; "
+        "parallel timings share cores — baselines are recorded serially)",
+    )
+    p.add_argument(
+        "--plan-n",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="BCAST size for the plan-layer construction bench "
+        "(0 disables the plan section; default 100000)",
     )
     p.set_defaults(func=cmd_bench)
 

@@ -17,7 +17,10 @@ paper's closed forms, from four independent directions at once:
   self-test that proves the certifier can actually fail.
 * :mod:`repro.conformance.fuzzer` — :func:`run_fuzz`: the seeded
   differential fuzzer over reproducible grids (rational ``lambda``
-  included), with round-robin family coverage.
+  included), with round-robin family coverage.  Every grid point owns a
+  stable derived seed (:func:`repro.parallel.derive_seed`), so the
+  sweep shards over worker processes (``run_fuzz(opts, jobs=N)``) with
+  a report identical to the serial one.
 * :mod:`repro.conformance.artifacts` — failure artifacts: a
   self-contained directory with the config, a standalone ``repro.py``
   that reproduces the violation from the recorded seed, and the
@@ -40,6 +43,7 @@ from repro.conformance.fuzzer import (
     FuzzOptions,
     FuzzReport,
     deep_options,
+    point_rng,
     run_fuzz,
     sample_config,
     smoke_options,
@@ -73,6 +77,7 @@ __all__ = [
     "smoke_options",
     "deep_options",
     "sample_config",
+    "point_rng",
     "run_fuzz",
     "artifact_name",
     "write_failure_artifact",

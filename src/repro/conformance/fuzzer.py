@@ -2,15 +2,18 @@
 
 :func:`run_fuzz` walks a reproducible grid of
 :class:`~repro.conformance.certify.ConformanceConfig` points — families
-round-robin (so even a tiny smoke run covers *every* registered family),
-parameters drawn from one ``random.Random(seed)`` — and certifies each
-point with :func:`~repro.conformance.certify.certify_config`.
+round-robin (so even a tiny smoke run covers *every* registered family)
+— and certifies each point with
+:func:`~repro.conformance.certify.certify_config`.
 
-Everything is derived from the single seed: the family rotation, the
-``(n, m, lambda)`` draws (rational ``lambda`` included), the contention
-policy, and any chaos-mutation seeds.  Two runs with the same options
-certify the same configs in the same order and — because the simulator
-itself is deterministic — produce byte-identical failure artifacts.
+Everything is derived from the single master seed, *per point*: grid
+point ``i`` draws its ``(n, m, lambda)``, contention policy, and any
+chaos-mutation seed from ``random.Random(derive_seed(seed, "fuzz", i))``
+(:func:`repro.parallel.derive_seed`, a stable SHA-256 hash).  Because no
+point consumes another point's randomness, the grid is identical however
+the sweep is executed: serial, ``jobs=4``, or resumed elsewhere — same
+configs, same order after the ordered merge, and (the simulator itself
+being deterministic) byte-identical failure artifacts.
 
 Sampling is *constructive* per family: PIPELINE-1 draws ``m`` from
 ``1..floor(lambda)``, PIPELINE-2 from ``ceil(lambda)..``, DTREE-LATENCY
@@ -45,6 +48,7 @@ from repro.conformance.certify import (
     certify_config,
 )
 from repro.conformance.oracles import families, get_oracle
+from repro.parallel import derive_seed, parallel_map
 
 __all__ = [
     "FuzzOptions",
@@ -53,6 +57,7 @@ __all__ = [
     "smoke_options",
     "deep_options",
     "sample_config",
+    "point_rng",
     "run_fuzz",
 ]
 
@@ -225,57 +230,94 @@ def sample_config(
 # ---------------------------------------------------------------- the run
 
 
-def run_fuzz(opts: FuzzOptions) -> FuzzReport:
+def point_rng(seed: int, index: int) -> random.Random:
+    """The RNG owned by grid point *index* under master *seed* (stable
+    across processes and worker assignment)."""
+    return random.Random(derive_seed(seed, "fuzz", index))
+
+
+def _certify_index(
+    args: "tuple[FuzzOptions, tuple[str, ...], int]",
+) -> "tuple[int, str, CertResult, str | None, str]":
+    """Worker: sample and certify grid point ``i`` (runs in-process for
+    serial sweeps, in a pool worker for ``jobs > 1``).
+
+    Returns ``(index, family, result, artifact_path, outcome)`` with
+    ``outcome`` one of ``certified`` / ``failed`` / ``chaos_detected`` /
+    ``chaos_missed``.  Artifacts are written *here* (their directory
+    names are content-hashed, so serial and parallel runs produce the
+    same files), and the unpicklable live systems are stripped before
+    the result crosses the process boundary.
+    """
+    opts, chosen, i = args
+    family = chosen[i % len(chosen)]
+    config = sample_config(point_rng(opts.seed, i), family, opts)
+    keep = opts.artifact_dir is not None
+    result = certify_config(config, keep_system=keep)
+
+    if config.chaos_seed is not None:
+        if result.ok:
+            # the real failure: corruption went undetected
+            result.violations.append(
+                f"chaos: corruption {result.corruption!r} went "
+                f"undetected by the certifier"
+            )
+            outcome = "chaos_missed"
+        else:
+            outcome = "chaos_detected"
+    else:
+        outcome = "certified" if result.ok else "failed"
+
+    artifact: "str | None" = None
+    if keep and outcome != "certified":
+        artifact = str(write_failure_artifact(result, opts.artifact_dir))
+    result.systems.clear()  # free (and unpickle-proof) the kept machines
+    return (i, family, result, artifact, outcome)
+
+
+def run_fuzz(opts: FuzzOptions, *, jobs: int = 1) -> FuzzReport:
     """Certify ``opts.iterations`` seeded grid points.
 
     Never raises on a conformance violation; inspect
     :attr:`FuzzReport.failures`.  A sampler or registry bug (an
     inapplicable config reaching the certifier) *does* raise — that is
     an infrastructure failure, not a model divergence.
+
+    Args:
+        jobs: worker processes (``repro conformance --jobs``).  Every
+            grid point owns its seed (:func:`point_rng`), results merge
+            in index order, and artifacts are content-addressed, so the
+            report is identical for any ``jobs`` value; ``0`` means one
+            worker per CPU.
     """
     chosen = opts.families if opts.families is not None else families()
     if not chosen:
         raise InvalidParameterError("no families to fuzz")
     chosen = tuple(get_oracle(f).family for f in chosen)  # canonicalize
 
-    rng = random.Random(opts.seed)
     report = FuzzReport(options=opts)
-    keep = opts.artifact_dir is not None
     started = _wallclock.perf_counter()
 
-    for i in range(opts.iterations):
-        family = chosen[i % len(chosen)]
-        config = sample_config(rng, family, opts)
-        result = certify_config(config, keep_system=keep)
+    work = [(opts, chosen, i) for i in range(opts.iterations)]
+    outcomes = parallel_map(_certify_index, work, jobs=jobs)
+
+    for i, family, result, artifact, outcome in outcomes:  # index order
         stats = report.stats.setdefault(family, FamilyStats())
         stats.runs += 1
-
-        if config.chaos_seed is not None:
-            report.chaos_results.append(result)
-            if result.ok:
-                # the real failure: corruption went undetected
-                stats.chaos_missed += 1
-                result.violations.append(
-                    f"chaos: corruption {result.corruption!r} went "
-                    f"undetected by the certifier"
-                )
-                report.failures.append(result)
-            else:
-                stats.chaos_detected += 1
-            if keep:
-                report.artifacts.append(
-                    write_failure_artifact(result, opts.artifact_dir)
-                )
-        elif result.ok:
+        if outcome == "certified":
             stats.certified += 1
-        else:
+        elif outcome == "failed":
             stats.failed += 1
             report.failures.append(result)
-            if keep:
-                report.artifacts.append(
-                    write_failure_artifact(result, opts.artifact_dir)
-                )
-        result.systems.clear()  # free the kept machines
+        elif outcome == "chaos_detected":
+            stats.chaos_detected += 1
+            report.chaos_results.append(result)
+        else:  # chaos_missed — the real failure
+            stats.chaos_missed += 1
+            report.chaos_results.append(result)
+            report.failures.append(result)
+        if artifact is not None:
+            report.artifacts.append(Path(artifact))
 
     report.elapsed = _wallclock.perf_counter() - started
     return report

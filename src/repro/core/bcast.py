@@ -15,7 +15,11 @@ and the completion time is exactly ``f_lambda(n)`` (Theorem 6).
 
 This module builds BCAST *schedules* (the static IR); the event-driven
 distributed implementation that discovers the same schedule at run time
-lives in :mod:`repro.algorithms.bcast_protocol`.
+lives in :mod:`repro.algorithms.bcast_protocol`.  For large machines
+(``n`` approaching ``10^5`` and beyond) prefer the columnar plan layer:
+:func:`repro.plan.compile_plan` runs the same iterative recurrence in
+pure integer ticks — no per-event objects, no ``Fraction`` arithmetic —
+and converts losslessly to this module's schedules.
 """
 
 from __future__ import annotations

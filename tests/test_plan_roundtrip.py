@@ -1,0 +1,393 @@
+"""Round-trip and cache tests for the columnar plan layer (:mod:`repro.plan`).
+
+The plan layer's contract is *byte identity*: for every family it can
+compile, ``compile_plan(...).to_schedule()`` must produce events equal —
+as exact ``(Fraction, int, int, int)`` tuples — to the classic
+``repro.core`` builder the conformance oracle registry points at.  This
+suite pins that across all plan-compatible conformance families and
+rational latencies (5/2, 7/3 included), plus:
+
+* the lossless ``SchedulePlan.from_schedule`` inverse,
+* turbo replay equivalence (the plan drives the event loop directly),
+* the in-place columnar ``audit`` (both that valid plans pass and that
+  corrupted columns raise the *right* exception),
+* the ``to_bytes``/``from_bytes`` disk format and its corruption modes,
+* the :class:`~repro.plan.PlanCache` levels — mem hit identity, LRU
+  eviction, disk persistence across a *fresh process*, off mode,
+* the recursion-limit guard: builders and compilers stay iterative.
+"""
+
+import subprocess
+import sys
+from fractions import Fraction
+
+import pytest
+
+from repro.conformance.oracles import get_oracle
+from repro.errors import (
+    InvalidParameterError,
+    PlanCacheError,
+    ScheduleError,
+    SimultaneousIOError,
+)
+from repro.plan import (
+    PlanCache,
+    SchedulePlan,
+    build_plan,
+    canonical_family,
+    compile_plan,
+    plan_families,
+)
+from repro.turbo import TickDomain
+from repro.types import as_time
+
+#: The latencies the issue calls out: integer, the paper's running
+#: example 5/2, and 7/3 (denominator not a power of two).
+LAMBDAS = ["2", "5/2", "7/3"]
+
+SIZES = [2, 3, 5, 8, 13, 21]
+MCOUNTS = [1, 2, 3]
+
+
+def _grid(family, lam):
+    """Applicable ``(n, m)`` pairs for *family* at latency *lam*."""
+    oracle = get_oracle(family)
+    return [
+        (n, m)
+        for n in SIZES
+        for m in MCOUNTS
+        if oracle.applicable(n, m, lam)
+    ]
+
+
+# ------------------------------------------------------------ byte identity
+
+
+@pytest.mark.parametrize("lam_str", LAMBDAS)
+@pytest.mark.parametrize("family", plan_families())
+def test_plan_events_byte_identical_to_builder(family, lam_str):
+    """``compile_plan(...).to_schedule()`` equals the oracle's independent
+    static builder, event for event, with exact ``Fraction`` times."""
+    oracle = get_oracle(family)
+    lam = as_time(lam_str)
+    grid = _grid(family, lam)
+    if not grid:
+        pytest.skip(f"no applicable (n, m) for {family} at lambda={lam_str}")
+    for n, m in grid:
+        ref = oracle.schedule(n, m, lam)
+        plan = compile_plan(family, n, m, lam, validate=True)
+        got = plan.to_schedule(validate=True)
+        assert got.events == ref.events, f"{family} n={n} m={m} lam={lam_str}"
+        assert plan.completion_time() == ref.completion_time()
+        assert plan.event_count == len(ref.events)
+
+
+@pytest.mark.parametrize("lam_str", LAMBDAS)
+@pytest.mark.parametrize("family", plan_families())
+def test_from_schedule_round_trip_is_identity(family, lam_str):
+    """plan -> Schedule -> plan reproduces the exact columns and domain."""
+    lam = as_time(lam_str)
+    grid = _grid(family, lam)
+    if not grid:
+        pytest.skip(f"no applicable (n, m) for {family} at lambda={lam_str}")
+    n, m = grid[-1]
+    plan = compile_plan(family, n, m, lam)
+    back = SchedulePlan.from_schedule(plan.to_schedule(), family=plan.family)
+    assert back == plan
+
+
+@pytest.mark.parametrize("family", ["BCAST", "REPEAT", "PACK", "PIPELINE-1"])
+def test_replay_realizes_the_planned_schedule(family):
+    """Feeding the columns straight into the turbo loop realizes the same
+    schedule the plan describes."""
+    lam = as_time("5/2")
+    n, m = (13, 1) if family == "BCAST" else (13, 2)
+    plan = compile_plan(family, n, m, lam)
+    system = plan.replay()
+    realized = system.realized_schedule(m=plan.m)
+    assert realized.events == plan.to_schedule().events
+
+
+def test_pipeline_alias_resolves_by_variant():
+    assert canonical_family("PIPELINE", 8, 2, as_time(3)) == "PIPELINE-1"
+    assert canonical_family("PIPELINE", 8, 4, as_time(3)) == "PIPELINE-2"
+    plan = compile_plan("PIPELINE", 8, 2, "3")
+    assert plan.family == "PIPELINE-1"
+
+
+def test_explicit_dtree_degree_matches_named_shape():
+    # DTREE-LATENCY at lambda=2 is the degree-3 tree
+    lam = as_time(2)
+    named = compile_plan("DTREE-LATENCY", 10, 2, lam)
+    explicit = compile_plan("DTREE-3", 10, 2, lam)
+    assert named.to_schedule().events == explicit.to_schedule().events
+
+
+def test_unknown_family_raises():
+    with pytest.raises(InvalidParameterError):
+        compile_plan("TELEGRAPH", 4, 1, 2)
+    with pytest.raises(InvalidParameterError):
+        compile_plan("DTREE-XL", 4, 1, 2)
+    with pytest.raises(InvalidParameterError):
+        compile_plan("BCAST", 4, 2, 2)  # BCAST is single-message
+
+
+# ------------------------------------------------------------------ audit
+
+
+def _tampered(plan, **cols):
+    """A copy of *plan* with some columns replaced."""
+    return SchedulePlan(
+        plan.family,
+        plan.n,
+        plan.m,
+        plan.lam,
+        plan.domain,
+        cols.get("ticks", plan.ticks[:]),
+        cols.get("senders", plan.senders[:]),
+        cols.get("msgs", plan.msgs[:]),
+        cols.get("receivers", plan.receivers[:]),
+    )
+
+
+def test_audit_rejects_duplicate_delivery():
+    plan = compile_plan("BCAST", 8, 1, "5/2")
+    receivers = plan.receivers[:]
+    receivers[1] = receivers[0]  # second event re-delivers to the same proc
+    with pytest.raises(ScheduleError, match="more than once"):
+        _tampered(plan, receivers=receivers).audit()
+
+
+def test_audit_rejects_self_send():
+    plan = compile_plan("BCAST", 8, 1, 2)
+    receivers = plan.receivers[:]
+    receivers[0] = plan.senders[0]
+    with pytest.raises(ScheduleError, match="self-send"):
+        _tampered(plan, receivers=receivers).audit()
+
+
+def test_audit_rejects_uninformed_sender():
+    plan = compile_plan("BCAST", 8, 1, 2)
+    senders = plan.senders[:]
+    senders[0] = plan.n - 1  # the last-informed processor sends at t = 0
+    with pytest.raises(ScheduleError, match="holds it from|never obtains"):
+        _tampered(plan, senders=senders).audit()
+
+
+def test_audit_rejects_unsorted_columns():
+    plan = compile_plan("BCAST", 8, 1, 2)
+    ticks = plan.ticks[:]
+    ticks[0], ticks[-1] = ticks[-1], ticks[0]
+    with pytest.raises(ScheduleError, match="not tick-sorted"):
+        _tampered(plan, ticks=ticks).audit()
+
+
+def test_audit_rejects_incomplete_broadcast():
+    plan = compile_plan("BCAST", 8, 1, 2)
+    short = _tampered(
+        plan,
+        ticks=plan.ticks[:-1],
+        senders=plan.senders[:-1],
+        msgs=plan.msgs[:-1],
+        receivers=plan.receivers[:-1],
+    )
+    with pytest.raises(ScheduleError, match="incomplete"):
+        short.audit()
+
+
+def test_audit_rejects_simultaneous_sends():
+    # REPEAT with a fabricated zero stride: both iterations' first sends
+    # leave the root at the same instant.
+    plan = compile_plan("BCAST", 4, 1, 1)
+    ticks = plan.ticks[:]
+    # root sends at ticks 0, 1, ...; drag its second send onto the first
+    ticks[1] = ticks[0]
+    with pytest.raises(SimultaneousIOError, match="two sends"):
+        _tampered(plan, ticks=ticks).audit()
+
+
+def test_audit_rejects_simultaneous_receives():
+    # n=4, m=2, lambda=2 (scale 1): p3 is sent different messages by two
+    # different senders in the same time unit.
+    n, m = 4, 2
+    lam = as_time(2)
+    domain = TickDomain.for_values([lam])
+
+    def key(t, s, k, r):
+        return ((t * n + s) * m + k) * n + r
+
+    keys = [key(0, 0, 0, 1), key(2, 0, 1, 3), key(2, 1, 0, 3)]
+    plan = SchedulePlan.from_sorted_keys("CUSTOM", n, m, lam, domain, keys)
+    with pytest.raises(SimultaneousIOError, match="two receives"):
+        plan.audit()
+
+
+# ------------------------------------------------------------ serialization
+
+
+def test_bytes_round_trip():
+    plan = compile_plan("REPEAT", 13, 3, "7/3")
+    clone = SchedulePlan.from_bytes(plan.to_bytes())
+    assert clone == plan
+    assert clone.domain.scale == plan.domain.scale
+    assert clone.to_schedule().events == plan.to_schedule().events
+
+
+@pytest.mark.parametrize(
+    "mangle",
+    [
+        lambda raw: b"not a plan at all",
+        lambda raw: raw[:20],  # truncated header
+        lambda raw: raw[:-8],  # truncated payload
+        lambda raw: raw + b"trailing junk",  # payload length mismatch
+        lambda raw: raw.replace(b'"n": 13', b'"n": oops', 1),  # broken JSON
+    ],
+)
+def test_from_bytes_rejects_corruption(mangle):
+    raw = compile_plan("BCAST", 13, 1, "5/2").to_bytes()
+    with pytest.raises(PlanCacheError):
+        SchedulePlan.from_bytes(mangle(raw))
+
+
+# ------------------------------------------------------------------- cache
+
+
+def test_mem_cache_hit_returns_same_object():
+    cache = PlanCache(mode="mem")
+    a = build_plan("BCAST", 21, 1, "5/2", cache=cache)
+    b = build_plan("BCAST", 21, 1, "5/2", cache=cache)
+    assert a is b
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_off_mode_always_rebuilds():
+    cache = PlanCache(mode="off")
+    a = build_plan("BCAST", 21, 1, 2, cache=cache)
+    b = build_plan("BCAST", 21, 1, 2, cache=cache)
+    assert a is not b
+    assert a == b
+    assert cache.stats()["hits"] == 0
+
+
+def test_pipeline_alias_shares_cache_entry():
+    cache = PlanCache(mode="mem")
+    a = build_plan("PIPELINE", 8, 2, 3, cache=cache)
+    b = build_plan("PIPELINE-1", 8, 2, 3, cache=cache)
+    assert a is b
+
+
+def test_lru_evicts_oldest_entry():
+    cache = PlanCache(mode="mem", capacity=2)
+    a = build_plan("BCAST", 5, 1, 2, cache=cache)
+    build_plan("BCAST", 8, 1, 2, cache=cache)
+    build_plan("BCAST", 13, 1, 2, cache=cache)  # evicts n=5
+    again = build_plan("BCAST", 5, 1, 2, cache=cache)
+    assert again is not a
+    assert again == a
+
+
+def test_disk_cache_survives_a_fresh_cache(tmp_path):
+    first = PlanCache(mode="disk", directory=tmp_path)
+    plan = build_plan("PACK", 13, 2, "5/2", cache=first)
+    assert first.path_for(first.key("PACK", 13, 2, "5/2")).exists()
+
+    fresh = PlanCache(mode="disk", directory=tmp_path)  # empty memory level
+    loaded = build_plan("PACK", 13, 2, "5/2", cache=fresh)
+    assert loaded == plan
+    assert fresh.stats()["disk_hits"] == 1
+
+
+def test_corrupt_disk_file_is_a_miss_not_an_error(tmp_path):
+    cache = PlanCache(mode="disk", directory=tmp_path)
+    build_plan("BCAST", 8, 1, 2, cache=cache)
+    path = cache.path_for(cache.key("BCAST", 8, 1, 2))
+    path.write_bytes(b"garbage")
+    fresh = PlanCache(mode="disk", directory=tmp_path)
+    plan = build_plan("BCAST", 8, 1, 2, cache=fresh)  # silently rebuilt
+    plan.audit()
+    assert fresh.stats()["disk_hits"] == 0
+
+
+def test_disk_cache_survives_a_fresh_process(tmp_path):
+    """The real satellite claim: a *new process* (CI shard, nightly run)
+    skips construction by loading the persisted plan."""
+    warm = PlanCache(mode="disk", directory=tmp_path)
+    plan = build_plan("BCAST", 21, 1, "5/2", cache=warm)
+
+    code = (
+        "from repro.plan import PlanCache, build_plan\n"
+        "cache = PlanCache()\n"
+        "plan = build_plan('BCAST', 21, 1, '5/2', cache=cache)\n"
+        "plan.audit()\n"
+        "print(cache.stats()['disk_hits'], plan.event_count)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={
+            "REPRO_PLAN_CACHE": "disk",
+            "REPRO_PLAN_CACHE_DIR": str(tmp_path),
+            "PYTHONPATH": "src",
+            "PATH": "/usr/bin:/bin",
+        },
+        cwd="/root/repo",
+        check=True,
+    )
+    disk_hits, count = proc.stdout.split()
+    assert disk_hits == "1"
+    assert int(count) == plan.event_count
+
+
+def test_bad_cache_mode_rejected():
+    with pytest.raises(InvalidParameterError):
+        PlanCache(mode="ram")
+
+
+# ------------------------------------------------- recursion-limit guard
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: compile_plan("BCAST", 3000, 1, "5/2"),
+        lambda: compile_plan("PIPELINE", 3000, 3, "5/2"),
+        lambda: compile_plan("REPEAT", 3000, 2, 2),
+    ],
+    ids=["bcast", "pipeline", "repeat"],
+)
+def test_compilers_are_iterative(build):
+    """No compiler touches the recursion limit, at any n (satellite of
+    the turbo PR, re-pinned here for the plan layer)."""
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(200)
+    try:
+        plan = build()
+    finally:
+        sys.setrecursionlimit(limit)
+    assert plan.event_count >= 2999
+
+
+def test_core_builders_are_iterative_too():
+    from repro.core.bcast import bcast_schedule
+    from repro.core.multi import pipeline_schedule
+
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(200)
+    try:
+        s1 = bcast_schedule(3000, "5/2", validate=False)
+        s2 = pipeline_schedule(3000, 3, "5/2", validate=False)
+    finally:
+        sys.setrecursionlimit(limit)
+    assert len(s1.events) == 2999
+    assert len(s2.events) == 2999 * 3
+
+
+def test_large_plan_matches_builder_exactly():
+    """One big differential point: n = 20000 at the paper's lambda."""
+    from repro.core.bcast import bcast_schedule
+
+    plan = compile_plan("BCAST", 20_000, 1, "5/2")
+    ref = bcast_schedule(20_000, "5/2", validate=False)
+    assert plan.to_schedule().events == ref.events
