@@ -3,27 +3,43 @@
 Measures end-to-end wall time of :func:`repro.postal.runner.run_protocol`
 (``validate=False, collect=False`` — pure engine cost) for a fixed case
 grid on **both** execution backends and reports the turbo-vs-exact
-speedup per case.  Three protocol families cover the three structural
-regimes: BCAST (single message, Fibonacci tree fan-out), PIPELINE-2
-(multi-message pipelining, long per-processor send chains), and
-DTREE-BINARY (degree-bounded tree, mixed fan-out).
+speedup per case.  The broadcast families cover the three structural
+regimes — BCAST (single message, Fibonacci tree fan-out), PIPELINE-2
+(multi-message pipelining, long per-processor send chains),
+DTREE-BINARY (degree-bounded tree, mixed fan-out) — and since ``/3``
+the grid also covers every :mod:`repro.collectives` workload: the
+Theta(n^2)-delivery exchanges (ALLGATHER, BRUCK-ALLGATHER, ALLTOALL,
+GOSSIP-RING) and the tree-shaped combines (REDUCE, ALLREDUCE, BARRIER).
 
 Two grids:
 
-* ``smoke`` — the CI gate: ``n`` up to ``10^4`` (BCAST) / ``10^3``
-  (the multi-message families); finishes in well under a minute.
-* ``full``  — the nightly trajectory: every family up to ``n = 10^5``.
+* ``smoke`` — the CI gate: ``n`` up to ``10^4`` (BCAST and the tree
+  collectives) / ``10^3`` (multi-message) / ``10^2`` (the quadratic
+  exchanges); finishes in well under a minute.
+* ``full``  — the nightly trajectory: broadcast families to
+  ``n = 10^5``, tree collectives to ``10^4``, quadratic exchanges to
+  ``3*10^2``.
 
 Results serialize to the committed ``BENCH_turbo.json`` (schema
-``repro-bench-turbo/2``; see ``docs/performance.md``).  Since ``/2`` the
+``repro-bench-turbo/3``; see ``docs/performance.md``).  Since ``/2`` the
 document also records the runner (``cpu_count``, ``platform``), the
 ``jobs`` the sweep ran with, and a ``plan`` section benchmarking the
 columnar plan layer (:mod:`repro.plan`) against classic event-object
-schedule construction at BCAST ``n = 10^5``.  Three checks gate CI:
+schedule construction at BCAST ``n = 10^5``; ``/3`` adds the collective
+cases and a second speedup gate.  Four checks gate CI:
 
 * **speedup gate** — turbo must be at least :data:`GATE_MIN_SPEEDUP`
   times faster than exact for BCAST at ``n = 10^4`` (uniform integer
   latency), per the acceptance criterion of the turbo lane;
+* **collective gate** — same bar for ALLGATHER at the 10^4-**send**
+  scale, i.e. :data:`COLLECTIVE_GATE_CASE` ``n = 100`` (9,999 sends —
+  the same event count as the BCAST gate).  The gate is deliberately
+  stated in sends, not processors: allgather delivers Theta(n^2)
+  messages, so ``n = 10^4`` *processors* would mean ~10^8 sends and
+  hours of exact-engine wall time per measurement — not a CI gate.
+  What CI must pin is the turbo lane's per-event advantage on the
+  collective code path, which the 10^4-send point measures exactly as
+  the BCAST gate does for broadcast;
 * **plan gate** — columnar construction must be at least
   :data:`PLAN_GATE_MIN_SPEEDUP` times faster and hold its events in at
   least :data:`PLAN_GATE_MIN_MEM_RATIO` times less storage than the
@@ -32,7 +48,8 @@ schedule construction at BCAST ``n = 10^5``.  Three checks gate CI:
   exceed the committed baseline's by more than a relative tolerance
   (default ±30%; wall clocks on shared CI runners are noisy, so the
   tolerance is deliberately loose and only *slower* is a failure).
-  ``/1`` baselines remain readable — the per-case layout is unchanged.
+  ``/1`` and ``/2`` baselines remain readable — the per-case layout is
+  unchanged; cases they predate are simply skipped.
 
 The grid itself can run sharded over worker processes (``run_bench(...,
 jobs=N)``, ``repro bench --jobs N``): cases are independent and merge in
@@ -56,6 +73,8 @@ __all__ = [
     "BenchCase",
     "BenchResult",
     "BASELINE_SCHEMAS",
+    "COLLECTIVE_GATE_CASE",
+    "COLLECTIVE_GATE_MIN_SPEEDUP",
     "GATE_CASE",
     "GATE_MIN_SPEEDUP",
     "PLAN_GATE_N",
@@ -64,6 +83,7 @@ __all__ = [
     "SCHEMA",
     "bench_grid",
     "bench_plan_layer",
+    "collective_gate_result",
     "compare_to_baseline",
     "format_results",
     "gate_result",
@@ -73,18 +93,30 @@ __all__ = [
 ]
 
 #: Schema tag written into every ``BENCH_turbo.json``.
-SCHEMA = "repro-bench-turbo/2"
+SCHEMA = "repro-bench-turbo/3"
 
 #: Schemas :func:`compare_to_baseline` accepts (the per-case layout has
-#: been stable since ``/1``; ``/2`` only adds runner metadata and the
-#: plan section).
-BASELINE_SCHEMAS = ("repro-bench-turbo/1", "repro-bench-turbo/2")
+#: been stable since ``/1``; ``/2`` added runner metadata and the plan
+#: section, ``/3`` the collective cases and gate).
+BASELINE_SCHEMAS = (
+    "repro-bench-turbo/1",
+    "repro-bench-turbo/2",
+    "repro-bench-turbo/3",
+)
 
 #: The acceptance gate: ``(family, n)`` that must clear the speedup bar.
 GATE_CASE = ("BCAST", 10_000)
 
 #: Minimum turbo-vs-exact speedup required at :data:`GATE_CASE`.
 GATE_MIN_SPEEDUP = 3.0
+
+#: The collective acceptance gate: allgather at the 10^4-send scale
+#: (``n = 100`` is 9,999 sends — the same event count as the BCAST gate;
+#: see the module docstring for why the gate is stated in sends).
+COLLECTIVE_GATE_CASE = ("ALLGATHER", 100)
+
+#: Minimum turbo-vs-exact speedup at :data:`COLLECTIVE_GATE_CASE`.
+COLLECTIVE_GATE_MIN_SPEEDUP = 3.0
 
 #: The plan-layer gate case: BCAST at this ``n`` (single message).
 PLAN_GATE_N = 100_000
@@ -96,8 +128,20 @@ PLAN_GATE_MIN_SPEEDUP = 3.0
 PLAN_GATE_MIN_MEM_RATIO = 5.0
 
 #: Per-family message counts used by the grid (``m`` scales work for the
-#: multi-message families without drowning the run in parameters).
-_FAMILY_M = {"BCAST": 1, "PIPELINE-2": 4, "DTREE-BINARY": 2}
+#: multi-message families without drowning the run in parameters; the
+#: collectives are all single-message protocols).
+_FAMILY_M = {
+    "BCAST": 1,
+    "PIPELINE-2": 4,
+    "DTREE-BINARY": 2,
+    "ALLGATHER": 1,
+    "BRUCK-ALLGATHER": 1,
+    "ALLTOALL": 1,
+    "GOSSIP-RING": 1,
+    "REDUCE": 1,
+    "ALLREDUCE": 1,
+    "BARRIER": 1,
+}
 
 #: Uniform latency for every grid case — integer, so the gate measures
 #: the common case (tick scale 1, no rescaling advantage for turbo).
@@ -142,8 +186,12 @@ def bench_grid(mode: str = "smoke") -> list[BenchCase]:
 
     Smoke keeps the multi-message families at ``n <= 10^3`` so the CI
     job stays fast while still exercising every family; BCAST goes to
-    ``10^4`` because the acceptance gate is measured there.  Full
-    extends every family to ``10^5``.
+    ``10^4`` because the acceptance gate is measured there, and the
+    quadratic-delivery exchanges (ALLGATHER and friends: Theta(n^2)
+    sends) stop at ``10^2`` — the collective gate's 10^4-send point.
+    Full extends the broadcast families to ``10^5``, the tree-shaped
+    collectives to ``10^4``, and the quadratic exchanges to ``3*10^2``
+    (~9*10^4 sends each).
     """
     if mode not in ("smoke", "full"):
         raise ValueError(f"unknown bench mode {mode!r}")
@@ -151,12 +199,26 @@ def bench_grid(mode: str = "smoke") -> list[BenchCase]:
         "BCAST": (100, 1_000, 10_000),
         "PIPELINE-2": (100, 1_000),
         "DTREE-BINARY": (100, 1_000),
+        "ALLGATHER": (100,),
+        "BRUCK-ALLGATHER": (100,),
+        "ALLTOALL": (100,),
+        "GOSSIP-RING": (100,),
+        "REDUCE": (1_000,),
+        "ALLREDUCE": (1_000,),
+        "BARRIER": (1_000,),
     }
     if mode == "full":
         sizes = {
             "BCAST": (100, 1_000, 10_000, 100_000),
             "PIPELINE-2": (100, 1_000, 10_000, 100_000),
             "DTREE-BINARY": (100, 1_000, 10_000, 100_000),
+            "ALLGATHER": (100, 300),
+            "BRUCK-ALLGATHER": (100, 300),
+            "ALLTOALL": (100, 300),
+            "GOSSIP-RING": (100, 300),
+            "REDUCE": (1_000, 10_000),
+            "ALLREDUCE": (1_000, 10_000),
+            "BARRIER": (1_000, 10_000),
         }
     return [
         BenchCase(family, n, _FAMILY_M[family], _LAM)
@@ -349,6 +411,28 @@ def gate_result(results: Iterable[BenchResult]) -> dict:
     raise LookupError(f"bench grid did not include the gate case {GATE_CASE}")
 
 
+def collective_gate_result(results: Iterable[BenchResult]) -> dict:
+    """The collective acceptance-gate verdict over *results* — ALLGATHER
+    at the 10^4-send point (:data:`COLLECTIVE_GATE_CASE`).  Same shape as
+    :func:`gate_result`; raises :class:`LookupError` if the grid did not
+    include the case."""
+    family, n = COLLECTIVE_GATE_CASE
+    for res in results:
+        if res.case.family == family and res.case.n == n:
+            return {
+                "family": family,
+                "n": n,
+                "sends": res.sends,
+                "min_speedup": COLLECTIVE_GATE_MIN_SPEEDUP,
+                "speedup": round(res.speedup, 3),
+                "ok": res.speedup >= COLLECTIVE_GATE_MIN_SPEEDUP,
+            }
+    raise LookupError(
+        f"bench grid did not include the collective gate case "
+        f"{COLLECTIVE_GATE_CASE}"
+    )
+
+
 def to_json(
     results: Sequence[BenchResult],
     *,
@@ -384,6 +468,7 @@ def to_json(
             for r in results
         ],
         "gate": gate_result(results),
+        "collective_gate": collective_gate_result(results),
     }
     if plan is not None:
         doc["plan"] = plan

@@ -6,9 +6,10 @@ Commands:
 * ``tree``     — print the generalized Fibonacci broadcast tree (Figure 1
   style), optionally as JSON.
 * ``gantt``    — print the port timeline of an algorithm's schedule.
-* ``simulate`` — run an algorithm event-driven on ``MPS(n, lambda)`` and
-  report completion time / sends; optionally export the realized schedule
-  as JSON.
+* ``simulate`` — run an algorithm (broadcast or collective) event-driven
+  on ``MPS(n, lambda)``, on either backend (``--backend turbo`` for the
+  integer-tick lane), and report completion time / sends; optionally
+  export the realized schedule as JSON (broadcast semantics only).
 * ``compare``  — exact running time of every algorithm family at
   ``(n, m, lambda)`` plus the Lemma 8 lower bound and the winner.
 * ``bounds``   — the Theorem 7 sandwich at given ``(lambda, t, n)``.
@@ -26,11 +27,12 @@ Commands:
   worker processes with an identical report); failures are filed as
   self-contained repro artifacts.
 * ``bench``    — the perf regression harness: wall-time the exact and
-  turbo backends over the BCAST/PIPELINE-2/DTREE-BINARY grid
-  (``--smoke`` for the CI gate, ``--full`` for the nightly trajectory,
-  ``--jobs N`` to shard the grid), enforce the >= 3x turbo speedup gate
-  and the plan-layer construction/memory gate, and optionally diff
-  against the committed ``BENCH_turbo.json`` baseline.
+  turbo backends over the broadcast grid (BCAST/PIPELINE-2/DTREE-BINARY)
+  plus every collective workload (``--smoke`` for the CI gate, ``--full``
+  for the nightly trajectory, ``--jobs N`` to shard the grid), enforce
+  the >= 3x turbo speedup gates (BCAST at n=10^4 and ALLGATHER at the
+  10^4-send point) and the plan-layer construction/memory gate, and
+  optionally diff against the committed ``BENCH_turbo.json`` baseline.
 
 All latency/time arguments accept ints, decimals, or ratios (``5/2``).
 """
@@ -114,7 +116,16 @@ def _protocol_for(algorithm: str, n: int, m: int, lam):
         return DTreeProtocol(n, m, lam, max(1, n - 1))
     if algorithm == "binomial":
         return BinomialProtocol(n, lam)
-    raise SystemExit(f"unknown algorithm {algorithm!r}")
+    # collectives (and any future family) resolve via the oracle registry
+    from repro.conformance.oracles import get_oracle
+    from repro.errors import InvalidParameterError
+
+    try:
+        oracle = get_oracle(algorithm)
+        oracle.check_applicable(n, m, lam)
+    except InvalidParameterError as exc:
+        raise SystemExit(str(exc)) from None
+    return oracle.protocol(n=n, m=m, lam=lam)
 
 
 # ------------------------------------------------------------- commands
@@ -155,17 +166,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.postal import run_protocol
 
     proto = _protocol_for(args.algorithm, args.n, args.m, as_time(args.lam))
-    result = run_protocol(proto)
+    result = run_protocol(proto, backend=args.backend)
     print(f"algorithm : {proto.name}")
     print(f"machine   : MPS(n={args.n}, lambda={time_repr(as_time(args.lam))})")
     print(f"messages  : {proto.m}")
+    print(f"backend   : {args.backend}")
     print(f"completion: {time_repr(result.completion_time)}")
     print(f"sends     : {result.sends}")
-    lb = multi_lower_bound(args.n, proto.m, as_time(args.lam))
-    if lb > 0:
-        print(f"Lemma 8 LB: {time_repr(lb)}  "
-              f"(ratio {float(result.completion_time / lb):.3f})")
+    if proto.semantics == "broadcast":
+        lb = multi_lower_bound(args.n, proto.m, as_time(args.lam))
+        if lb > 0:
+            print(f"Lemma 8 LB: {time_repr(lb)}  "
+                  f"(ratio {float(result.completion_time / lb):.3f})")
     if args.export:
+        if result.schedule is None:
+            raise SystemExit(
+                f"{proto.name} has {proto.semantics} semantics — no "
+                "broadcast schedule to export (the run is audited via "
+                "ports and deliveries instead)"
+            )
         with open(args.export, "w") as fh:
             fh.write(dumps_schedule(result.schedule, indent=2))
         print(f"schedule exported to {args.export}")
@@ -223,8 +242,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench import (
+        COLLECTIVE_GATE_MIN_SPEEDUP,
         GATE_MIN_SPEEDUP,
         bench_plan_layer,
+        collective_gate_result,
         compare_to_baseline,
         format_results,
         gate_result,
@@ -248,8 +269,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{gate['family']} at n={gate['n']:,} — measured "
         f"{gate['speedup']:.2f}x [{verdict}]"
     )
+    cgate = collective_gate_result(results)
+    cverdict = "PASS" if cgate["ok"] else "FAIL"
+    print(
+        f"collective gate: turbo >= {COLLECTIVE_GATE_MIN_SPEEDUP:.0f}x "
+        f"exact for {cgate['family']} at n={cgate['n']:,} "
+        f"({cgate['sends']:,} sends, the 10^4-send scale) — measured "
+        f"{cgate['speedup']:.2f}x [{cverdict}]"
+    )
 
-    ok = gate["ok"]
+    ok = gate["ok"] and cgate["ok"]
     plan = None
     if args.plan_n > 0:
         plan = bench_plan_layer(n=args.plan_n)
@@ -406,6 +435,7 @@ def cmd_collectives(args: argparse.Namespace) -> int:
         allreduce_time,
         alltoall_time,
         barrier_time,
+        bruck_time,
         gather_time,
         gossip_ring_time,
         reduce_time,
@@ -421,6 +451,7 @@ def cmd_collectives(args: argparse.Namespace) -> int:
         ["alltoall", alltoall_time(n, lam), "optimal (rotation)"],
         ["allreduce", allreduce_time(n, lam), "2x combine LB"],
         ["allgather", allgather_time(n, lam), "heuristic (open)"],
+        ["bruck allgather", bruck_time(n, lam), "heuristic (open)"],
         ["gossip ring", gossip_ring_time(n, lam), "heuristic (open)"],
         ["barrier", barrier_time(n, lam), "combine+notify"],
     ]
@@ -518,7 +549,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, required=True)
     p.add_argument("--lam", required=True)
     p.add_argument("--m", type=int, default=1)
-    p.add_argument("--algorithm", default="bcast")
+    p.add_argument(
+        "--algorithm",
+        default="bcast",
+        help="a broadcast builder (bcast, repeat, pack, pipeline, "
+        "dtree-<d>, star, binomial) or any oracle family, including the "
+        "collectives (gather, scatter, alltoall, reduce, allreduce, "
+        "barrier, allgather, bruck-allgather, gossip-ring)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("exact", "turbo"),
+        default="exact",
+        help="execution lane (turbo = integer-tick fast lane, "
+        "bit-identical results)",
+    )
     p.add_argument("--export", help="write the realized schedule JSON here")
     p.set_defaults(func=cmd_simulate)
 

@@ -21,7 +21,11 @@ with the same generalized-Fibonacci machinery.  This package provides:
 """
 
 from repro.collectives.reduce import ReduceProtocol, reduce_schedule, reduce_time
-from repro.collectives.gossip import GossipRingProtocol, gossip_ring_time
+from repro.collectives.gossip import (
+    GossipRingProtocol,
+    gossip_ring_schedule,
+    gossip_ring_time,
+)
 from repro.collectives.scatter import ScatterProtocol, scatter_schedule, scatter_time
 from repro.collectives.gather import GatherProtocol, gather_schedule, gather_time
 from repro.collectives.alltoall import (
@@ -31,18 +35,28 @@ from repro.collectives.alltoall import (
 )
 from repro.collectives.allgather import (
     AllgatherProtocol,
+    allgather_schedule,
     allgather_time,
     allgather_time_estimate,
 )
-from repro.collectives.allreduce import AllreduceProtocol, allreduce_time
-from repro.collectives.bruck import BruckAllgatherProtocol, bruck_time
-from repro.collectives.barrier import BarrierProtocol, barrier_time
+from repro.collectives.allreduce import (
+    AllreduceProtocol,
+    allreduce_schedule,
+    allreduce_time,
+)
+from repro.collectives.bruck import (
+    BruckAllgatherProtocol,
+    bruck_schedule,
+    bruck_time,
+)
+from repro.collectives.barrier import BarrierProtocol, barrier_schedule, barrier_time
 
 __all__ = [
     "ReduceProtocol",
     "reduce_schedule",
     "reduce_time",
     "GossipRingProtocol",
+    "gossip_ring_schedule",
     "gossip_ring_time",
     "ScatterProtocol",
     "scatter_schedule",
@@ -54,12 +68,16 @@ __all__ = [
     "alltoall_schedule",
     "alltoall_time",
     "AllgatherProtocol",
+    "allgather_schedule",
     "allgather_time",
     "allgather_time_estimate",
     "AllreduceProtocol",
+    "allreduce_schedule",
     "allreduce_time",
     "BruckAllgatherProtocol",
+    "bruck_schedule",
     "bruck_time",
     "BarrierProtocol",
+    "barrier_schedule",
     "barrier_time",
 ]

@@ -27,11 +27,41 @@ from typing import Any, Generator
 from repro.algorithms.base import Protocol
 from repro.core.analysis import pipeline_time
 from repro.core.fibfunc import GeneralizedFibonacci
+from repro.core.multi import pipeline_schedule
+from repro.core.schedule import SendEvent
+from repro.errors import InvalidParameterError
 from repro.postal.machine import PostalSystem
 from repro.sim.engine import Event
 from repro.types import ProcId, Time, TimeLike, as_time
 
-__all__ = ["allgather_time", "allgather_time_estimate", "AllgatherProtocol"]
+__all__ = [
+    "allgather_time",
+    "allgather_time_estimate",
+    "allgather_schedule",
+    "AllgatherProtocol",
+]
+
+
+def allgather_schedule(n: int, lam: TimeLike) -> list[SendEvent]:
+    """Static event list of the gather+pipeline allgather.
+
+    Message index = rumor index (``0 .. n-1``): the gather phase sends
+    rumor ``i`` from ``p_i`` to the root at ``t = i - 1``; the broadcast
+    phase is ``pipeline_schedule(n, n, lam)`` shifted to start at
+    ``T0 = max(n-1, lambda-1)``.  Sorted by ``(time, sender, msg,
+    receiver)``; empty for ``n == 1``.
+    """
+    lam_t = as_time(lam)
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    if n == 1:
+        return []
+    events = [SendEvent(Time(i - 1), i, i, 0) for i in range(1, n)]
+    t0 = max(Time(n - 1), lam_t - 1)
+    stream = pipeline_schedule(n, n, lam_t, validate=False).shifted(t0)
+    events.extend(stream.events)
+    events.sort()
+    return events
 
 
 def allgather_time(n: int, lam: TimeLike) -> Time:

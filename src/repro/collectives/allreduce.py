@@ -22,11 +22,46 @@ from typing import Any, Callable, Generator
 from repro.algorithms.base import Protocol
 from repro.core.bcast import BroadcastTree, bcast_schedule
 from repro.core.fibfunc import postal_f
+from repro.core.schedule import SendEvent
+from repro.errors import InvalidParameterError
 from repro.postal.machine import PostalSystem
 from repro.sim.engine import Event
 from repro.types import ProcId, Time, TimeLike, as_time
 
-__all__ = ["allreduce_time", "allreduce_lower_bound", "AllreduceProtocol"]
+__all__ = [
+    "allreduce_time",
+    "allreduce_lower_bound",
+    "allreduce_schedule",
+    "AllreduceProtocol",
+]
+
+
+def allreduce_schedule(n: int, lam: TimeLike) -> list[SendEvent]:
+    """Static event list of combine-then-broadcast allreduce.
+
+    The combine half is the time-reversed BCAST schedule (partial value
+    from ``receiver`` back to ``sender`` at ``f_lambda(n) - t - lambda``);
+    the broadcast half is BCAST itself shifted by ``f_lambda(n)``.  All
+    messages carry index 0 (one logical value travels).  Sorted; empty
+    for ``n == 1``.
+    """
+    lam_t = as_time(lam)
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    if n == 1:
+        return []
+    fwd = bcast_schedule(n, lam_t, validate=False)
+    half = postal_f(lam_t, n)
+    events = [
+        SendEvent(half - ev.send_time - lam_t, ev.receiver, 0, ev.sender)
+        for ev in fwd.events
+    ]
+    events.extend(
+        SendEvent(ev.send_time + half, ev.sender, 0, ev.receiver)
+        for ev in fwd.events
+    )
+    events.sort()
+    return events
 
 
 def allreduce_time(n: int, lam: TimeLike) -> Time:

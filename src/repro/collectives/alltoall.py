@@ -15,6 +15,10 @@ So all three *personalized* collectives (scatter, gather, alltoall) are
 optimally solved by direct/rotation schedules — in sharp contrast to
 broadcast, where the generalized Fibonacci tree beats the naive star by a
 ``Theta(log(lambda+1))`` factor.  The bench quantifies this contrast.
+
+Provenance: permuting is one of the open directions Bar-Noy & Kipnis
+list in Section 5; the rotation schedule is the classical folklore
+transpose, shown here to be postal-optimal by the port-counting bound.
 """
 
 from __future__ import annotations

@@ -10,6 +10,10 @@ Processors may arrive at the barrier at different times; the combine
 phase paces itself relative to the *latest* arrival that actually gates
 each subtree, so the ``2*f_lambda(n)`` figure holds when everyone arrives
 at ``t = 0`` (the benchmarked case) and degrades gracefully otherwise.
+
+Provenance: the combine half is the problem of the paper's reference
+[6] (Cidon-Gopal-Kutten); composing it with Algorithm BCAST (Theorem 6)
+follows the combining-plus-broadcast recipe noted in Section 5.
 """
 
 from __future__ import annotations
@@ -19,11 +23,40 @@ from typing import Any, Generator
 from repro.algorithms.base import Protocol
 from repro.core.bcast import BroadcastTree, bcast_schedule
 from repro.core.fibfunc import postal_f
+from repro.core.schedule import SendEvent
+from repro.errors import InvalidParameterError
 from repro.postal.machine import PostalSystem
 from repro.sim.engine import Event
 from repro.types import ProcId, Time, TimeLike, as_time
 
-__all__ = ["barrier_time", "BarrierProtocol"]
+__all__ = ["barrier_time", "barrier_schedule", "BarrierProtocol"]
+
+
+def barrier_schedule(n: int, lam: TimeLike) -> list[SendEvent]:
+    """Static event list of the all-arrive-at-zero barrier: the
+    time-reversed BCAST schedule (arrival tokens up) followed by BCAST
+    shifted by ``f_lambda(n)`` (the release down).  Identical in shape to
+    :func:`repro.collectives.allreduce.allreduce_schedule` — a barrier is
+    an allreduce whose payload carries no information.  Empty for
+    ``n == 1``.
+    """
+    lam_t = as_time(lam)
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    if n == 1:
+        return []
+    fwd = bcast_schedule(n, lam_t, validate=False)
+    total = postal_f(lam_t, n)
+    events = [
+        SendEvent(total - ev.send_time - lam_t, ev.receiver, 0, ev.sender)
+        for ev in fwd.events
+    ]
+    events.extend(
+        SendEvent(ev.send_time + total, ev.sender, 0, ev.receiver)
+        for ev in fwd.events
+    )
+    events.sort()
+    return events
 
 
 def barrier_time(n: int, lam: TimeLike) -> Time:

@@ -27,12 +27,44 @@ import math
 from typing import Any, Generator
 
 from repro.algorithms.base import Protocol
+from repro.core.schedule import SendEvent
 from repro.errors import InvalidParameterError
 from repro.postal.machine import PostalSystem
 from repro.sim.engine import Event
 from repro.types import ProcId, Time, TimeLike, as_time
 
-__all__ = ["bruck_rounds", "bruck_time", "BruckAllgatherProtocol"]
+__all__ = [
+    "bruck_rounds",
+    "bruck_time",
+    "bruck_schedule",
+    "BruckAllgatherProtocol",
+]
+
+
+def bruck_schedule(n: int, lam: TimeLike) -> list[SendEvent]:
+    """Static event list of the Bruck allgather.
+
+    Round ``r`` starts at ``T_r`` (``T_0 = 0``, ``T_{r+1} = T_r + s_r - 1
+    + lambda``: the next round begins the instant the previous block's
+    last rumor lands); within it, ``p_i`` sends rumors ``(i + o) mod n``
+    — the message index — for ``o = 0 .. s_r - 1`` back-to-back to
+    ``p_{(i - 2^r) mod n}``.  Sorted; empty for ``n == 1``.
+    """
+    lam_t = as_time(lam)
+    events: list[SendEvent] = []
+    t = Time(0)
+    step = 1
+    for size in bruck_rounds(n):
+        for i in range(n):
+            dst = (i - step) % n
+            events.extend(
+                SendEvent(t + offset, i, (i + offset) % n, dst)
+                for offset in range(size)
+            )
+        t += (size - 1) + lam_t
+        step *= 2
+    events.sort()
+    return events
 
 
 def bruck_rounds(n: int) -> list[int]:

@@ -10,6 +10,10 @@ naive one.
 
 (That direct schedule is also exactly the gather phase of
 :class:`repro.collectives.allgather.AllgatherProtocol`.)
+
+Provenance: permuting/collecting beyond broadcast is a Section-5 open
+direction of Bar-Noy & Kipnis; the matching lower bound is the same
+single-port counting argument the paper uses for Lemma 8.
 """
 
 from __future__ import annotations

@@ -26,11 +26,36 @@ from typing import Any, Generator
 
 from repro.algorithms.base import Protocol
 from repro.core.fibfunc import postal_f
+from repro.core.schedule import SendEvent
+from repro.errors import InvalidParameterError
 from repro.postal.machine import PostalSystem
 from repro.sim.engine import Event
 from repro.types import ProcId, Time, TimeLike, as_time
 
-__all__ = ["gossip_ring_time", "gossip_lower_bound", "GossipRingProtocol"]
+__all__ = [
+    "gossip_ring_time",
+    "gossip_ring_schedule",
+    "gossip_lower_bound",
+    "GossipRingProtocol",
+]
+
+
+def gossip_ring_schedule(n: int, lam: TimeLike) -> list[SendEvent]:
+    """Static event list of the pipelined ring gossip: at step ``k``
+    (time ``k * lambda``), ``p_i`` sends rumor ``(i - k) mod n`` — the
+    message index — to ``p_{(i+1) mod n}``.  Sorted; empty for
+    ``n == 1``.
+    """
+    lam_t = as_time(lam)
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    events = [
+        SendEvent(k * lam_t, i, (i - k) % n, (i + 1) % n)
+        for k in range(n - 1)
+        for i in range(n)
+    ]
+    events.sort()
+    return events
 
 
 def gossip_ring_time(n: int, lam: TimeLike) -> Time:

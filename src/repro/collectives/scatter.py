@@ -11,6 +11,10 @@ answer is the naive algorithm, a nice contrast with broadcast.
 (A tree-relayed scatter, provided for comparison, is strictly worse: an
 intermediate node must receive all of its subtree's messages before or
 while re-sending them, adding latency without saving the root any work.)
+
+Provenance: personalized one-to-all is part of the Section-5 agenda of
+Bar-Noy & Kipnis; the ``(n - 2) + lambda`` bound is the paper's own
+send-port counting argument applied to distinct atomic messages.
 """
 
 from __future__ import annotations

@@ -27,6 +27,9 @@ GATHER     Section 5            ``(n-2) + lambda``
 ALLTOALL   Section 5            ``(n-2) + lambda``
 ALLREDUCE  combine + broadcast  ``2 f_lambda(n)``
 BARRIER    combine + notify     ``2 f_lambda(n)``
+ALLGATHER  Section 5 gossip UB  ``max(n-1, lambda-1) + pipeline_time(n, n)``
+BRUCK-ALLGATHER  Bruck et al.   ``(n-1) + ceil(lg n)(lambda-1)``
+GOSSIP-RING Section 5 baseline  ``(n-1) lambda``
 ========== ==================== =========================================
 
 Broadcast families additionally certify the Lemma 5 population bound
@@ -54,14 +57,20 @@ from repro.algorithms import (
     star_time,
 )
 from repro.collectives import (
+    AllgatherProtocol,
     AllreduceProtocol,
     AllToAllProtocol,
+    allgather_time,
     alltoall_time,
     allreduce_time,
     barrier_time,
     BarrierProtocol,
+    BruckAllgatherProtocol,
+    bruck_time,
     GatherProtocol,
     gather_time,
+    GossipRingProtocol,
+    gossip_ring_time,
     ReduceProtocol,
     reduce_time,
     ScatterProtocol,
@@ -414,6 +423,45 @@ register(
         applicable=_single_message,
         time=lambda n, m, lam: barrier_time(n, lam),
         protocol=lambda n, m, lam: BarrierProtocol(n, lam),
+        order_preserving=False,
+    )
+)
+
+register(
+    Oracle(
+        family="ALLGATHER",
+        citation="Section 5 gossip upper bound (gather + PIPELINE)",
+        exact=True,
+        semantics="allgather",
+        applicable=_single_message,
+        time=lambda n, m, lam: allgather_time(n, lam),
+        protocol=lambda n, m, lam: AllgatherProtocol(n, lam),
+        order_preserving=False,
+    )
+)
+
+register(
+    Oracle(
+        family="BRUCK-ALLGATHER",
+        citation="Bruck et al. doubling rounds (Section 5 gossip)",
+        exact=True,
+        semantics="allgather",
+        applicable=_single_message,
+        time=lambda n, m, lam: bruck_time(n, lam),
+        protocol=lambda n, m, lam: BruckAllgatherProtocol(n, lam),
+        order_preserving=False,
+    )
+)
+
+register(
+    Oracle(
+        family="GOSSIP-RING",
+        citation="pipelined ring baseline (Section 5 gossip)",
+        exact=True,
+        semantics="gossip",
+        applicable=_single_message,
+        time=lambda n, m, lam: gossip_ring_time(n, lam),
+        protocol=lambda n, m, lam: GossipRingProtocol(n, lam),
         order_preserving=False,
     )
 )

@@ -5,7 +5,8 @@ simulation lane.  A :class:`SchedulePlan` holds one broadcast schedule as
 four parallel integer columns (ticks, senders, message ids, receivers)
 instead of a list of event objects; :func:`compile_plan` builds one
 directly in integer ticks — iteratively, with no per-event ``Fraction``
-allocation — for every broadcast family in the paper, and
+allocation — for every broadcast family in the paper and every
+collective shape in :mod:`repro.collectives`, and
 :func:`build_plan` memoizes construction through an LRU / on-disk
 :class:`PlanCache` (see :mod:`repro.plan.cache` for the
 ``$REPRO_PLAN_CACHE`` knobs).
@@ -20,7 +21,13 @@ Typical use::
     schedule = plan.to_schedule()     # classic event objects when needed
 """
 
-from repro.plan.build import canonical_family, compile_plan, plan_families
+from repro.plan.build import (
+    canonical_family,
+    collective_plan_families,
+    compile_plan,
+    plan_families,
+    plan_m,
+)
 from repro.plan.cache import (
     DEFAULT_CAPACITY,
     PlanCache,
@@ -35,6 +42,8 @@ __all__ = [
     "compile_plan",
     "canonical_family",
     "plan_families",
+    "collective_plan_families",
+    "plan_m",
     "build_plan",
     "PlanCache",
     "default_cache",

@@ -1,10 +1,13 @@
-"""Integer-tick plan compilers for the paper's broadcast families.
+"""Integer-tick plan compilers for the broadcast and collective families.
 
-Each compiler runs the *same recurrence* as its ``repro.core`` builder —
-BCAST's generalized-Fibonacci split (Section 3), REPEAT's overlapped
-iterations (Lemma 10), PACK's normalized latency (Lemma 12), PIPELINE's
-role swap (Lemmas 14/16), DTREE's event-driven drain (Section 4.3) — but
-entirely in **integer ticks** on the run's
+Each compiler runs the *same recurrence* as its ``repro.core`` or
+``repro.collectives`` builder — BCAST's generalized-Fibonacci split
+(Section 3), REPEAT's overlapped iterations (Lemma 10), PACK's
+normalized latency (Lemma 12), PIPELINE's role swap (Lemmas 14/16),
+DTREE's event-driven drain (Section 4.3), and the nine collective shapes
+(gather/scatter stars, the alltoall rotation, the reversed-tree combine
+compositions, the gather+pipeline and Bruck allgathers, the gossip
+ring) — but entirely in **integer ticks** on the run's
 :class:`~repro.turbo.ticks.TickDomain`:
 
 * no per-event :class:`~repro.core.schedule.SendEvent` objects,
@@ -39,7 +42,13 @@ from repro.plan.columns import SchedulePlan
 from repro.turbo.ticks import TickDomain
 from repro.types import Time, TimeLike, as_time
 
-__all__ = ["compile_plan", "canonical_family", "plan_families"]
+__all__ = [
+    "compile_plan",
+    "canonical_family",
+    "plan_families",
+    "collective_plan_families",
+    "plan_m",
+]
 
 
 class _IntPrefix:
@@ -185,12 +194,14 @@ def _compile_pack(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
 
 
 def _compile_pipeline(
-    n: int, m: int, lam: Time, domain: TickDomain
+    n: int, m: int, lam: Time, domain: TickDomain, t0: int = 0
 ) -> list[int]:
     """PIPELINE: after a stream transmission at tick ``t`` the sender is
     free at ``t + m`` and the recipient at ``t + lambda``; whoever is free
     earlier takes the larger ``F_{lambda'}`` subrange (``lambda' =
-    lambda/m`` or ``m/lambda`` — the Lemma 14/16 role swap)."""
+    lambda/m`` or ``m/lambda`` — the Lemma 14/16 role swap).  ``t0``
+    offsets the whole stream (the ALLGATHER compiler starts it after the
+    gather phase)."""
     keys: list[int] = []
     if n < 2:
         return keys
@@ -203,7 +214,7 @@ def _compile_pipeline(
     split = sp.split
     append = keys.append
     nm = n * m
-    stack = [(0, n, 0)]
+    stack = [(0, n, t0)]
     push = stack.append
     pop = stack.pop
     while stack:
@@ -265,9 +276,150 @@ def _compile_dtree(
     return keys
 
 
+# ------------------------------------------------------------- collectives
+#
+# The collective compilers mirror the static builders in
+# ``repro.collectives`` (gather_schedule, bruck_schedule, ...): same
+# shapes, same message-index conventions, in pure integer ticks.  Their
+# message flow is not single-root broadcast, so ``compile_plan`` audits
+# them with :meth:`SchedulePlan.audit_ports` instead of the broadcast
+# :meth:`~repro.plan.columns.SchedulePlan.audit`.
+
+
+def _compile_gather(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """GATHER: ``p_i`` sends message ``i - 1`` straight to the root at
+    tick ``i - 1`` — the root's receive port serializes perfectly."""
+    one = domain.scale
+    nm = n * m
+    return [
+        ((i - 1) * one * nm + i * m + (i - 1)) * n for i in range(1, n)
+    ]
+
+
+def _compile_scatter(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """SCATTER: the root sends message ``i - 1`` to ``p_i`` at tick
+    ``i - 1`` (the mirror image of GATHER)."""
+    one = domain.scale
+    nm = n * m
+    return [((i - 1) * one * nm + (i - 1)) * n + i for i in range(1, n)]
+
+
+def _compile_alltoall(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """ALLTOALL: rotation round ``r`` at tick ``r`` — ``p_i`` sends
+    message ``r`` to ``p_{(i+r+1) mod n}``."""
+    one = domain.scale
+    nm = n * m
+    return [
+        (r * one * nm + i * m + r) * n + (i + r + 1) % n
+        for r in range(n - 1)
+        for i in range(n)
+    ]
+
+
+def _compile_reduce(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """REDUCE: the time-reversed BCAST tree — each forward send
+    ``(t, s -> r)`` becomes ``(f_lambda(n) - t - lambda, r -> s)``."""
+    fwd = _compile_bcast(n, 1, lam, domain)
+    if not fwd:
+        return fwd
+    lam_ticks = domain.to_ticks(lam)
+    max_t = domain.to_ticks(postal_f(lam, n)) - lam_ticks
+    keys = []
+    for key in fwd:
+        key, r = divmod(key, n)
+        t, s = divmod(key, n)  # m == 1: the msg digit is zero
+        keys.append(((max_t - t) * n + r) * n + s)
+    return keys
+
+
+def _compile_combine_bcast(
+    n: int, m: int, lam: Time, domain: TickDomain
+) -> list[int]:
+    """ALLREDUCE / BARRIER: the reversed tree up (combine), then BCAST
+    itself shifted by ``f_lambda(n)`` (the result / release down) — total
+    ``2 f_lambda(n)``."""
+    keys = _compile_reduce(n, m, lam, domain)
+    if keys:
+        shift = domain.to_ticks(postal_f(lam, n)) * n * n
+        keys.extend(key + shift for key in _compile_bcast(n, 1, lam, domain))
+    return keys
+
+
+def _compile_allgather(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """ALLGATHER: gather (rumor ``i`` to the root at tick ``i - 1``) then
+    the ``m = n`` PIPELINE stream started at ``max(n-1, lambda-1)``."""
+    keys: list[int] = []
+    if n < 2:
+        return keys
+    one = domain.scale
+    nm = n * m
+    keys.extend(
+        ((i - 1) * one * nm + i * m + i) * n for i in range(1, n)
+    )
+    t0 = max((n - 1) * one, domain.to_ticks(lam) - one)
+    keys.extend(_compile_pipeline(n, n, lam, domain, t0))
+    return keys
+
+
+def _compile_bruck(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """BRUCK-ALLGATHER: doubling rounds of cyclic-shift blocks; round
+    ``r+1`` starts the tick the previous block's last rumor lands."""
+    keys: list[int] = []
+    if n < 2:
+        return keys
+    one = domain.scale
+    lam_ticks = domain.to_ticks(lam)
+    nm = n * m
+    append = keys.append
+    t = 0
+    step = 1
+    while step < n:
+        size = min(step, n - step)
+        for i in range(n):
+            dst = (i - step) % n
+            base = t * nm + i * m
+            for offset in range(size):
+                append((base + offset * one * nm + (i + offset) % n) * n + dst)
+        t += (size - 1) * one + lam_ticks
+        step *= 2
+    return keys
+
+
+def _compile_gossip(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """GOSSIP-RING: at step ``k`` (tick ``k*lambda``) ``p_i`` forwards
+    rumor ``(i - k) mod n`` to its ring successor."""
+    keys: list[int] = []
+    if n < 2:
+        return keys
+    lam_ticks = domain.to_ticks(lam)
+    nm = n * m
+    keys.extend(
+        (k * lam_ticks * nm + i * m + (i - k) % n) * n + (i + 1) % n
+        for k in range(n - 1)
+        for i in range(n)
+    )
+    return keys
+
+
 # ----------------------------------------------------------------- registry
 
 _BUILDER_FAMILIES = ("BCAST", "REPEAT", "PACK", "PIPELINE-1", "PIPELINE-2")
+
+#: Collective family -> (compiler, message-count rule).  The rule maps
+#: ``n`` to the plan's message-index space: personalized collectives use
+#: one index per source/destination, allgathers one per rumor, and the
+#: combine-shaped ones a single logical message.
+_COLLECTIVE_COMPILERS = {
+    "ALLGATHER": (_compile_allgather, lambda n: max(1, n)),
+    "ALLREDUCE": (_compile_combine_bcast, lambda n: 1),
+    "ALLTOALL": (_compile_alltoall, lambda n: max(1, n - 1)),
+    "BARRIER": (_compile_combine_bcast, lambda n: 1),
+    "BRUCK-ALLGATHER": (_compile_bruck, lambda n: max(1, n)),
+    "GATHER": (_compile_gather, lambda n: max(1, n - 1)),
+    "GOSSIP-RING": (_compile_gossip, lambda n: max(1, n)),
+    "REDUCE": (_compile_reduce, lambda n: 1),
+    "SCATTER": (_compile_scatter, lambda n: max(1, n - 1)),
+}
 _DTREE_SHAPES = {
     "DTREE-LINE": DTreeShape.LINE,
     "DTREE-BINARY": DTreeShape.BINARY,
@@ -277,12 +429,51 @@ _DTREE_SHAPES = {
 
 
 def plan_families() -> tuple[str, ...]:
-    """Canonical family names the plan layer can compile, sorted.
+    """Canonical *broadcast* family names the plan layer can compile,
+    sorted.
 
     ``DTREE-<d>`` with an explicit integer degree is accepted too (e.g.
     ``"DTREE-7"``); ``"PIPELINE"`` resolves to the applicable variant.
+    The collective shapes are listed separately by
+    :func:`collective_plan_families` (their plans audit ports only, not
+    broadcast coverage).
     """
     return tuple(sorted((*_BUILDER_FAMILIES, *_DTREE_SHAPES)))
+
+
+def collective_plan_families() -> tuple[str, ...]:
+    """Canonical collective family names the plan layer can compile,
+    sorted — the nine shapes of :mod:`repro.collectives`."""
+    return tuple(sorted(_COLLECTIVE_COMPILERS))
+
+
+def plan_m(family: str, n: int, m: int) -> int:
+    """The message count a compiled plan for *family* actually carries.
+
+    Broadcast families pass ``m`` through.  The collectives are all
+    single-message *protocols* (``m == 1`` in oracle terms) but their
+    plans use the message index as a data label — destination rank for
+    GATHER/SCATTER/ALLTOALL, rumor index for the allgathers and the
+    gossip ring, 0 for the combine-shaped ones — so their plans carry a
+    fixed per-``n`` message space regardless of the requested ``m``.
+    :meth:`PlanCache.key <repro.plan.cache.PlanCache.key>` canonicalizes
+    through this function, so ``build_plan("GATHER", n, 1, lam)`` and the
+    plan it stores (``m = n - 1``) share one cache entry.
+
+    Raises:
+        InvalidParameterError: *m* is neither 1 nor the family's plan
+            message count.
+    """
+    entry = _COLLECTIVE_COMPILERS.get(family.upper())
+    if entry is None:
+        return m
+    m_eff = entry[1](n)
+    if m not in (1, m_eff):
+        raise InvalidParameterError(
+            f"{family.upper()} is a single-message collective; its plan "
+            f"at n={n} carries m={m_eff} message indices (got m={m})"
+        )
+    return m_eff
 
 
 def canonical_family(family: str, n: int, m: int, lam: TimeLike) -> str:
@@ -299,7 +490,11 @@ def canonical_family(family: str, n: int, m: int, lam: TimeLike) -> str:
     fam = family.upper()
     if fam == "PIPELINE":
         return pipeline_variant(m, as_time(lam))
-    if fam in _BUILDER_FAMILIES or fam in _DTREE_SHAPES:
+    if (
+        fam in _BUILDER_FAMILIES
+        or fam in _DTREE_SHAPES
+        or fam in _COLLECTIVE_COMPILERS
+    ):
         return fam
     if fam.startswith("DTREE-"):
         try:
@@ -312,7 +507,8 @@ def canonical_family(family: str, n: int, m: int, lam: TimeLike) -> str:
         return fam
     raise InvalidParameterError(
         f"the plan layer cannot compile family {family!r} "
-        f"(supported: {', '.join(plan_families())} and DTREE-<d>)"
+        f"(supported: {', '.join(plan_families())}, "
+        f"{', '.join(collective_plan_families())}, and DTREE-<d>)"
     )
 
 
@@ -332,13 +528,18 @@ def compile_plan(
     to_schedule`) to the corresponding ``repro.core`` builder.
 
     Args:
-        family: one of :func:`plan_families`, ``"PIPELINE"``, or
-            ``"DTREE-<d>"`` with an explicit degree.
+        family: one of :func:`plan_families`,
+            :func:`collective_plan_families`, ``"PIPELINE"``, or
+            ``"DTREE-<d>"`` with an explicit degree.  Collective plans
+            carry ``m = plan_m(family, n, 1)`` message indices and
+            compare byte-identically to the matching
+            ``repro.collectives`` static builder.
         validate: run the in-place columnar
-            :meth:`~repro.plan.columns.SchedulePlan.audit` before
-            returning (off by default — the compilers are the same
-            provably-correct recurrences as the builders; the
-            conformance suite audits independently).
+            :meth:`~repro.plan.columns.SchedulePlan.audit` (broadcast
+            families) or :meth:`~repro.plan.columns.SchedulePlan.
+            audit_ports` (collectives) before returning (off by default
+            — the compilers are the same provably-correct recurrences as
+            the builders; the conformance suite audits independently).
 
     Raises:
         InvalidParameterError: unknown family, or parameters outside the
@@ -357,6 +558,16 @@ def compile_plan(
         )
     fam = canonical_family(family, n, m, lam)
     domain = TickDomain.for_values([lam])
+
+    entry = _COLLECTIVE_COMPILERS.get(fam)
+    if entry is not None:
+        compiler, _ = entry
+        m_eff = plan_m(fam, n, m)
+        keys = compiler(n, m_eff, lam, domain)
+        plan = SchedulePlan.from_sorted_keys(fam, n, m_eff, lam, domain, keys)
+        if validate:
+            plan.audit_ports()
+        return plan
 
     if fam == "BCAST":
         keys = _compile_bcast(n, m, lam, domain)

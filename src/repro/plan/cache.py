@@ -33,7 +33,7 @@ from collections import OrderedDict
 from pathlib import Path
 
 from repro.errors import InvalidParameterError, PlanCacheError
-from repro.plan.build import canonical_family, compile_plan
+from repro.plan.build import canonical_family, compile_plan, plan_m
 from repro.plan.columns import SchedulePlan
 from repro.types import Time, TimeLike, as_time
 
@@ -105,9 +105,12 @@ class PlanCache:
     @staticmethod
     def key(family: str, n: int, m: int, lam: TimeLike) -> tuple:
         """The canonical cache key (family aliases collapse: ``PIPELINE``
-        and its applicable variant share one entry)."""
+        and its applicable variant share one entry, and a collective
+        requested at ``m = 1`` shares its entry with the ``plan_m``
+        message count the compiled plan actually carries)."""
         lam = as_time(lam)
-        return (canonical_family(family, n, m, lam), n, m, lam)
+        fam = canonical_family(family, n, m, lam)
+        return (fam, n, plan_m(fam, n, m), lam)
 
     def path_for(self, key: tuple) -> Path:
         """Content-hashed disk location of *key* (exists or not)."""

@@ -413,6 +413,72 @@ class SchedulePlan:
                 f"M{idx % m + 1} ({missing} deliveries missing)"
             )
 
+    def audit_ports(self) -> None:
+        """Structural + port certification for non-broadcast plans.
+
+        The collective compilers (gather, scatter, allreduce, Bruck, …)
+        produce schedules whose message flow is *not* single-root
+        broadcast — rumors originate everywhere and deliveries may repeat
+        on purpose (the allreduce release retraces the combine edges) —
+        so :meth:`audit`'s coverage and sender-holds checks do not apply.
+        This method runs everything that is semantics-independent: the
+        structural range checks, tick sortedness, and the same one-unit
+        sort-and-sweep send/receive port audit.
+
+        Raises:
+            ScheduleError: range violation, self-send, or unsorted
+                columns.
+            SimultaneousIOError: two sends (or two receives) overlap at
+                one processor.
+        """
+        n, m = self.n, self.m
+        one = self.domain.scale
+        lam_ticks = self._lam_ticks
+        to_time = self.domain.to_time
+
+        send_last = [-(one + 1)] * n
+        recv_last = [-(one + 1)] * n
+        recv_off = lam_ticks - one
+
+        prev_tick = -1
+        for t, s, k, r in self.rows():
+            if t < prev_tick:
+                raise ScheduleError(
+                    "plan columns are not tick-sorted "
+                    f"({t} after {prev_tick})"
+                )
+            prev_tick = t
+            if not 0 <= s < n:
+                raise ScheduleError(f"sender p{s} out of range 0..{n - 1}")
+            if not 0 <= r < n:
+                raise ScheduleError(f"receiver p{r} out of range 0..{n - 1}")
+            if s == r:
+                raise ScheduleError(
+                    f"self-send at p{s} (t={time_repr(to_time(t))})"
+                )
+            if not 0 <= k < m:
+                raise ScheduleError(f"message index {k} out of range 0..{m - 1}")
+            if t < 0:
+                raise ScheduleError(f"negative send tick {t} at p{s}")
+
+            if t - send_last[s] < one:
+                a = to_time(send_last[s])
+                raise SimultaneousIOError(
+                    f"p{s} drives two sends at once: busy "
+                    f"[{time_repr(a)},{time_repr(a + 1)}) and "
+                    f"[{time_repr(to_time(t))},{time_repr(to_time(t) + 1)})"
+                )
+            send_last[s] = t
+            w = t + recv_off
+            if w - recv_last[r] < one:
+                a = to_time(recv_last[r])
+                raise SimultaneousIOError(
+                    f"p{r} drives two receives at once: busy "
+                    f"[{time_repr(a)},{time_repr(a + 1)}) and "
+                    f"[{time_repr(to_time(w))},{time_repr(to_time(w) + 1)})"
+                )
+            recv_last[r] = w
+
     # -------------------------------------------------------------- replay
 
     def replay(self, *, policy: "str | None" = None):

@@ -1,0 +1,265 @@
+"""The collectives on the fast lane: differential backend equivalence,
+plan compilers, round trips, replay, and cache hits.
+
+Three byte-identities are pinned here, per collective family and
+rational lambda:
+
+* **exact vs turbo run** — completion, send count, metrics, and trace
+  multiset agree bit for bit on both backends and both contention
+  policies (the broad grid lives in ``tests/test_turbo_equivalence.py``,
+  which parametrizes over *all* oracle families; this suite focuses the
+  collective corner and adds the plan layer);
+* **plan vs static builder** — ``compile_plan(family, ...)``'s
+  ``to_schedule()`` equals the matching ``repro.collectives`` static
+  builder event for event;
+* **plan vs replay** — replaying the plan on the turbo loop realizes
+  exactly the planned events.
+
+Plus: serialization round trip, ``plan_m`` message-count
+canonicalization (an ``m = 1`` request and the stored ``m_eff`` plan
+share one cache entry), and the audit split — collective plans pass
+:meth:`~repro.plan.columns.SchedulePlan.audit_ports` but are *not*
+broadcasts, so the full :meth:`~repro.plan.columns.SchedulePlan.audit`
+must reject them.
+"""
+
+from array import array
+from collections import Counter
+
+import pytest
+
+from repro.collectives import (
+    allgather_schedule,
+    allreduce_schedule,
+    alltoall_schedule,
+    barrier_schedule,
+    bruck_schedule,
+    gather_schedule,
+    gossip_ring_schedule,
+    reduce_schedule,
+    scatter_schedule,
+)
+from repro.conformance.oracles import collective_families, get_oracle
+from repro.errors import InvalidParameterError, ScheduleError, SimultaneousIOError
+from repro.plan import (
+    PlanCache,
+    SchedulePlan,
+    build_plan,
+    collective_plan_families,
+    compile_plan,
+    plan_families,
+    plan_m,
+)
+from repro.postal.machine import ContentionPolicy
+from repro.postal.runner import run_protocol
+from repro.turbo.ticks import TickDomain
+from repro.types import as_time
+
+LAMBDAS = ["1", "3/2", "2", "5/2", "7/3"]
+SIZES = [1, 2, 3, 5, 9, 12]
+
+#: family -> static builder (the reference each plan must reproduce).
+STATIC_BUILDERS = {
+    "ALLGATHER": allgather_schedule,
+    "ALLREDUCE": allreduce_schedule,
+    "ALLTOALL": alltoall_schedule,
+    "BARRIER": barrier_schedule,
+    "BRUCK-ALLGATHER": bruck_schedule,
+    "GATHER": gather_schedule,
+    "GOSSIP-RING": gossip_ring_schedule,
+    "REDUCE": reduce_schedule,
+    "SCATTER": scatter_schedule,
+}
+
+
+def _static_events(family, n, lam):
+    built = STATIC_BUILDERS[family](n, lam)
+    return tuple(sorted(getattr(built, "events", built)))
+
+
+def test_registries_agree():
+    """Every collective oracle family has a plan compiler and a static
+    builder, and vice versa."""
+    assert set(collective_plan_families()) == set(STATIC_BUILDERS)
+    assert set(collective_plan_families()) == set(collective_families())
+    assert not set(collective_plan_families()) & set(plan_families())
+
+
+# ------------------------------------------------- backend equivalence
+
+
+def _fingerprint(oracle, n, lam, policy, backend):
+    proto = oracle.protocol(n=n, m=1, lam=lam)  # fresh: protocols hold state
+    res = run_protocol(proto, policy=policy, backend=backend)
+    records = (
+        res.system.flush_trace()
+        if backend == "turbo"
+        else res.system.tracer.records()
+    )
+    return {
+        "completion": res.completion_time,
+        "sends": res.sends,
+        "metrics": res.metrics,
+        "trace": Counter((r.time, r.kind) for r in records),
+    }
+
+
+@pytest.mark.parametrize("lam_str", LAMBDAS)
+@pytest.mark.parametrize("family", sorted(STATIC_BUILDERS))
+def test_collective_backends_agree_bitwise(family, lam_str):
+    oracle = get_oracle(family)
+    lam = as_time(lam_str)
+    for n in (2, 5, 9):
+        for policy in (ContentionPolicy.STRICT, ContentionPolicy.QUEUED):
+            exact = _fingerprint(oracle, n, lam, policy, "exact")
+            turbo = _fingerprint(oracle, n, lam, policy, "turbo")
+            ctx = f"{family} n={n} lam={lam_str} {policy.value}"
+            for key in ("completion", "sends", "metrics", "trace"):
+                assert exact[key] == turbo[key], f"{ctx}: {key} differs"
+            assert exact["completion"] == oracle.time(n, 1, lam), ctx
+
+
+# ----------------------------------------------- plan vs static builder
+
+
+@pytest.mark.parametrize("lam_str", LAMBDAS)
+@pytest.mark.parametrize("family", sorted(STATIC_BUILDERS))
+def test_plan_matches_static_builder(family, lam_str):
+    lam = as_time(lam_str)
+    oracle = get_oracle(family)
+    for n in SIZES:
+        plan = compile_plan(family, n, 1, lam_str, validate=True)
+        assert plan.m == plan_m(family, n, 1)
+        got = plan.to_schedule().events
+        assert got == _static_events(family, n, lam), (family, n, lam_str)
+        if n >= 2:
+            assert plan.completion_time() == oracle.time(n, 1, lam)
+        else:
+            assert len(plan) == 0
+
+
+@pytest.mark.parametrize("family", sorted(STATIC_BUILDERS))
+def test_plan_round_trips(family):
+    plan = compile_plan(family, 9, 1, "5/2")
+    assert SchedulePlan.from_bytes(plan.to_bytes()) == plan
+    assert (
+        SchedulePlan.from_schedule(plan.to_schedule(), family=family) == plan
+    )
+
+
+@pytest.mark.parametrize("family", sorted(STATIC_BUILDERS))
+@pytest.mark.parametrize("lam_str", ["1", "5/2"])
+def test_plan_replay_realizes_planned_events(family, lam_str):
+    plan = compile_plan(family, 8, 1, lam_str)
+    system = plan.replay()
+    realized = system.realized_schedule(m=plan.m, validate=False)
+    assert realized.events == plan.to_schedule().events
+
+
+# ------------------------------------------------------------ plan_m
+
+
+def test_plan_m_canonicalizes_collectives():
+    assert plan_m("GATHER", 10, 1) == 9
+    assert plan_m("GATHER", 10, 9) == 9
+    assert plan_m("ALLGATHER", 10, 1) == 10
+    assert plan_m("ALLREDUCE", 10, 1) == 1
+    assert plan_m("gossip-ring", 1, 1) == 1
+    # broadcast families pass m through untouched
+    assert plan_m("BCAST", 10, 1) == 1
+    assert plan_m("REPEAT", 10, 7) == 7
+
+
+def test_plan_m_rejects_other_message_counts():
+    with pytest.raises(InvalidParameterError):
+        plan_m("GATHER", 10, 5)
+    with pytest.raises(InvalidParameterError):
+        compile_plan("SCATTER", 10, 3, "2")
+
+
+# ------------------------------------------------------------- caching
+
+
+def test_collective_plans_hit_the_memory_cache():
+    cache = PlanCache(mode="mem")
+    first = build_plan("BRUCK-ALLGATHER", 9, 1, "5/2", cache=cache)
+    again = build_plan("BRUCK-ALLGATHER", 9, 1, "5/2", cache=cache)
+    assert again is first
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_key_collapses_m_aliases():
+    """A collective requested at ``m = 1`` and at its plan message count
+    share one entry: the stored plan carries ``m_eff``, and ``plan_m``
+    folds both requests onto it."""
+    cache = PlanCache(mode="mem")
+    first = build_plan("GATHER", 10, 1, "2", cache=cache)
+    assert first.m == 9
+    again = build_plan("GATHER", 10, 9, "2", cache=cache)
+    assert again is first
+    assert cache.hits == 1 and cache.misses == 1
+    assert PlanCache.key("GATHER", 10, 1, "2") == PlanCache.key(
+        "GATHER", 10, 9, "2"
+    )
+
+
+def test_collective_plans_round_trip_through_disk_cache(tmp_path):
+    cache = PlanCache(mode="disk", directory=tmp_path)
+    first = build_plan("ALLGATHER", 9, 1, "5/2", cache=cache)
+    fresh = PlanCache(mode="disk", directory=tmp_path)
+    again = build_plan("ALLGATHER", 9, 1, "5/2", cache=fresh)
+    assert again == first
+    assert fresh.disk_hits == 1
+
+
+# ------------------------------------------------------------- auditing
+
+
+@pytest.mark.parametrize("family", sorted(STATIC_BUILDERS))
+def test_audit_ports_passes_for_every_collective_plan(family):
+    for lam_str in LAMBDAS:
+        compile_plan(family, 12, 1, lam_str).audit_ports()
+
+
+@pytest.mark.parametrize("family", ["GATHER", "ALLREDUCE", "GOSSIP-RING"])
+def test_broadcast_audit_rejects_collective_plans(family):
+    """Collective message flow is not single-root broadcast: rumors
+    originate at non-root processors (a causality violation under
+    broadcast rules) or deliveries repeat — the full audit must say so."""
+    plan = compile_plan(family, 8, 1, "2")
+    with pytest.raises(ScheduleError):
+        plan.audit()
+
+
+def test_audit_ports_catches_port_collisions():
+    domain = TickDomain(1)
+    plan = SchedulePlan(
+        "GATHER",
+        3,
+        2,
+        as_time(1),
+        domain,
+        array("q", [0, 0]),
+        array("q", [1, 1]),  # p1 drives two sends at tick 0
+        array("q", [0, 1]),
+        array("q", [0, 2]),
+    )
+    with pytest.raises(SimultaneousIOError):
+        plan.audit_ports()
+
+
+def test_audit_ports_catches_unsorted_columns():
+    domain = TickDomain(1)
+    plan = SchedulePlan(
+        "GATHER",
+        3,
+        2,
+        as_time(1),
+        domain,
+        array("q", [5, 0]),
+        array("q", [1, 2]),
+        array("q", [0, 1]),
+        array("q", [0, 0]),
+    )
+    with pytest.raises(ScheduleError):
+        plan.audit_ports()

@@ -41,6 +41,9 @@ EXPECTED_FAMILIES = {
     "ALLTOALL",
     "ALLREDUCE",
     "BARRIER",
+    "ALLGATHER",
+    "BRUCK-ALLGATHER",
+    "GOSSIP-RING",
 }
 
 

@@ -1,0 +1,68 @@
+"""Offline markdown link checker for docs/*.md and README.md.
+
+Every relative link target must exist on disk (anchors are stripped;
+directory targets must be directories), and every absolute URL must at
+least be well-formed.  No network access — CI stays hermetic — so
+external URLs are syntax-checked only.
+"""
+
+import pathlib
+import re
+import urllib.parse
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+PAGES = sorted(ROOT.glob("docs/*.md")) + [ROOT / "README.md"]
+
+# [text](target) / ![alt](target), tolerating one level of nested
+# brackets in the text and an optional "title" after the target.
+_LINK = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _links(text):
+    """Yield (lineno, target) for markdown links outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def test_pages_are_collected():
+    names = {p.name for p in PAGES}
+    assert "README.md" in names and "collectives.md" in names
+    assert len(PAGES) >= 9
+
+
+@pytest.mark.parametrize("page", PAGES, ids=lambda p: str(p.relative_to(ROOT)))
+def test_markdown_links_resolve(page):
+    text = page.read_text()
+    problems = []
+    for lineno, target in _links(text):
+        where = f"{page.relative_to(ROOT)}:{lineno}"
+        parsed = urllib.parse.urlparse(target)
+        if parsed.scheme in ("http", "https"):
+            if not parsed.netloc:
+                problems.append(f"{where}: malformed URL {target!r}")
+            continue
+        if parsed.scheme in ("mailto",):
+            continue
+        if parsed.scheme:
+            problems.append(f"{where}: unsupported scheme in {target!r}")
+            continue
+        path = urllib.parse.unquote(parsed.path)
+        if not path:  # pure in-page anchor like (#section)
+            continue
+        base = ROOT if path.startswith("/") else page.parent
+        resolved = (base / path.lstrip("/")).resolve()
+        if ROOT not in resolved.parents and resolved != ROOT:
+            problems.append(f"{where}: {target!r} escapes the repository")
+        elif not resolved.exists():
+            problems.append(f"{where}: {target!r} does not exist")
+    assert not problems, "\n".join(problems)

@@ -41,6 +41,13 @@ def test_docs_page_doctests(page):
     runner.run(test)
     # pages without examples are fine; examples that exist must pass
     assert runner.failures == 0, f"doctest failures in {page}"
+    # ... and must actually run: a SKIP directive (or an example the
+    # parser collected but the runner never tried) would let a stale
+    # example rot invisibly.
+    assert runner.tries == len(test.examples), (
+        f"{page}: {len(test.examples) - runner.tries} doctest example(s) "
+        "were skipped — remove the SKIP directive or fix the example"
+    )
 
 
 def test_observability_page_has_examples():
