@@ -21,12 +21,13 @@ Two grids:
   ``3*10^2``.
 
 Results serialize to the committed ``BENCH_turbo.json`` (schema
-``repro-bench-turbo/3``; see ``docs/performance.md``).  Since ``/2`` the
+``repro-bench-turbo/4``; see ``docs/performance.md``).  Since ``/2`` the
 document also records the runner (``cpu_count``, ``platform``), the
 ``jobs`` the sweep ran with, and a ``plan`` section benchmarking the
 columnar plan layer (:mod:`repro.plan`) against classic event-object
 schedule construction at BCAST ``n = 10^5``; ``/3`` adds the collective
-cases and a second speedup gate.  Four checks gate CI:
+cases and a second speedup gate; ``/4`` adds the ``resilience`` section
+(:func:`bench_resilience`).  Five checks gate CI:
 
 * **speedup gate** — turbo must be at least :data:`GATE_MIN_SPEEDUP`
   times faster than exact for BCAST at ``n = 10^4`` (uniform integer
@@ -44,6 +45,16 @@ cases and a second speedup gate.  Four checks gate CI:
   :data:`PLAN_GATE_MIN_SPEEDUP` times faster and hold its events in at
   least :data:`PLAN_GATE_MIN_MEM_RATIO` times less storage than the
   event-object builder at BCAST ``n = 10^5``;
+* **resilience gate** — every fault-injected recovery case at
+  ``n =`` :data:`RESILIENCE_GATE_N` must (a) replay bit-identically
+  when run twice with the same seed (trace + metrics digests equal),
+  (b) come back certificate-clean (survivor lower bound, coverage,
+  order preservation, exact fault accounting — see
+  :mod:`repro.resilience.certify`), and (c) in the fault-free case
+  honor the documented ``loss = 0`` ceiling ``f_lambda(n) + depth``.
+  Deliberately *not* a wall-clock gate: fault realizations are exact,
+  so the gate can be sharp where speedup gates must be loose — wall
+  times are recorded informationally per case;
 * **baseline comparison** — optionally, each measured wall time must not
   exceed the committed baseline's by more than a relative tolerance
   (default ±30%; wall clocks on shared CI runners are noisy, so the
@@ -80,9 +91,12 @@ __all__ = [
     "PLAN_GATE_N",
     "PLAN_GATE_MIN_SPEEDUP",
     "PLAN_GATE_MIN_MEM_RATIO",
+    "RESILIENCE_CASES",
+    "RESILIENCE_GATE_N",
     "SCHEMA",
     "bench_grid",
     "bench_plan_layer",
+    "bench_resilience",
     "collective_gate_result",
     "compare_to_baseline",
     "format_results",
@@ -93,15 +107,17 @@ __all__ = [
 ]
 
 #: Schema tag written into every ``BENCH_turbo.json``.
-SCHEMA = "repro-bench-turbo/3"
+SCHEMA = "repro-bench-turbo/4"
 
 #: Schemas :func:`compare_to_baseline` accepts (the per-case layout has
 #: been stable since ``/1``; ``/2`` added runner metadata and the plan
-#: section, ``/3`` the collective cases and gate).
+#: section, ``/3`` the collective cases and gate, ``/4`` the resilience
+#: section — extra top-level keys older readers simply ignore).
 BASELINE_SCHEMAS = (
     "repro-bench-turbo/1",
     "repro-bench-turbo/2",
     "repro-bench-turbo/3",
+    "repro-bench-turbo/4",
 )
 
 #: The acceptance gate: ``(family, n)`` that must clear the speedup bar.
@@ -126,6 +142,15 @@ PLAN_GATE_MIN_SPEEDUP = 3.0
 
 #: Minimum event-storage ratio (event objects over plan columns).
 PLAN_GATE_MIN_MEM_RATIO = 5.0
+
+#: Machine size for the resilience gate cases (recovery at n = 10^3 is
+#: thousands of fault draws per case — enough to make a determinism or
+#: accounting slip visible — while the doubled runs stay CI-cheap).
+RESILIENCE_GATE_N = 1_000
+
+#: Resilience gate cases as ``(loss, crash)`` pairs: the fault-free
+#: ceiling check, a loss-only point, and a combined loss + crash point.
+RESILIENCE_CASES = ((0.0, 0.0), (0.05, 0.0), (0.2, 0.05))
 
 #: Per-family message counts used by the grid (``m`` scales work for the
 #: multi-message families without drowning the run in parameters; the
@@ -391,6 +416,63 @@ def bench_plan_layer(*, n: int = PLAN_GATE_N, lam: Time = _LAM) -> dict:
 # ------------------------------------------------------------- reporting
 
 
+def bench_resilience(
+    *, n: int = RESILIENCE_GATE_N, lam: Time = _LAM, seed: int = 0
+) -> dict:
+    """The ``"resilience"`` section: fault-injected recovery runs over
+    :data:`RESILIENCE_CASES`, each executed **twice** with the same seed.
+
+    The gate is correctness-shaped, not wall-clock-shaped (fault
+    realizations are exact, so it can be sharp on a noisy runner):
+
+    * ``deterministic`` — both executions of every case produced equal
+      results, trace/metrics digest included;
+    * ``certified`` — every case passed the full inequality certificate
+      (:func:`repro.resilience.certify.certify_resilient`);
+    * ``within_depth`` — the fault-free case honored the documented
+      ``loss = 0`` ceiling ``f_lambda(n) + depth``.
+
+    Wall time of the first execution is recorded per case for the
+    trajectory, but never gated.
+    """
+    from repro.resilience import run_resilient
+
+    lam = as_time(lam)
+    cases = []
+    deterministic = True
+    certified = True
+    within_depth = True
+    for loss, crash in RESILIENCE_CASES:
+        keep: list = []
+        t0 = time.perf_counter()
+        first = run_resilient(
+            n, lam, loss=loss, crash=crash, seed=seed, keep=keep
+        )
+        wall_s = time.perf_counter() - t0
+        again = run_resilient(n, lam, loss=loss, crash=crash, seed=seed)
+        deterministic = deterministic and first == again
+        certified = certified and first.certified
+        if loss == 0.0 and crash == 0.0:
+            _, protocol, _ = keep[0]
+            ceiling = first.fault_free + protocol.tree_depth
+            within_depth = within_depth and first.completion <= ceiling
+        row = first.row()
+        row["wall_s"] = round(wall_s, 6)
+        cases.append(row)
+    return {
+        "n": n,
+        "lam": time_repr(lam),
+        "seed": seed,
+        "cases": cases,
+        "gate": {
+            "deterministic": deterministic,
+            "certified": certified,
+            "within_depth": within_depth,
+            "ok": deterministic and certified and within_depth,
+        },
+    }
+
+
 def gate_result(results: Iterable[BenchResult]) -> dict:
     """The acceptance-gate verdict over *results*.
 
@@ -439,12 +521,15 @@ def to_json(
     mode: str,
     jobs: int = 1,
     plan: "dict | None" = None,
+    resilience: "dict | None" = None,
 ) -> str:
     """Serialize *results* to the ``BENCH_turbo.json`` document.
 
     *plan* is the :func:`bench_plan_layer` section (measured separately
-    because it benchmarks construction, not simulation); *jobs* records
-    how the sweep was executed — parallel timings share cores, so a
+    because it benchmarks construction, not simulation); *resilience*
+    the :func:`bench_resilience` section (correctness-gated, so its
+    rows never enter the baseline wall-time diff); *jobs* records how
+    the sweep was executed — parallel timings share cores, so a
     baseline diff across different ``jobs`` values deserves suspicion.
     """
     doc = {
@@ -472,6 +557,8 @@ def to_json(
     }
     if plan is not None:
         doc["plan"] = plan
+    if resilience is not None:
+        doc["resilience"] = resilience
     return json.dumps(doc, indent=2) + "\n"
 
 

@@ -18,6 +18,11 @@ Commands:
 * ``phase``    — ASCII winner phase diagram over the (m, lambda) plane.
 * ``reliable`` — reliable broadcast over a lossy network (seeded,
   replayable).
+* ``resilience`` — deterministic fault injection + recovery on the
+  turbo lane: one certified run (crash-stop processors, per-edge loss,
+  on-grid latency jitter, RTO/backoff retransmission, subtree
+  re-rooting over survivors), or ``--curve`` for the degradation table
+  over the loss x crash grid (``--jobs N`` shards it byte-identically).
 * ``trace``    — observability: run an algorithm and report per-port
   utilization, the zero-slack critical path (checked against the closed
   form), and export the trace as Chrome trace-event JSON / CSV / JSONL.
@@ -31,8 +36,10 @@ Commands:
   plus every collective workload (``--smoke`` for the CI gate, ``--full``
   for the nightly trajectory, ``--jobs N`` to shard the grid), enforce
   the >= 3x turbo speedup gates (BCAST at n=10^4 and ALLGATHER at the
-  10^4-send point) and the plan-layer construction/memory gate, and
-  optionally diff against the committed ``BENCH_turbo.json`` baseline.
+  10^4-send point), the plan-layer construction/memory gate, and the
+  resilience gate (fault-injected recovery: determinism, certificates,
+  loss-0 ceiling), and optionally diff against the committed
+  ``BENCH_turbo.json`` baseline.
 
 All latency/time arguments accept ints, decimals, or ratios (``5/2``).
 """
@@ -245,6 +252,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         COLLECTIVE_GATE_MIN_SPEEDUP,
         GATE_MIN_SPEEDUP,
         bench_plan_layer,
+        bench_resilience,
         collective_gate_result,
         compare_to_baseline,
         format_results,
@@ -293,6 +301,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{plan['plan_cached_s'] * 1e6:.0f}us [{pv}]"
         )
         ok = ok and pg["ok"]
+    resilience = None
+    if args.resilience_n > 0:
+        resilience = bench_resilience(n=args.resilience_n)
+        rg = resilience["gate"]
+        rv = "PASS" if rg["ok"] else "FAIL"
+        print(
+            f"resilience gate: {len(resilience['cases'])} fault cases at "
+            f"n={resilience['n']:,} — deterministic="
+            f"{'yes' if rg['deterministic'] else 'NO'}, certified="
+            f"{'yes' if rg['certified'] else 'NO'}, loss-0 ceiling "
+            f"{'held' if rg['within_depth'] else 'BROKEN'} [{rv}]"
+        )
+        ok = ok and rg["ok"]
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -311,7 +332,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.out:
         with open(args.out, "w") as fh:
-            fh.write(to_json(results, mode=mode, jobs=jobs, plan=plan))
+            fh.write(
+                to_json(
+                    results,
+                    mode=mode,
+                    jobs=jobs,
+                    plan=plan,
+                    resilience=resilience,
+                )
+            )
         print(f"\nresults written to {args.out}")
     return 0 if ok else 1
 
@@ -332,6 +361,105 @@ def cmd_reliable(args: argparse.Namespace) -> int:
     print(f"drops       : {drops}")
     print(f"retransmits : {rtx}")
     return 0
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.errors import InvalidParameterError, TickDomainError
+    from repro.resilience import degradation_curve, format_curve, run_resilient
+    from repro.parallel import effective_jobs
+
+    lam = as_time(args.lam)
+    crashed = None
+    if args.crashed:
+        try:
+            crashed = [int(p) for p in args.crashed.split(",") if p.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"--crashed wants a comma-separated processor list, "
+                f"got {args.crashed!r}"
+            ) from None
+
+    if args.curve:
+        losses = [float(x) for x in args.losses.split(",")]
+        crashes = [float(x) for x in args.crashes.split(",")]
+        jobs = effective_jobs(args.jobs)
+        try:
+            results = degradation_curve(
+                args.n,
+                lam,
+                m=args.m,
+                loss_rates=losses,
+                crash_rates=crashes,
+                jitter=args.jitter,
+                seed=args.seed,
+                detector=args.detector,
+                max_retries=args.max_retries,
+                jobs=jobs,
+            )
+        except (InvalidParameterError, TickDomainError) as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            f"degradation curve: MPS(n={args.n}, lambda={time_repr(lam)}), "
+            f"m={args.m}, detector={args.detector}, seed {args.seed}"
+        )
+        print()
+        print(format_curve(results))
+        return 0 if all(r.certified for r in results) else 1
+
+    try:
+        result = run_resilient(
+            args.n,
+            lam,
+            m=args.m,
+            loss=args.loss,
+            crash=args.crash,
+            jitter=args.jitter,
+            crashed=crashed,
+            seed=args.seed,
+            detector=args.detector,
+            rto=args.rto,
+            max_retries=args.max_retries,
+        )
+    except (InvalidParameterError, TickDomainError) as exc:
+        raise SystemExit(str(exc)) from None
+
+    drops = result.loss_drops + result.crash_drops
+    print(f"machine      : MPS(n={args.n}, lambda={time_repr(lam)}), m={args.m}")
+    print(
+        f"faults       : loss={result.loss:g} crash={result.crash:g} "
+        f"jitter<={time_repr(result.jitter)} (seed {result.seed}, "
+        f"{len(result.crashed)} crashed)"
+    )
+    print(
+        f"completion   : {time_repr(result.completion)}  "
+        f"(fault-free optimum {time_repr(result.fault_free)}, "
+        f"ratio {result.ratio:.2f}x)"
+    )
+    print(
+        f"survivors    : {result.survivors}/{result.n} — "
+        + ("all informed" if result.certified else "NOT all informed")
+    )
+    print(
+        f"drops        : {drops}  "
+        f"({result.loss_drops} loss + {result.crash_drops} crash-suppressed)"
+    )
+    print(f"retransmits  : {result.retransmissions}")
+    print(
+        f"re-rooted    : {len(result.adoptions)} orphan edges adopted, "
+        f"{len(result.declared_dead)} declared dead "
+        f"(detector {result.detector})"
+    )
+    if result.certified:
+        print(
+            f"certificate  : OK — T >= (m-1)+f_lambda(s) = "
+            f"{time_repr(result.bound)}, order preserved for survivors, "
+            f"fault accounting exact"
+        )
+        return 0
+    print("certificate  : FAILED")
+    for violation in result.violations:
+        print(f"  - {violation}")
+    return 1
 
 
 def _closed_form_time(algorithm: str, n: int, m: int, lam):
@@ -731,6 +859,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="BCAST size for the plan-layer construction bench "
         "(0 disables the plan section; default 100000)",
     )
+    p.add_argument(
+        "--resilience-n",
+        type=int,
+        default=1_000,
+        metavar="N",
+        help="machine size for the resilience gate cases — determinism, "
+        "certificates, and the loss-0 ceiling, never wall time "
+        "(0 disables the resilience section; default 1000)",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -741,6 +878,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loss", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_reliable)
+
+    p = sub.add_parser(
+        "resilience",
+        help="deterministic fault injection + recovery on the turbo lane",
+    )
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--lam", required=True)
+    p.add_argument("-m", type=int, default=1, help="messages to broadcast")
+    p.add_argument(
+        "--loss", type=float, default=0.0,
+        help="per-transmission drop probability in [0, 1)",
+    )
+    p.add_argument(
+        "--crash", type=float, default=0.0,
+        help="per-processor crash-stop probability in [0, 1) "
+        "(the root never crashes)",
+    )
+    p.add_argument(
+        "--jitter", default="0",
+        help="max extra latency per delivery; must sit on the run's "
+        "tick grid (accepts ratios like 1/2)",
+    )
+    p.add_argument(
+        "--crashed", metavar="P,P,...",
+        help="explicit crash-stop processors (crashed at t=0), "
+        "composable with --crash sampling",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--detector", choices=("timeout", "perfect"), default="timeout",
+        help="failure detector: local RTO timeouts (realistic) or the "
+        "perfect detector (absolute recovery guarantee)",
+    )
+    p.add_argument(
+        "--rto", default=None,
+        help="per-edge retransmission timeout (default 2*ceil(lambda)+2)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=8,
+        help="silent RTOs before a child is declared dead "
+        "(timeout detector only; default 8)",
+    )
+    p.add_argument(
+        "--curve", action="store_true",
+        help="sweep the --losses x --crashes grid and print the "
+        "degradation table instead of one run",
+    )
+    p.add_argument(
+        "--losses", default="0,0.05,0.1,0.2",
+        help="comma-separated loss rates for --curve",
+    )
+    p.add_argument(
+        "--crashes", default="0,0.05",
+        help="comma-separated crash rates for --curve",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --curve (0 = one per CPU; per-point "
+        "seed derivation keeps any jobs value byte-identical)",
+    )
+    p.set_defaults(func=cmd_resilience)
 
     return parser
 

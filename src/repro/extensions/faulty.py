@@ -21,8 +21,16 @@ With ``loss = 0`` the data wave follows the BCAST schedule shifted by one
 unit per tree level (each informed processor spends one send unit
 acknowledging its parent before it starts forwarding), so the completion
 time is at most ``f_lambda(n) + depth`` — the measured price of
-reliability bookkeeping.  The bench records the degradation curve as
+reliability bookkeeping (``tests/test_faulty.py`` pins this claim across
+the rational-lambda grid).  The bench records the degradation curve as
 ``loss`` grows.
+
+This extension runs on the *exact* engine and tops out around ``n`` in
+the hundreds.  Its turbo-scale successor is :mod:`repro.resilience`:
+the same RTO/ACK semantics (its recovery protocol reuses
+:func:`default_rto`) plus crash-stop processors, latency jitter,
+subtree re-rooting, and bit-reproducible seeded fault plans up to
+``n = 10^4`` — see ``docs/resilience.md``.
 """
 
 from __future__ import annotations

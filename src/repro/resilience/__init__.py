@@ -1,0 +1,57 @@
+"""Deterministic fault injection and recovery on the turbo lane.
+
+The paper's optimality results assume a perfectly reliable
+``MPS(n, lambda)``; this package measures what the optimal broadcast
+structure costs when the network misbehaves — at turbo scale and with
+bit-reproducible faults:
+
+* :mod:`~repro.resilience.faultplan` — :class:`FaultPlan`, a seeded,
+  self-accounting fault schedule (crash-stop processors, per-edge
+  drops, on-grid latency jitter) compiled next to the run;
+* :mod:`~repro.resilience.turbofault` — :class:`FaultyTurboSystem`,
+  the flat event loop with the plan applied at send and window time,
+  tagging dropped and retransmitted sends in the trace;
+* :mod:`~repro.resilience.recovery` —
+  :class:`ResilientBcastProtocol`, per-edge RTO/backoff retransmission
+  plus post-crash subtree re-rooting over survivors;
+* :mod:`~repro.resilience.certify` — the inequality certificates exact
+  oracles weaken to under faults (survivor lower bound, coverage,
+  order preservation, exact fault accounting);
+* :mod:`~repro.resilience.runner` / :mod:`~repro.resilience.curve` —
+  one certified run, and the sharded degradation sweep.
+
+See ``docs/resilience.md`` for the guided tour.
+"""
+
+from repro.resilience.certify import certify_resilient, survivor_bound
+from repro.resilience.curve import (
+    DEFAULT_CRASH_RATES,
+    DEFAULT_LOSS_RATES,
+    degradation_curve,
+    format_curve,
+)
+from repro.resilience.faultplan import FaultPlan
+from repro.resilience.recovery import ResilientBcastProtocol, first_of
+from repro.resilience.runner import (
+    ResilienceResult,
+    run_resilient,
+    trace_digest,
+)
+from repro.resilience.turbofault import FaultyTurboSystem, build_faulty_turbo
+
+__all__ = [
+    "DEFAULT_CRASH_RATES",
+    "DEFAULT_LOSS_RATES",
+    "FaultPlan",
+    "FaultyTurboSystem",
+    "ResilienceResult",
+    "ResilientBcastProtocol",
+    "build_faulty_turbo",
+    "certify_resilient",
+    "degradation_curve",
+    "first_of",
+    "format_curve",
+    "run_resilient",
+    "survivor_bound",
+    "trace_digest",
+]

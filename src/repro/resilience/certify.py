@@ -1,0 +1,130 @@
+"""Inequality certificates for fault-injected runs.
+
+Under faults the paper's *exact* oracles weaken to *inequalities*.  A
+fault-free BCAST run must finish at exactly ``f_lambda(n)``
+(Theorem 6); a faulted recovery run is instead certified against:
+
+* **survivor lower bound** — with ``s >= 2`` survivors and ``m``
+  messages, completion ``T >= (m - 1) + f_lambda(s)``: the survivors
+  operate under the same port and latency constraints as an
+  ``MPS(s, lambda)`` (crashed processors perform nothing and carry
+  nothing), so Lemma 8's bound over the *live* machine applies.  With
+  no crashes this is exactly the issue's fault-free floor
+  ``T >= (m - 1) + f_lambda(n)``.
+* **survivor coverage** — every survivor holds all ``m`` messages.
+* **order preservation** — every non-root survivor's first arrivals
+  are strictly increasing in message index (stop-and-wait per edge
+  forwards ``k + 1`` only after ``k`` is acknowledged).
+* **silence of the dead** — no logged send has a crashed source, no
+  delivery a crashed destination.
+* **exact fault accounting** — the plan's self-accounting matches the
+  system's realized counters draw for draw (the chaos-mutation
+  discipline from :mod:`repro.conformance.chaos`).
+* **fault-free ceiling** — when no fault fired and ``m = 1``, the
+  documented ``loss = 0`` claim of :mod:`repro.extensions.faulty`
+  must hold: ``T <= f_lambda(n) + depth``.
+
+Violations come back as strings (never raised), the
+:func:`repro.conformance.certify.certify_config` convention.
+"""
+
+from __future__ import annotations
+
+from repro.core.fibfunc import postal_f
+from repro.resilience.recovery import ResilientBcastProtocol
+from repro.resilience.turbofault import FaultyTurboSystem
+from repro.types import Time, time_repr
+
+__all__ = ["certify_resilient", "survivor_bound"]
+
+
+def survivor_bound(lam, s: int, m: int = 1) -> Time:
+    """The faulted lower bound ``(m - 1) + f_lambda(s)`` (``0`` when
+    fewer than two survivors — Lemma 8 needs someone to inform)."""
+    if s < 2:
+        return Time(0)
+    return (m - 1) + Time(postal_f(lam, s))
+
+
+def certify_resilient(
+    protocol: ResilientBcastProtocol,
+    system: FaultyTurboSystem,
+) -> tuple[str, ...]:
+    """Check every resilience invariant; return violations (empty = ok)."""
+    plan = system.plan
+    m = protocol.m
+    violations: list[str] = []
+
+    # -- survivor coverage + order preservation
+    completion = Time(0)
+    for proc in plan.survivors:
+        arrivals = protocol.arrivals.get(proc)
+        if arrivals is None or len(arrivals) < m:
+            got = sorted(arrivals) if arrivals else []
+            violations.append(
+                f"survivor p{proc} missing messages: has {got}, needs 0..{m - 1}"
+            )
+            continue
+        times = [arrivals[k] for k in range(m)]
+        if proc != protocol.root and any(
+            b <= a for a, b in zip(times, times[1:])
+        ):
+            violations.append(
+                f"order violated at survivor p{proc}: first arrivals "
+                f"{[time_repr(t) for t in times]} not strictly increasing"
+            )
+        last = max(times)
+        if last > completion:
+            completion = last
+
+    # -- lower bound over the live machine
+    bound = survivor_bound(plan.lam, plan.survivor_count, m)
+    if not violations and completion < bound:
+        violations.append(
+            f"completion {time_repr(completion)} beats the survivor lower "
+            f"bound {time_repr(bound)} = (m-1) + f_lambda({plan.survivor_count})"
+        )
+
+    # -- silence of the dead (scan the compact log directly)
+    from repro.turbo.fastsim import _DELIVER, _SEND
+
+    for entry in system._log:
+        code = entry[0]
+        if code == _SEND and plan.crashed_at(entry[2]) is not None:
+            violations.append(f"crashed p{entry[2]} performed a send")
+            break
+        if code == _DELIVER and plan.crashed_at(entry[2].dst) is not None:
+            violations.append(f"crashed p{entry[2].dst} received a delivery")
+            break
+
+    # -- exact fault accounting
+    if system.send_count != plan.draws:
+        violations.append(
+            f"fault accounting: {system.send_count} sends logged but "
+            f"{plan.draws} draws consumed"
+        )
+    if system.dropped != plan.drops_drawn:
+        violations.append(
+            f"fault accounting: {system.dropped} losses applied but "
+            f"{plan.drops_drawn} drawn"
+        )
+    expected_deliveries = (
+        system.send_count - system.dropped - system.crash_suppressed_deliveries
+    )
+    if system.delivery_count != expected_deliveries:
+        violations.append(
+            f"fault accounting: {system.delivery_count} deliveries != "
+            f"{system.send_count} sends - {system.dropped} losses - "
+            f"{system.crash_suppressed_deliveries} crash-suppressed"
+        )
+
+    # -- fault-free ceiling (the extensions/faulty loss=0 claim)
+    if not plan.active and m == 1 and not violations:
+        ceiling = Time(postal_f(plan.lam, plan.n)) + protocol.tree_depth
+        if completion > ceiling:
+            violations.append(
+                f"fault-free completion {time_repr(completion)} exceeds "
+                f"f_lambda(n) + depth = {time_repr(ceiling)}"
+            )
+
+    return tuple(violations)

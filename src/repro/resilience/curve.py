@@ -1,0 +1,123 @@
+"""Degradation curves: completion time vs loss / crash rate.
+
+The sweep follows the conformance fuzzer's sharding discipline: every
+``(loss, crash)`` point derives its own seed with
+:func:`repro.parallel.derive_seed` from the master seed and the point's
+identity, so the realized faults of one point are independent of which
+worker runs it and of how the grid is chunked — ``--jobs 1`` and
+``--jobs 4`` produce byte-identical rows (digests included), which
+``tests/test_resilience_determinism.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.parallel import derive_seed, parallel_map
+from repro.resilience.runner import ResilienceResult, run_resilient
+from repro.types import TimeLike, as_time, time_repr
+
+__all__ = [
+    "DEFAULT_LOSS_RATES",
+    "DEFAULT_CRASH_RATES",
+    "degradation_curve",
+    "format_curve",
+]
+
+DEFAULT_LOSS_RATES = (0.0, 0.05, 0.1, 0.2)
+DEFAULT_CRASH_RATES = (0.0, 0.05)
+
+
+@dataclass(frozen=True)
+class _PointSpec:
+    """One sweep point, primitive-typed so workers unpickle it cheaply."""
+
+    n: int
+    lam: str
+    m: int
+    loss: float
+    crash: float
+    jitter: str
+    seed: int  # already derived for this point
+    detector: str
+    max_retries: int
+
+
+def _run_point(spec: _PointSpec) -> ResilienceResult:
+    return run_resilient(
+        spec.n,
+        spec.lam,
+        m=spec.m,
+        loss=spec.loss,
+        crash=spec.crash,
+        jitter=spec.jitter,
+        seed=spec.seed,
+        detector=spec.detector,
+        max_retries=spec.max_retries,
+    )
+
+
+def degradation_curve(
+    n: int,
+    lam: TimeLike,
+    *,
+    m: int = 1,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    crash_rates: Sequence[float] = DEFAULT_CRASH_RATES,
+    jitter: TimeLike = 0,
+    seed: int = 0,
+    detector: str = "timeout",
+    max_retries: int = 8,
+    jobs: int = 1,
+) -> list[ResilienceResult]:
+    """Sweep the ``crash_rates x loss_rates`` grid (crash-major order).
+
+    Each point runs with ``derive_seed(seed, "resilience", n, lam,
+    loss, crash)`` — the same point always replays the same faults, in
+    any grid and on any worker.
+    """
+    lam_str = time_repr(as_time(lam))
+    jitter_str = time_repr(as_time(jitter))
+    specs = [
+        _PointSpec(
+            n=n,
+            lam=lam_str,
+            m=m,
+            loss=loss,
+            crash=crash,
+            jitter=jitter_str,
+            seed=derive_seed(seed, "resilience", n, lam_str, repr(loss), repr(crash)),
+            detector=detector,
+            max_retries=max_retries,
+        )
+        for crash in crash_rates
+        for loss in loss_rates
+    ]
+    return parallel_map(_run_point, specs, jobs=jobs, chunksize=1)
+
+
+def format_curve(results: Sequence[ResilienceResult]) -> str:
+    """The degradation table the CLI prints.
+
+    >>> rows = degradation_curve(14, 2, loss_rates=(0.0,), crash_rates=(0.0,))
+    >>> print(format_curve(rows).splitlines()[0])
+     loss  crash  survivors  completion   ratio  drops  retrans  adopted  cert
+    """
+    header = (
+        f"{'loss':>5}  {'crash':>5}  {'survivors':>9}  {'completion':>10}  "
+        f"{'ratio':>6}  {'drops':>5}  {'retrans':>7}  {'adopted':>7}  cert"
+    )
+    lines = [header]
+    for r in results:
+        lines.append(
+            f"{r.loss:>5.2f}  {r.crash:>5.2f}  "
+            f"{f'{r.survivors}/{r.n}':>9}  "
+            f"{time_repr(r.completion):>10}  "
+            f"{r.ratio:>5.2f}x  "
+            f"{r.loss_drops + r.crash_drops:>5}  "
+            f"{r.retransmissions:>7}  "
+            f"{len(r.adoptions):>7}  "
+            f"{'ok' if r.certified else 'FAIL'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,292 @@
+"""Seeded, replayable fault plans for the turbo lane.
+
+A :class:`FaultPlan` is the fault-injection twin of a columnar
+:class:`~repro.plan.columns.SchedulePlan`: it is *compiled* next to the
+run (same ``n``, same :class:`~repro.turbo.ticks.TickDomain`) and then
+consumed inside the flat tick/seq event loop, one draw per attempted
+transmission.  Three fault classes compose:
+
+* **crash-stop processors** — a seeded subset of non-root processors is
+  dead from tick 0 ("initially dead" in the classical fault taxonomy):
+  they send nothing and receive nothing.  The broadcast root is never
+  crashed — with a dead originator there is no broadcast to measure.
+* **per-edge message drops** — each transmission on edge ``(src, dst)``
+  is lost independently with probability ``loss``, drawn from a stream
+  owned by that edge.
+* **latency jitter** — each delivered transmission is delayed by an
+  extra ``0..jitter`` of latency, quantized to the run's tick grid
+  (an off-grid ``jitter`` raises
+  :class:`~repro.errors.TickDomainError`, the same exact-or-loud
+  contract the turbo lane applies to latencies and timeouts).
+
+Determinism is structural, not accidental: every stream is derived from
+the master seed with :func:`repro.parallel.derive_seed` — the crash set
+from ``(seed, "crash")``, edge ``(src, dst)`` from
+``(seed, "edge", src, dst)`` — and each edge stream is consumed in send
+order inside the single-threaded turbo loop.  Two runs with the same
+seed replay the same faults byte for byte, independent of worker count
+or host; see ``tests/test_resilience_determinism.py``.
+
+The plan keeps *self-accounting* counters (``draws``, ``drops_drawn``,
+``jitter_ticks_drawn``) in the style of the conformance chaos
+mutations: the certificate in :mod:`repro.resilience.certify`
+cross-checks them against the system's realized counters, so a fault
+that is drawn but not applied (or applied but not drawn) can never pass
+silently.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+from repro.errors import InvalidParameterError
+from repro.parallel import derive_seed
+from repro.types import ProcId, Time, TimeLike, ZERO, as_time, time_repr
+from repro.turbo.ticks import TickDomain
+
+__all__ = ["FaultPlan"]
+
+
+class FaultPlan:
+    """A compiled, seeded fault schedule for one turbo run.
+
+    Build one with :meth:`compile`; the direct constructor is the
+    low-level entry for callers that already hold a tick domain and an
+    explicit crash map (ticks, not times).
+
+    >>> plan = FaultPlan.compile(8, "5/2", loss=0.25, crash=0.3, seed=7)
+    >>> plan.crashed
+    (1, 2, 4)
+    >>> plan.survivor_count
+    5
+    >>> plan.crashed_at(0) is None   # the root never crashes
+    True
+    """
+
+    def __init__(
+        self,
+        n: int,
+        lam: TimeLike,
+        domain: TickDomain,
+        *,
+        loss: float = 0.0,
+        crash: float = 0.0,
+        jitter_ticks: int = 0,
+        crash_ticks: Mapping[ProcId, int] | None = None,
+        seed: int = 0,
+        root: ProcId = 0,
+    ):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1 processors, got {n}")
+        if not 0 <= root < n:
+            raise InvalidParameterError(f"root p{root} outside 0..{n - 1}")
+        if not 0.0 <= loss < 1.0:
+            raise InvalidParameterError(
+                f"loss must be a probability in [0, 1), got {loss!r}"
+            )
+        if not 0.0 <= crash < 1.0:
+            raise InvalidParameterError(
+                f"crash must be a probability in [0, 1), got {crash!r}"
+            )
+        if jitter_ticks < 0:
+            raise InvalidParameterError(
+                f"jitter must be nonnegative, got {jitter_ticks} ticks"
+            )
+        self.n = n
+        self.lam = as_time(lam)
+        self.domain = domain
+        self.loss = loss
+        self.crash = crash
+        self.jitter_ticks = jitter_ticks
+        self.seed = seed
+        self.root = root
+        self._crash_ticks: dict[ProcId, int] = {}
+        if crash_ticks:
+            for proc, tick in crash_ticks.items():
+                if not 0 <= proc < n:
+                    raise InvalidParameterError(
+                        f"crashed processor p{proc} outside 0..{n - 1}"
+                    )
+                if proc == root:
+                    raise InvalidParameterError(
+                        f"the broadcast root p{root} cannot crash — a dead "
+                        "originator leaves nothing to broadcast or measure"
+                    )
+                if tick < 0:
+                    raise InvalidParameterError(
+                        f"crash tick for p{proc} must be >= 0, got {tick}"
+                    )
+                self._crash_ticks[int(proc)] = int(tick)
+        # self-accounting (cross-checked by the resilience certificate)
+        self.draws = 0
+        self.drops_drawn = 0
+        self.jitter_ticks_drawn = 0
+        self._edge_rngs: dict[tuple[ProcId, ProcId], random.Random] = {}
+
+    # ------------------------------------------------------------ compile
+
+    @classmethod
+    def compile(
+        cls,
+        n: int,
+        lam: TimeLike,
+        *,
+        loss: float = 0.0,
+        crash: float = 0.0,
+        jitter: TimeLike = 0,
+        crashed: Iterable[ProcId] | None = None,
+        seed: int = 0,
+        root: ProcId = 0,
+        domain: TickDomain | None = None,
+    ) -> "FaultPlan":
+        """Compile a fault plan next to a turbo run.
+
+        Args:
+            loss: per-transmission drop probability in ``[0, 1)``.
+            crash: per-processor crash-stop probability in ``[0, 1)``;
+                the crash set is sampled once at compile time from the
+                stream ``derive_seed(seed, "crash")`` (the root is drawn
+                for stream stability but never crashed).
+            jitter: maximum extra latency per delivered transmission;
+                must sit on the run's tick grid (for the default domain
+                that is the grid ``lam`` induces — ``jitter="1/3"``
+                with ``lam=2`` is off-grid and loud, the turbo lane's
+                exact-or-loud contract).
+            crashed: explicit crash-stop processors (crashed at tick 0),
+                composable with the sampled set.
+            domain: the run's tick domain; derived from ``lam`` when
+                omitted (the same derivation
+                :func:`~repro.turbo.fastsim.build_turbo` applies).
+
+        Raises:
+            InvalidParameterError: a rate outside ``[0, 1)``, a crashed
+                root, or a processor outside ``0..n-1``.
+            TickDomainError: *jitter* is off the run's tick grid.
+        """
+        lam = as_time(lam)
+        jitter = as_time(jitter)
+        if jitter < 0:
+            raise InvalidParameterError(
+                f"jitter must be nonnegative, got {time_repr(jitter)}"
+            )
+        if domain is None:
+            domain = TickDomain.for_values([lam])
+        # may raise TickDomainError: jitter off the run's grid
+        jitter_ticks = domain.to_ticks(jitter)
+        crash_ticks: dict[ProcId, int] = {}
+        if crashed is not None:
+            for proc in crashed:
+                crash_ticks[int(proc)] = 0
+        if crash > 0.0 and n >= 1:
+            rng = random.Random(derive_seed(seed, "crash"))
+            for proc in range(n):
+                draw = rng.random()  # drawn for every proc: stream stability
+                if proc != root and draw < crash:
+                    crash_ticks.setdefault(proc, 0)
+        return cls(
+            n,
+            lam,
+            domain,
+            loss=loss,
+            crash=crash,
+            jitter_ticks=jitter_ticks,
+            crash_ticks=crash_ticks,
+            seed=seed,
+            root=root,
+        )
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def jitter(self) -> Time:
+        """Maximum per-transmission jitter as exact time."""
+        return self.domain.to_time(self.jitter_ticks)
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can fire (loss, jitter, or a crash set)."""
+        return bool(self.loss or self.jitter_ticks or self._crash_ticks)
+
+    @property
+    def crashed(self) -> tuple[ProcId, ...]:
+        """Crashed processors, ascending."""
+        return tuple(sorted(self._crash_ticks))
+
+    @property
+    def survivors(self) -> tuple[ProcId, ...]:
+        """Live processors, ascending (always includes the root)."""
+        return tuple(
+            p for p in range(self.n) if p not in self._crash_ticks
+        )
+
+    @property
+    def survivor_count(self) -> int:
+        return self.n - len(self._crash_ticks)
+
+    def crashed_at(self, proc: ProcId) -> int | None:
+        """Crash tick of *proc* (``None`` if it never crashes)."""
+        return self._crash_ticks.get(proc)
+
+    def crashed_at_time(self, proc: ProcId) -> Time | None:
+        """Crash instant of *proc* as exact time (``None`` if live)."""
+        tick = self._crash_ticks.get(proc)
+        return None if tick is None else self.domain.to_time(tick)
+
+    # -------------------------------------------------------------- draws
+
+    def draw(self, src: ProcId, dst: ProcId) -> tuple[bool, int]:
+        """One fault draw for a transmission on edge ``(src, dst)``.
+
+        Returns ``(dropped, jitter_ticks)``.  Every call consumes a
+        fixed number of variates from the edge's own stream, so the
+        realization of one edge is independent of traffic on every
+        other edge — the property that makes sharded sweeps replay
+        byte-identically.
+        """
+        key = (src, dst)
+        rng = self._edge_rngs.get(key)
+        if rng is None:
+            rng = random.Random(derive_seed(self.seed, "edge", src, dst))
+            self._edge_rngs[key] = rng
+        self.draws += 1
+        dropped = rng.random() < self.loss
+        jitter = rng.randrange(self.jitter_ticks + 1) if self.jitter_ticks else 0
+        if dropped:
+            self.drops_drawn += 1
+        self.jitter_ticks_drawn += jitter
+        return dropped, jitter
+
+    # ------------------------------------------------------------- misc
+
+    def fresh(self) -> "FaultPlan":
+        """A pristine copy: same parameters and crash set, untouched
+        draw streams and zeroed accounting — for replaying the run."""
+        return FaultPlan(
+            self.n,
+            self.lam,
+            self.domain,
+            loss=self.loss,
+            crash=self.crash,
+            jitter_ticks=self.jitter_ticks,
+            crash_ticks=dict(self._crash_ticks),
+            seed=self.seed,
+            root=self.root,
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (the CLI's ``faults`` field)."""
+        jitter = self.jitter
+        parts = [
+            f"loss={self.loss:g}",
+            f"crash={self.crash:g} ({len(self._crash_ticks)} crashed)",
+            f"jitter<={time_repr(jitter) if jitter > ZERO else '0'}",
+            f"seed={self.seed}",
+        ]
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(n={self.n}, lam={time_repr(self.lam)}, "
+            f"{self.describe()})"
+        )

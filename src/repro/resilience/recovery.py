@@ -1,0 +1,242 @@
+"""Recovery strategies over a faulted postal machine.
+
+:class:`ResilientBcastProtocol` hardens Algorithm BCAST against the two
+fault classes a :class:`~repro.resilience.faultplan.FaultPlan` injects:
+
+* **message loss** — per-edge *stop-and-wait* retransmission with
+  RTO/backoff, mirroring
+  :class:`~repro.extensions.faulty.ReliableBcastProtocol` semantics: an
+  edge manager re-sends message ``k`` every
+  ``min(rto * backoff**attempt, rto * max_backoff)`` until the child's
+  ACK arrives, and only then moves to ``k + 1`` (so each survivor's
+  first arrivals are strictly ordered by message index — the order-
+  preservation half of the resilience certificate).
+* **crash-stop processors** — *subtree re-rooting over survivors*: when
+  a manager declares its child dead, the manager's own processor adopts
+  the dead child's BCAST-tree children and spawns a fresh edge manager
+  per orphan, so the dead subtree is re-rooted at the closest live
+  ancestor and every survivor is still reached.
+
+Failure detection is pluggable:
+
+* ``detector="timeout"`` — a child that stays silent for
+  ``max_retries`` consecutive RTOs is declared dead.  Purely local and
+  realistic, but *probabilistic*: on a very lossy live edge it can
+  false-positive (the orphans are then adopted redundantly — duplicate
+  data is re-ACKed, first arrivals are unaffected).
+* ``detector="perfect"`` — consults the system's
+  :meth:`~repro.resilience.turbofault.FaultyTurboSystem.crashed_at`
+  surface (a *perfect failure detector* in the Chandra–Toueg sense:
+  strong accuracy, strong completeness).  Under it the recovery
+  guarantee is absolute: every survivor receives every message, which
+  is the property the hypothesis suite pins.
+
+The recovery guarantee is stated for **crash-at-t=0** plans (classical
+"initially dead processors"): a processor that crashed *after*
+ACKing message ``k`` to its parent but before its own children ACKed
+would otherwise orphan its subtree with no survivor aware of the debt.
+:func:`~repro.resilience.runner.run_resilient` enforces this shape.
+
+Both engines can drive the protocol: the race between an ACK and an RTO
+timer uses :func:`first_of`, which duck-types events the way
+:class:`~repro.turbo.fastsim.TurboProcess` does (``callbacks`` list +
+``succeed``), because :func:`repro.sim.events.any_of` is exact-engine
+only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.algorithms.base import Protocol
+from repro.core.bcast import BroadcastTree, bcast_schedule
+from repro.errors import InvalidParameterError
+from repro.extensions.faulty import default_rto
+from repro.types import ProcId, Time, TimeLike, as_time
+
+__all__ = ["ResilientBcastProtocol", "first_of"]
+
+
+def first_of(env, events) -> Any:
+    """An event firing when the first of *events* does (value = that
+    event).  Engine-agnostic: only uses ``callbacks`` / ``processed`` /
+    ``succeed``, which both event classes expose."""
+    race = env.event()
+
+    def _wake(ev, _race=race):
+        if not _race.triggered:
+            _race.succeed(ev)
+
+    for ev in events:
+        if ev.callbacks is None:  # already processed: win immediately
+            if not race.triggered:
+                race.succeed(ev)
+        else:
+            ev.callbacks.append(_wake)
+    return race
+
+
+class ResilientBcastProtocol(Protocol):
+    """BCAST with per-edge retransmission and subtree re-rooting.
+
+    Per processor (the root included — it simply starts with all ``m``
+    messages in hand):
+
+    * a *dispatcher* loop owns the inbox: data is recorded on first
+      arrival and ACKed on **every** arrival (a duplicate is a lost-ACK
+      symptom); ACKs complete their edge manager's wait;
+    * one *edge manager* per BCAST-tree child walks ``k = 0..m-1``:
+      wait until message ``k`` is held, then retransmit with RTO/backoff
+      until the child ACKs ``k``.  A child declared dead hands its own
+      tree children to this processor (*adoption*) — a fresh manager per
+      orphan re-roots the subtree here.
+
+    After the run: :attr:`arrivals` (first arrival per survivor per
+    message), :attr:`data_retransmissions`, :attr:`declared_dead`,
+    :attr:`adoptions` (orphan → adopter).
+    """
+
+    name = "RESILIENT-BCAST"
+    semantics = "resilient-broadcast"
+
+    def __init__(
+        self,
+        n: int,
+        lam: TimeLike,
+        *,
+        m: int = 1,
+        rto: TimeLike | None = None,
+        backoff: int = 2,
+        max_backoff: int = 8,
+        max_retries: int = 8,
+        detector: str = "timeout",
+    ):
+        super().__init__(n, m, lam)
+        if detector not in ("timeout", "perfect"):
+            raise InvalidParameterError(
+                f"detector must be 'timeout' or 'perfect', got {detector!r}"
+            )
+        if backoff < 1:
+            raise InvalidParameterError(f"backoff must be >= 1, got {backoff}")
+        if max_backoff < 1:
+            raise InvalidParameterError(
+                f"max_backoff must be >= 1, got {max_backoff}"
+            )
+        if max_retries < 1:
+            raise InvalidParameterError(
+                f"max_retries must be >= 1, got {max_retries}"
+            )
+        self._tree = BroadcastTree.of(bcast_schedule(n, lam, validate=False))
+        self._rto = as_time(rto) if rto is not None else default_rto(self.lam)
+        if self._rto <= self.lam:
+            raise InvalidParameterError(
+                f"rto must exceed lambda (got rto={self._rto} <= {self.lam})"
+            )
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._max_retries = max_retries
+        self.detector = detector
+        self.arrivals: dict[ProcId, dict[int, Time]] = {}
+        self.data_retransmissions = 0
+        self.declared_dead: set[ProcId] = set()
+        self.adoptions: dict[ProcId, ProcId] = {}
+
+    @property
+    def tree(self) -> BroadcastTree:
+        """The fault-free BCAST tree recovery re-roots over."""
+        return self._tree
+
+    @property
+    def tree_depth(self) -> int:
+        """Height of the BCAST tree (the ``+ depth`` in the loss=0
+        completion bound ``f_lambda(n) + depth``)."""
+        return self._tree.height()
+
+    # ------------------------------------------------------------ programs
+
+    def program(self, proc: ProcId, system) -> Generator | None:
+        crashed_at = getattr(system, "crashed_at", None)
+        if crashed_at is not None:
+            crash = crashed_at(proc)
+            if crash is not None and crash <= 0:
+                return None  # crash-stop from t=0: a dead processor runs nothing
+        return self._node(proc, system)
+
+    def _node(self, proc: ProcId, system):
+        env = system.env
+        m = self.m
+        have = [env.event() for _ in range(m)]
+        acked: dict[tuple[ProcId, int], Any] = {}
+        arrivals = self.arrivals.setdefault(proc, {})
+
+        for child in self._tree.children_of(proc):
+            env.process(
+                self._edge_manager(system, proc, child, have, acked)
+            )
+
+        if proc == self.root:
+            # the originator holds all m messages from the start
+            now = env.now
+            for k in range(m):
+                arrivals.setdefault(k, now)
+                have[k].succeed(None)
+
+        # dispatcher: record + ACK data, route ACKs, forever (the pending
+        # recv is garbage-collected when the simulation drains)
+        while True:
+            message = yield system.recv(proc)
+            kind, k = message.payload
+            if kind == "ack":
+                ev = acked.get((message.src, k))
+                if ev is not None and not ev.triggered:
+                    ev.succeed(message.arrived_at)
+                # stale duplicate ACKs are dropped
+            else:  # data
+                if k not in arrivals:
+                    arrivals[k] = message.arrived_at
+                # ACK every arrival — a duplicate means our ACK was lost
+                yield system.send(proc, message.src, k, payload=("ack", k))
+                if not have[k].triggered:
+                    have[k].succeed(message)
+
+    def _edge_manager(self, system, proc: ProcId, child: ProcId, have, acked):
+        env = system.env
+        perfect = self.detector == "perfect"
+        crashed_at = getattr(system, "crashed_at", None)
+
+        for k in range(self.m):
+            hv = have[k]
+            if not hv.processed:
+                yield hv
+            if perfect and crashed_at is not None and crashed_at(child) is not None:
+                self._declare_dead(system, proc, child, have, acked)
+                return
+            ack = acked.setdefault((child, k), env.event())
+            attempt = 0
+            while not ack.triggered:
+                if attempt > 0:
+                    self.data_retransmissions += 1
+                yield system.send(proc, child, k, payload=("data", k))
+                if ack.triggered:
+                    break
+                factor = min(
+                    self._backoff ** min(attempt, 20), self._max_backoff
+                )
+                delay = self._rto * factor
+                yield first_of(env, (ack, env.timeout(delay)))
+                if ack.triggered:
+                    break
+                attempt += 1
+                if not perfect and attempt >= self._max_retries:
+                    self._declare_dead(system, proc, child, have, acked)
+                    return
+        # every message acknowledged by this child: edge done
+
+    def _declare_dead(self, system, proc: ProcId, child: ProcId, have, acked):
+        """Adopt *child*'s tree children: re-root its subtree at *proc*."""
+        self.declared_dead.add(child)
+        for orphan in self._tree.children_of(child):
+            self.adoptions[orphan] = proc
+            system.env.process(
+                self._edge_manager(system, proc, orphan, have, acked)
+            )

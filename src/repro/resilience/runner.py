@@ -1,0 +1,238 @@
+"""Drive one resilient broadcast over a faulted turbo machine.
+
+:func:`run_resilient` compiles a :class:`~repro.resilience.faultplan
+.FaultPlan`, runs :class:`~repro.resilience.recovery
+.ResilientBcastProtocol` on a :class:`~repro.resilience.turbofault
+.FaultyTurboSystem` under the queued contention policy (retransmissions
+make receive collisions inevitable, as on a real NIC), certifies the
+result, and folds everything into a picklable
+:class:`ResilienceResult` — the unit the degradation-curve sweep, the
+bench section, and the CLI all share.
+
+Bit-reproducibility contract: the result embeds a SHA-256
+:attr:`~ResilienceResult.digest` over the *entire* materialized trace
+(sends with retransmit tags, deliveries, consumes, drops with reasons)
+plus the run metrics.  Two runs agree on faults, timing, and
+observability output iff their digests agree — the strongest practical
+form of "byte-identical traces and metrics" and what the determinism
+regression suite compares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import MetricsCollector
+from repro.postal.machine import ContentionPolicy
+from repro.postal.message import Message
+from repro.resilience.certify import certify_resilient, survivor_bound
+from repro.resilience.faultplan import FaultPlan
+from repro.resilience.recovery import ResilientBcastProtocol
+from repro.resilience.turbofault import FaultyTurboSystem, build_faulty_turbo
+from repro.types import ProcId, Time, TimeLike, ZERO, as_time, time_repr
+
+__all__ = ["ResilienceResult", "run_resilient", "trace_digest"]
+
+
+def _canon(data: Any) -> Any:
+    """A stable, hashable projection of one trace payload."""
+    if isinstance(data, Message):
+        return (
+            "msg",
+            data.msg,
+            data.src,
+            data.dst,
+            time_repr(data.sent_at),
+            time_repr(data.arrived_at),
+            repr(data.payload),
+        )
+    if isinstance(data, dict):
+        return tuple(
+            (key, _canon(value)) for key, value in sorted(data.items())
+        )
+    if isinstance(data, Time):
+        return time_repr(data)
+    return data
+
+
+def trace_digest(system: FaultyTurboSystem) -> str:
+    """SHA-256 over the run's full trace and metrics (flushes the log)."""
+    collector = MetricsCollector()
+    tracer = system.flush_trace()
+    collector.attach(tracer)  # replay=True folds the flushed records in
+    metrics = collector.finalize(n=system.n, lam=system.lam)
+    collector.detach()
+    h = hashlib.sha256()
+    for rec in tracer.records():
+        h.update(repr((time_repr(rec.time), rec.kind, _canon(rec.data))).encode())
+    h.update(repr(sorted(metrics.to_dict().items(), key=lambda kv: kv[0])).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ResilienceResult:
+    """One certified resilient run, fully picklable (curve workers ship
+    these across processes)."""
+
+    n: int
+    m: int
+    lam: Time
+    loss: float
+    crash: float
+    jitter: Time
+    seed: int
+    detector: str
+    crashed: tuple[ProcId, ...]
+    survivors: int
+    completion: Time
+    fault_free: Time  #: (m-1) + f_lambda(n): the no-fault optimum
+    bound: Time  #: (m-1) + f_lambda(survivors): the faulted floor
+    sends: int
+    deliveries: int
+    loss_drops: int
+    crash_drops: int
+    suppressed_sends: int
+    retransmissions: int  #: system-level: repeated (src, dst, msg) triples
+    data_retransmissions: int  #: protocol-level: extra data sends only
+    adoptions: tuple[tuple[ProcId, ProcId], ...]  #: (orphan, adopter)
+    declared_dead: tuple[ProcId, ...]
+    violations: tuple[str, ...]
+    digest: str = field(default="")
+
+    @property
+    def certified(self) -> bool:
+        """All resilience invariants held."""
+        return not self.violations
+
+    @property
+    def ratio(self) -> float:
+        """Degradation: completion over the fault-free optimum."""
+        if self.fault_free <= 0:
+            return 1.0
+        return float(self.completion / self.fault_free)
+
+    def row(self) -> dict:
+        """A JSON-ready projection (the bench / curve table row)."""
+        return {
+            "n": self.n,
+            "m": self.m,
+            "lam": time_repr(self.lam),
+            "loss": self.loss,
+            "crash": self.crash,
+            "jitter": time_repr(self.jitter),
+            "seed": self.seed,
+            "detector": self.detector,
+            "survivors": self.survivors,
+            "completion": time_repr(self.completion),
+            "fault_free": time_repr(self.fault_free),
+            "bound": time_repr(self.bound),
+            "ratio": round(self.ratio, 4),
+            "sends": self.sends,
+            "deliveries": self.deliveries,
+            "loss_drops": self.loss_drops,
+            "crash_drops": self.crash_drops,
+            "retransmissions": self.retransmissions,
+            "adoptions": len(self.adoptions),
+            "certified": self.certified,
+            "digest": self.digest,
+        }
+
+
+def run_resilient(
+    n: int,
+    lam: TimeLike,
+    *,
+    m: int = 1,
+    loss: float = 0.0,
+    crash: float = 0.0,
+    jitter: TimeLike = 0,
+    crashed: Iterable[ProcId] | None = None,
+    seed: int = 0,
+    detector: str = "timeout",
+    rto: TimeLike | None = None,
+    backoff: int = 2,
+    max_backoff: int = 8,
+    max_retries: int = 8,
+    plan: FaultPlan | None = None,
+    keep: list | None = None,
+) -> ResilienceResult:
+    """Run, certify, and summarize one resilient broadcast.
+
+    Pass a pre-compiled *plan* to reuse a sampled crash set; otherwise
+    one is compiled from the fault arguments.  *keep*, when given an
+    empty list, receives ``(system, protocol, plan)`` for callers that
+    need the live objects (the CLI's trace export, tests) — the result
+    itself stays picklable.
+
+    Raises:
+        InvalidParameterError: invalid rates, a crashed root, a plan
+            with mid-run crash ticks (the recovery guarantee is stated
+            for initially-dead processors only).
+        TickDomainError: *jitter* off the run's tick grid.
+    """
+    if plan is None:
+        plan = FaultPlan.compile(
+            n, lam, loss=loss, crash=crash, jitter=jitter,
+            crashed=crashed, seed=seed,
+        )
+    lam = as_time(lam)
+    for proc in plan.crashed:
+        if plan.crashed_at(proc) != 0:
+            raise InvalidParameterError(
+                f"p{proc} crashes at tick {plan.crashed_at(proc)}: the "
+                "recovery guarantee covers initially dead processors "
+                "(crash tick 0) only"
+            )
+    protocol = ResilientBcastProtocol(
+        n, lam, m=m, rto=rto, backoff=backoff,
+        max_backoff=max_backoff, max_retries=max_retries, detector=detector,
+    )
+    system = build_faulty_turbo(plan, policy=ContentionPolicy.QUEUED)
+    env = system.env
+    for proc in range(n):
+        gen = protocol.program(proc, system)
+        if gen is not None:
+            env.process(gen)
+    env.run()
+
+    violations = certify_resilient(protocol, system)
+    completion = ZERO
+    for proc in plan.survivors:
+        arrivals = protocol.arrivals.get(proc)
+        if arrivals:
+            last = max(arrivals.values())
+            if last > completion:
+                completion = last
+    result = ResilienceResult(
+        n=n,
+        m=m,
+        lam=lam,
+        loss=plan.loss,
+        crash=plan.crash,
+        jitter=plan.jitter,
+        seed=plan.seed,
+        detector=detector,
+        crashed=plan.crashed,
+        survivors=plan.survivor_count,
+        completion=completion,
+        fault_free=(m - 1) + Time(postal_f(lam, n)),
+        bound=survivor_bound(lam, plan.survivor_count, m),
+        sends=system.send_count,
+        deliveries=system.delivery_count,
+        loss_drops=system.dropped,
+        crash_drops=system.crash_suppressed_deliveries,
+        suppressed_sends=system.crash_suppressed_sends,
+        retransmissions=system.retransmissions,
+        data_retransmissions=protocol.data_retransmissions,
+        adoptions=tuple(sorted(protocol.adoptions.items())),
+        declared_dead=tuple(sorted(protocol.declared_dead)),
+        violations=violations,
+        digest=trace_digest(system),
+    )
+    if keep is not None:
+        keep.append((system, protocol, plan))
+    return result

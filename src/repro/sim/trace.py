@@ -36,7 +36,8 @@ TRACE_KINDS: dict[str, str] = {
     "send": "PostalSystem._send_proc (send port granted)",
     "deliver": "PostalSystem._deliver_proc (receive completed)",
     "consume": "PostalSystem.recv (message taken from the inbox)",
-    "drop": "FaultyPostalSystem._deliver_proc (message lost)",
+    "drop": "LossyPostalSystem._deliver_proc / FaultyTurboSystem "
+    "(message lost to the network or to a crashed receiver)",
 }
 
 

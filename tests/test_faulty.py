@@ -113,6 +113,45 @@ class TestReliableBcast:
         assert t >= postal_f(2, 10)
 
 
+class TestDocumentedLossZeroClaim:
+    """The module docstring claims: with ``loss = 0`` the completion time
+    is at most ``f_lambda(n) + depth`` (one ACK unit per tree level).
+    Pin it explicitly across the documented rational-lambda grid, for
+    both the exact-engine protocol and its turbo-scale successor."""
+
+    GRID = [Fraction(1), Fraction(2), Fraction(5, 2), Fraction(7, 3)]
+
+    @pytest.mark.parametrize("lam", GRID, ids=str)
+    @pytest.mark.parametrize("n", [2, 7, 14, 33, 60])
+    def test_reliable_bcast_ceiling(self, n, lam):
+        t, rtx, drops = run_reliable_bcast(n, lam, loss=0.0)
+        assert rtx == 0 and drops == 0
+        f = postal_f(lam, n)
+        tree = bcast_tree(n, lam)
+        depth = max(tree.depth_of(p) for p in range(n))
+        assert f <= t <= f + depth, (n, lam, t, f, depth)
+
+    @pytest.mark.parametrize("lam", GRID, ids=str)
+    def test_resilient_turbo_meets_the_same_ceiling(self, lam):
+        # the turbo-lane successor (repro.resilience) inherits the bound:
+        # its fault-free certificate enforces T <= f_lambda(n) + depth
+        from repro.resilience import run_resilient
+
+        keep = []
+        result = run_resilient(14, lam, keep=keep)
+        _, protocol, _ = keep[0]
+        f = postal_f(lam, 14)
+        assert result.violations == ()
+        assert f <= result.completion <= f + protocol.tree_depth
+
+    def test_depth_is_the_exact_price_at_the_chain(self):
+        # n=2 is a single edge: data at lambda, so t = lambda = f(2);
+        # the ACK unit never delays the data wave itself
+        for lam in self.GRID:
+            t, _, _ = run_reliable_bcast(2, lam, loss=0.0)
+            assert t == postal_f(lam, 2) == lam
+
+
 class TestExternalRng:
     """Satellite (a): one externally owned seeded stream drives every
     loss draw — campaign-level determinism for the conformance fuzzer."""

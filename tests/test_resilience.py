@@ -1,0 +1,350 @@
+"""Core tests for repro.resilience: fault plans, the faulty turbo
+system, recovery, and the inequality certificates."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.fibfunc import postal_f
+from repro.errors import InvalidParameterError, ModelError, TickDomainError
+from repro.resilience import (
+    FaultPlan,
+    ResilientBcastProtocol,
+    build_faulty_turbo,
+    certify_resilient,
+    run_resilient,
+    survivor_bound,
+)
+from repro.resilience.turbofault import FaultyTurboSystem
+from repro.turbo.fastsim import TurboEnvironment
+from repro.turbo.ticks import TickDomain
+
+pytestmark = pytest.mark.resilience
+
+
+class TestFaultPlanCompile:
+    def test_validates_loss_range(self):
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(InvalidParameterError):
+                FaultPlan.compile(4, 2, loss=bad)
+
+    def test_validates_crash_range(self):
+        for bad in (-0.1, 1.0):
+            with pytest.raises(InvalidParameterError):
+                FaultPlan.compile(4, 2, crash=bad)
+
+    def test_root_cannot_crash_explicitly(self):
+        with pytest.raises(InvalidParameterError, match="root"):
+            FaultPlan.compile(4, 2, crashed=[0])
+
+    def test_sampled_crash_set_excludes_root(self):
+        for seed in range(30):
+            plan = FaultPlan.compile(20, 2, crash=0.9, seed=seed)
+            assert 0 not in plan.crashed
+            assert plan.crashed_at(0) is None
+            assert 0 in plan.survivors
+
+    def test_crashed_processor_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.compile(4, 2, crashed=[4])
+
+    def test_off_grid_jitter_is_loud(self):
+        with pytest.raises(TickDomainError):
+            FaultPlan.compile(4, 2, jitter="1/3")
+
+    def test_on_grid_jitter_accepted(self):
+        plan = FaultPlan.compile(4, "5/2", jitter="1/2")
+        assert plan.jitter == Fraction(1, 2)
+        assert plan.jitter_ticks == 1  # scale 2
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.compile(4, 2, jitter=-1)
+
+    def test_explicit_and_sampled_crashes_compose(self):
+        sampled = FaultPlan.compile(20, 2, crash=0.3, seed=5).crashed
+        plan = FaultPlan.compile(20, 2, crash=0.3, seed=5, crashed=[1])
+        assert set(plan.crashed) == set(sampled) | {1}
+
+    def test_survivors_partition(self):
+        plan = FaultPlan.compile(10, 2, crash=0.4, seed=2)
+        assert sorted(plan.crashed + plan.survivors) == list(range(10))
+        assert plan.survivor_count == len(plan.survivors)
+
+    def test_inactive_plan(self):
+        plan = FaultPlan.compile(5, 2)
+        assert not plan.active
+        assert plan.crashed == ()
+        assert FaultPlan.compile(5, 2, loss=0.1).active
+        assert FaultPlan.compile(5, 2, crashed=[3]).active
+        assert FaultPlan.compile(5, "5/2", jitter="1/2").active
+
+
+class TestFaultPlanDraws:
+    def test_draws_are_per_edge_deterministic(self):
+        a = FaultPlan.compile(4, 2, loss=0.5, seed=9)
+        b = FaultPlan.compile(4, 2, loss=0.5, seed=9)
+        seq_a = [a.draw(0, 1) for _ in range(20)]
+        seq_b = [b.draw(0, 1) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_edges_have_independent_streams(self):
+        # consuming edge (0, 1) must not shift edge (0, 2)
+        a = FaultPlan.compile(4, 2, loss=0.5, seed=9)
+        b = FaultPlan.compile(4, 2, loss=0.5, seed=9)
+        for _ in range(50):
+            a.draw(0, 1)
+        assert [a.draw(0, 2) for _ in range(10)] == [
+            b.draw(0, 2) for _ in range(10)
+        ]
+
+    def test_self_accounting(self):
+        plan = FaultPlan.compile(4, "5/2", loss=0.5, jitter="1/2", seed=3)
+        drops = jitter = 0
+        for i in range(60):
+            dropped, jt = plan.draw(i % 3, 3)
+            drops += dropped
+            jitter += jt
+            assert jt in (0, 1)
+        assert plan.draws == 60
+        assert plan.drops_drawn == drops
+        assert plan.jitter_ticks_drawn == jitter
+
+    def test_fresh_resets_streams_and_counters(self):
+        plan = FaultPlan.compile(8, 2, loss=0.4, crash=0.3, seed=1)
+        first = [plan.draw(0, 1) for _ in range(10)]
+        clone = plan.fresh()
+        assert clone.draws == 0 and clone.drops_drawn == 0
+        assert clone.crashed == plan.crashed  # same sampled crash set
+        assert [clone.draw(0, 1) for _ in range(10)] == first
+
+
+class TestFaultyTurboSystem:
+    def test_plan_domain_must_match(self):
+        # plan on a scale-2 grid, run on the default scale-1 grid
+        fine = TickDomain.for_values([Fraction(5, 2)])
+        plan = FaultPlan.compile(4, 2, domain=fine)
+        env = TurboEnvironment(TickDomain())
+        with pytest.raises(ModelError, match="scale"):
+            FaultyTurboSystem(env, 4, 2, plan)
+
+    def test_plan_n_must_match(self):
+        plan = FaultPlan.compile(4, 2)
+        env = TurboEnvironment(plan.domain)
+        with pytest.raises(ModelError, match="n="):
+            FaultyTurboSystem(env, 5, 2, plan)
+
+    def test_loss_drop_traced_with_reason(self):
+        plan = FaultPlan.compile(2, 2, loss=0.99, seed=1)
+        system = build_faulty_turbo(plan)
+
+        def prog():
+            for k in range(20):
+                yield system.send(0, 1, k)
+
+        system.env.process(prog())
+        system.env.run()
+        assert system.dropped > 10
+        tracer = system.flush_trace()
+        drops = tracer.records("drop")
+        assert len(drops) == system.dropped
+        assert all(r.data["reason"] == "loss" for r in drops)
+        assert len(tracer.records("deliver")) == 20 - system.dropped
+
+    def test_crashed_receiver_drops_with_crash_reason(self):
+        plan = FaultPlan.compile(3, 2, crashed=[2])
+        system = build_faulty_turbo(plan)
+
+        def prog():
+            yield system.send(0, 1, 0)
+            yield system.send(0, 2, 1)
+
+        system.env.process(prog())
+        system.env.run()
+        assert system.crash_suppressed_deliveries == 1
+        drops = system.flush_trace().records("drop")
+        assert len(drops) == 1
+        assert drops[0].data == {
+            "src": 0, "dst": 2, "msg": 1, "reason": "crash",
+        }
+        # the dead receiver's port was never claimed
+        assert system.recv_port(2).busy_intervals == []
+
+    def test_crashed_sender_is_silent_but_drains(self):
+        plan = FaultPlan.compile(3, 2, crashed=[1])
+        system = build_faulty_turbo(plan)
+        done = []
+
+        def prog():
+            yield system.send(1, 0, 0)
+            done.append(system.env.now)
+
+        system.env.process(prog())
+        system.env.run()
+        assert done, "suppressed send must still resume the generator"
+        assert system.crash_suppressed_sends == 1
+        assert system.send_count == 0  # nothing logged
+        assert system.send_port(1).busy_intervals == []
+
+    def test_retransmit_flag_on_repeated_triple(self):
+        plan = FaultPlan.compile(2, 2)
+        system = build_faulty_turbo(plan)
+
+        def prog():
+            yield system.send(0, 1, 7)
+            yield system.send(0, 1, 7)  # same (src, dst, msg)
+            yield system.send(0, 1, 8)  # fresh msg: not a retransmit
+
+        system.env.process(prog())
+        system.env.run()
+        assert system.retransmissions == 1
+        sends = system.flush_trace().records("send")
+        assert [s.data.get("retransmit", False) for s in sends] == [
+            False, True, False,
+        ]
+
+    def test_jitter_stretches_latency_on_grid(self):
+        plan = FaultPlan.compile(2, 2, jitter=3, seed=0)
+        system = build_faulty_turbo(plan)
+
+        def prog():
+            yield system.send(0, 1, 0)
+
+        system.env.process(prog())
+        system.env.run()
+        (deliver,) = system.flush_trace().records("deliver")
+        extra = deliver.data.arrived_at - deliver.data.sent_at - 2
+        assert 0 <= extra <= 3
+        assert extra == extra.__floor__()  # whole ticks at scale 1
+
+    def test_realized_schedule_refused(self):
+        plan = FaultPlan.compile(4, 2)
+        system = build_faulty_turbo(plan)
+        with pytest.raises(ModelError, match="certify"):
+            system.realized_schedule()
+
+    def test_crashed_at_surface(self):
+        plan = FaultPlan.compile(4, 2, crashed=[2])
+        system = build_faulty_turbo(plan)
+        assert system.crashed_at(2) == 0
+        assert system.crashed_at(1) is None
+
+
+class TestRecovery:
+    def test_fault_free_matches_reliable_bcast_shape(self):
+        result = run_resilient(14, 2)
+        f = postal_f(2, 14)
+        assert result.certified
+        assert f <= result.completion <= f + 4
+        assert result.retransmissions == 0
+        assert result.adoptions == ()
+
+    def test_loss_recovery_informs_everyone(self):
+        result = run_resilient(40, "5/2", loss=0.3, seed=2)
+        assert result.certified
+        assert result.survivors == 40
+        assert result.loss_drops > 0
+        assert result.retransmissions > 0
+
+    def test_crash_recovery_timeout_detector(self):
+        result = run_resilient(40, 2, crash=0.25, seed=4)
+        assert result.certified
+        assert result.survivors < 40
+        assert result.declared_dead == result.crashed
+        # every orphan whose parent died was adopted
+        protocol = ResilientBcastProtocol(40, 2)
+        orphans = {
+            o
+            for dead in result.crashed
+            for o in protocol.tree.children_of(dead)
+            if o not in result.crashed
+        }
+        adopted = {o for o, _ in result.adoptions if o not in result.crashed}
+        assert orphans <= adopted
+
+    def test_crash_recovery_perfect_detector(self):
+        result = run_resilient(40, 2, crash=0.25, seed=4, detector="perfect")
+        assert result.certified
+        # perfect detection adopts at t=0: no RTO stalls, so completion
+        # stays near the fault-free optimum instead of detector timeouts
+        timeout = run_resilient(40, 2, crash=0.25, seed=4)
+        assert result.completion < timeout.completion
+
+    def test_multi_message_order_preserved(self):
+        result = run_resilient(14, 2, m=4, loss=0.2, crash=0.2, seed=6)
+        assert result.certified  # includes per-survivor order check
+
+    def test_everything_at_once(self):
+        result = run_resilient(
+            60, "7/3", m=2, loss=0.15, crash=0.15, jitter="2/3", seed=11
+        )
+        assert result.certified
+        assert result.loss_drops > 0 and result.crashed
+
+    def test_mid_run_crash_tick_rejected(self):
+        plan = FaultPlan.compile(5, 2)
+        plan._crash_ticks[3] = 7  # not constructible via compile
+        with pytest.raises(InvalidParameterError, match="initially dead"):
+            run_resilient(5, 2, plan=plan)
+
+    def test_detector_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_resilient(5, 2, detector="psychic")
+
+    def test_rto_must_exceed_lambda(self):
+        with pytest.raises(InvalidParameterError):
+            run_resilient(5, 4, rto=3)
+
+    def test_keep_hands_back_live_objects(self):
+        keep = []
+        result = run_resilient(10, 2, loss=0.1, seed=1, keep=keep)
+        (system, protocol, plan), = keep
+        assert system.plan is plan
+        assert protocol.arrivals
+        assert system.dropped == result.loss_drops
+
+
+class TestCertificates:
+    def test_survivor_bound_values(self):
+        assert survivor_bound(2, 14) == postal_f(2, 14)
+        assert survivor_bound(2, 14, m=3) == 2 + postal_f(2, 14)
+        assert survivor_bound(2, 1) == 0
+        assert survivor_bound(2, 0) == 0
+
+    def test_certify_flags_missing_coverage(self):
+        keep = []
+        run_resilient(10, 2, seed=0, keep=keep)
+        system, protocol, _ = keep[0]
+        del protocol.arrivals[7]  # tamper: survivor 'loses' its message
+        violations = certify_resilient(protocol, system)
+        assert any("p7" in v and "missing" in v for v in violations)
+
+    def test_certify_flags_order_violation(self):
+        keep = []
+        run_resilient(10, 2, m=2, seed=0, keep=keep)
+        system, protocol, _ = keep[0]
+        a = protocol.arrivals[5]
+        a[0], a[1] = a[1], a[0]  # tamper: swap first-arrival order
+        violations = certify_resilient(protocol, system)
+        assert any("order" in v for v in violations)
+
+    def test_certify_flags_accounting_drift(self):
+        keep = []
+        run_resilient(10, 2, loss=0.2, seed=3, keep=keep)
+        system, protocol, _ = keep[0]
+        system.plan.drops_drawn += 1  # tamper: phantom draw
+        violations = certify_resilient(protocol, system)
+        assert any("accounting" in v for v in violations)
+
+    def test_clean_run_has_no_violations(self):
+        keep = []
+        result = run_resilient(21, "5/2", loss=0.1, crash=0.1, seed=8, keep=keep)
+        system, protocol, _ = keep[0]
+        assert certify_resilient(protocol, system) == ()
+        assert result.violations == ()
+        assert result.certified
+
+    def test_bound_reduces_to_fault_free_floor_without_crashes(self):
+        result = run_resilient(14, 2, loss=0.3, seed=5)
+        assert result.bound == result.fault_free
+        assert result.completion >= result.fault_free

@@ -1,0 +1,128 @@
+"""Determinism regression suite: every fault-injected turbo scenario,
+run twice with the same seed, must be byte-identical — traces, metrics,
+result rows, and sharded sweeps alike; different seeds must differ.
+
+The digest a :class:`~repro.resilience.runner.ResilienceResult` carries
+is a SHA-256 over the fully materialized trace (send/deliver/consume/
+drop records with retransmit tags and drop reasons) plus the folded
+:class:`~repro.obs.metrics.RunMetrics` — so "results equal" below means
+the runs agree event for event, not merely on summary counters.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsCollector
+from repro.resilience import degradation_curve, run_resilient, trace_digest
+from repro.bench import RESILIENCE_CASES, bench_resilience
+
+pytestmark = pytest.mark.resilience
+
+#: Every fault-injected scenario shape the subsystem supports: loss
+#: only, crash only (both detectors), jitter only, and all at once.
+SCENARIOS = [
+    pytest.param(dict(n=30, lam=2, loss=0.25), id="loss"),
+    pytest.param(dict(n=30, lam=2, crash=0.2), id="crash-timeout"),
+    pytest.param(
+        dict(n=30, lam=2, crash=0.2, detector="perfect"), id="crash-perfect"
+    ),
+    pytest.param(dict(n=30, lam="5/2", jitter="3/2"), id="jitter"),
+    pytest.param(
+        dict(n=24, lam="7/3", m=3, loss=0.15, crash=0.15, jitter="1/3"),
+        id="everything",
+    ),
+]
+
+
+class TestSameSeedByteIdentical:
+    @pytest.mark.parametrize("kwargs", SCENARIOS)
+    def test_results_and_digests_equal(self, kwargs):
+        a = run_resilient(seed=13, **kwargs)
+        b = run_resilient(seed=13, **kwargs)
+        assert a == b  # every field, digest included
+        assert a.digest == b.digest
+
+    @pytest.mark.parametrize("kwargs", SCENARIOS)
+    def test_traces_byte_identical(self, kwargs):
+        def records(seed):
+            keep = []
+            run_resilient(seed=13, keep=keep, **kwargs)
+            system, _, _ = keep[0]
+            return [
+                (str(r.time), r.kind, repr(r.data))
+                for r in system.flush_trace()
+            ]
+
+        assert records(13) == records(13)
+
+    @pytest.mark.parametrize("kwargs", SCENARIOS)
+    def test_metrics_identical(self, kwargs):
+        def metrics(seed):
+            keep = []
+            run_resilient(seed=seed, keep=keep, **kwargs)
+            system, _, _ = keep[0]
+            collector = MetricsCollector()
+            collector.attach(system.flush_trace())
+            folded = collector.finalize(n=system.n, lam=system.lam)
+            collector.detach()
+            return folded.to_dict()
+
+        assert metrics(13) == metrics(13)
+
+
+class TestDifferentSeedsDiffer:
+    @pytest.mark.parametrize("kwargs", SCENARIOS)
+    def test_some_nearby_seed_differs(self, kwargs):
+        base = run_resilient(seed=13, **kwargs)
+        assert any(
+            run_resilient(seed=s, **kwargs).digest != base.digest
+            for s in (14, 15, 16)
+        ), "three different seeds all replayed the base run exactly"
+
+
+class TestShardedSweepDeterminism:
+    def test_jobs_1_equals_jobs_4(self):
+        kwargs = dict(
+            loss_rates=(0.0, 0.1, 0.3),
+            crash_rates=(0.0, 0.2),
+            seed=5,
+            max_retries=4,
+        )
+        serial = degradation_curve(20, 2, jobs=1, **kwargs)
+        sharded = degradation_curve(20, 2, jobs=4, **kwargs)
+        assert serial == sharded  # row for row, digests included
+
+    def test_point_seeds_are_position_independent(self):
+        # the same (loss, crash) point replays identically in any grid
+        wide = degradation_curve(
+            14, 2, loss_rates=(0.0, 0.1, 0.3), crash_rates=(0.0,), seed=9
+        )
+        narrow = degradation_curve(
+            14, 2, loss_rates=(0.3,), crash_rates=(0.0,), seed=9
+        )
+        assert wide[2] == narrow[0]
+
+
+class TestBenchSection:
+    def test_bench_rows_identical_across_invocations(self):
+        def rows():
+            section = bench_resilience(n=120)
+            return [
+                {k: v for k, v in row.items() if k != "wall_s"}
+                for row in section["cases"]
+            ]
+
+        assert rows() == rows()
+
+    def test_bench_gate_passes_and_covers_cases(self):
+        section = bench_resilience(n=120)
+        assert section["gate"]["ok"]
+        assert section["gate"]["deterministic"]
+        assert section["gate"]["certified"]
+        assert section["gate"]["within_depth"]
+        assert len(section["cases"]) == len(RESILIENCE_CASES)
+
+    def test_digest_helper_is_idempotent(self):
+        keep = []
+        run_resilient(15, 2, loss=0.2, seed=1, keep=keep)
+        system, _, _ = keep[0]
+        assert trace_digest(system) == trace_digest(system)
