@@ -2,8 +2,9 @@
 
 Measures end-to-end wall time of :func:`repro.postal.runner.run_protocol`
 (``validate=False, collect=False`` — pure engine cost) for a fixed case
-grid on **both** execution backends and reports the turbo-vs-exact
-speedup per case.  The broadcast families cover the three structural
+grid on **all three** execution backends (``exact``, ``turbo``, and
+since ``/5`` the vectorized ``replay`` tier) and reports the
+turbo-vs-exact and replay-vs-exact speedups per case.  The broadcast families cover the three structural
 regimes — BCAST (single message, Fibonacci tree fan-out), PIPELINE-2
 (multi-message pipelining, long per-processor send chains),
 DTREE-BINARY (degree-bounded tree, mixed fan-out) — and since ``/3``
@@ -21,13 +22,16 @@ Two grids:
   ``3*10^2``.
 
 Results serialize to the committed ``BENCH_turbo.json`` (schema
-``repro-bench-turbo/4``; see ``docs/performance.md``).  Since ``/2`` the
+``repro-bench-turbo/5``; see ``docs/performance.md``).  Since ``/2`` the
 document also records the runner (``cpu_count``, ``platform``), the
 ``jobs`` the sweep ran with, and a ``plan`` section benchmarking the
 columnar plan layer (:mod:`repro.plan`) against classic event-object
 schedule construction at BCAST ``n = 10^5``; ``/3`` adds the collective
 cases and a second speedup gate; ``/4`` adds the ``resilience`` section
-(:func:`bench_resilience`).  Five checks gate CI:
+(:func:`bench_resilience`); ``/5`` adds a ``replay_s`` wall time per
+case, the standalone ``replay`` gate section (:func:`bench_replay`),
+and records ``effective_jobs`` next to the requested ``jobs``.  Six
+checks gate CI:
 
 * **speedup gate** — turbo must be at least :data:`GATE_MIN_SPEEDUP`
   times faster than exact for BCAST at ``n = 10^4`` (uniform integer
@@ -41,6 +45,13 @@ cases and a second speedup gate; ``/4`` adds the ``resilience`` section
   What CI must pin is the turbo lane's per-event advantage on the
   collective code path, which the 10^4-send point measures exactly as
   the BCAST gate does for broadcast;
+* **replay gate** — the vectorized plan-replay tier
+  (``backend="replay"``) must be at least
+  :data:`REPLAY_GATE_MIN_SPEEDUP` times faster than exact for BCAST at
+  ``n =`` :data:`REPLAY_GATE_N`.  The bar is an order of magnitude
+  above the turbo gates because the tier skips the event loop entirely:
+  a compiled plan replays as a handful of batched column passes, so
+  anything *near* event-loop speed means the vectorization regressed;
 * **plan gate** — columnar construction must be at least
   :data:`PLAN_GATE_MIN_SPEEDUP` times faster and hold its events in at
   least :data:`PLAN_GATE_MIN_MEM_RATIO` times less storage than the
@@ -74,10 +85,11 @@ import json
 import os
 import platform
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.parallel import parallel_map
+from repro.parallel import effective_jobs, parallel_map
 from repro.types import Time, as_time, time_repr
 
 __all__ = [
@@ -91,33 +103,39 @@ __all__ = [
     "PLAN_GATE_N",
     "PLAN_GATE_MIN_SPEEDUP",
     "PLAN_GATE_MIN_MEM_RATIO",
+    "REPLAY_GATE_N",
+    "REPLAY_GATE_MIN_SPEEDUP",
     "RESILIENCE_CASES",
     "RESILIENCE_GATE_N",
     "SCHEMA",
     "bench_grid",
     "bench_plan_layer",
+    "bench_replay",
     "bench_resilience",
     "collective_gate_result",
     "compare_to_baseline",
     "format_results",
     "gate_result",
+    "profile_case",
     "run_bench",
     "run_case",
     "to_json",
 ]
 
 #: Schema tag written into every ``BENCH_turbo.json``.
-SCHEMA = "repro-bench-turbo/4"
+SCHEMA = "repro-bench-turbo/5"
 
 #: Schemas :func:`compare_to_baseline` accepts (the per-case layout has
 #: been stable since ``/1``; ``/2`` added runner metadata and the plan
 #: section, ``/3`` the collective cases and gate, ``/4`` the resilience
-#: section — extra top-level keys older readers simply ignore).
+#: section, ``/5`` the per-case ``replay_s`` and the replay gate —
+#: extra top-level keys and case fields older readers simply ignore).
 BASELINE_SCHEMAS = (
     "repro-bench-turbo/1",
     "repro-bench-turbo/2",
     "repro-bench-turbo/3",
     "repro-bench-turbo/4",
+    "repro-bench-turbo/5",
 )
 
 #: The acceptance gate: ``(family, n)`` that must clear the speedup bar.
@@ -142,6 +160,16 @@ PLAN_GATE_MIN_SPEEDUP = 3.0
 
 #: Minimum event-storage ratio (event objects over plan columns).
 PLAN_GATE_MIN_MEM_RATIO = 5.0
+
+#: The replay gate case: BCAST at this ``n`` (single message) — the same
+#: point as the plan gate, so the two sections describe the same plan.
+REPLAY_GATE_N = 100_000
+
+#: Minimum replay-vs-exact speedup at the replay gate case.  Deliberately
+#: an order of magnitude above :data:`GATE_MIN_SPEEDUP`: the replay tier
+#: has no event loop to pay for, so "only" event-loop-fast is a
+#: regression of the vectorization itself.
+REPLAY_GATE_MIN_SPEEDUP = 20.0
 
 #: Machine size for the resilience gate cases (recovery at n = 10^3 is
 #: thousands of fault draws per case — enough to make a determinism or
@@ -199,11 +227,19 @@ class BenchResult:
     exact_s: float
     turbo_s: float
     sends: int
+    replay_s: float = 0.0
 
     @property
     def speedup(self) -> float:
         """Exact wall time over turbo wall time (higher is better)."""
         return self.exact_s / self.turbo_s if self.turbo_s > 0 else float("inf")
+
+    @property
+    def replay_speedup(self) -> float:
+        """Exact wall time over replay wall time (higher is better)."""
+        return (
+            self.exact_s / self.replay_s if self.replay_s > 0 else float("inf")
+        )
 
 
 def bench_grid(mode: str = "smoke") -> list[BenchCase]:
@@ -281,15 +317,27 @@ def _time_backend(case: BenchCase, backend: str) -> tuple[float, int]:
 
 
 def run_case(case: BenchCase) -> BenchResult:
-    """Measure *case* on both backends."""
+    """Measure *case* on all three backends.
+
+    Every grid family has a registered plan compiler, so the replay tier
+    runs for each case; its first repetition pays the (cached) plan
+    compile, later repetitions measure pure replay — best-of keeps the
+    warm number, which is what the tier costs in steady state.
+    """
     exact_s, sends = _time_backend(case, "exact")
     turbo_s, turbo_sends = _time_backend(case, "turbo")
+    replay_s, replay_sends = _time_backend(case, "replay")
     if turbo_sends != sends:  # pragma: no cover - equivalence suite's job
         raise AssertionError(
             f"{case.family} n={case.n}: backends disagree on send count "
             f"(exact {sends}, turbo {turbo_sends})"
         )
-    return BenchResult(case, exact_s, turbo_s, sends)
+    if replay_sends != sends:  # pragma: no cover - equivalence suite's job
+        raise AssertionError(
+            f"{case.family} n={case.n}: backends disagree on send count "
+            f"(exact {sends}, replay {replay_sends})"
+        )
+    return BenchResult(case, exact_s, turbo_s, sends, replay_s)
 
 
 def run_bench(
@@ -307,6 +355,15 @@ def run_bench(
     recorded serially).
     """
     grid = bench_grid(mode)
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        warnings.warn(
+            f"bench jobs={jobs} exceeds cpu_count={cpus}; oversubscribed "
+            f"workers time-slice cores, so per-case wall times will be "
+            f"inflated and unsuitable as a baseline",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if jobs > 1:
         if progress is not None:
             progress(f"  {len(grid)} cases across {jobs} workers ...")
@@ -411,6 +468,94 @@ def bench_plan_layer(*, n: int = PLAN_GATE_N, lam: Time = _LAM) -> dict:
             ),
         },
     }
+
+
+# ------------------------------------------------------------ replay tier
+
+
+def bench_replay(*, n: int = REPLAY_GATE_N, lam: Time = _LAM) -> dict:
+    """Benchmark the vectorized replay tier against both event-loop
+    backends at BCAST size *n* (the ``"replay"`` section of the
+    document).
+
+    Three wall times for the same protocol run: the exact engine, the
+    turbo event loop, and ``backend="replay"`` executing the compiled
+    plan as batched column passes.  ``compile_s`` records the one-time
+    plan compilation separately (steady-state replays hit the plan
+    cache, so the per-run numbers are measured warm — same convention
+    as :func:`bench_plan_layer`'s ``plan_cached_s`` row).  The gate is
+    replay-vs-exact at :data:`REPLAY_GATE_MIN_SPEEDUP`.
+    """
+    from repro.plan import compile_plan
+
+    lam = as_time(lam)
+    case = BenchCase("BCAST", n, 1, lam)
+    compile_s = _best_of(lambda: compile_plan("BCAST", n, 1, lam), reps=1)
+    exact_s, sends = _time_backend(case, "exact")
+    turbo_s, _ = _time_backend(case, "turbo")
+    replay_s, replay_sends = _time_backend(case, "replay")
+    if replay_sends != sends:  # pragma: no cover - equivalence suite's job
+        raise AssertionError(
+            f"BCAST n={n}: backends disagree on send count "
+            f"(exact {sends}, replay {replay_sends})"
+        )
+    speedup = exact_s / replay_s if replay_s > 0 else float("inf")
+    turbo_ratio = turbo_s / replay_s if replay_s > 0 else float("inf")
+    return {
+        "family": "BCAST",
+        "n": n,
+        "m": 1,
+        "lam": time_repr(lam),
+        "sends": sends,
+        "exact_s": round(exact_s, 6),
+        "turbo_s": round(turbo_s, 6),
+        "replay_s": round(replay_s, 6),
+        "compile_s": round(compile_s, 6),
+        "speedup": round(speedup, 3),
+        "turbo_ratio": round(turbo_ratio, 3),
+        "gate": {
+            "min_speedup": REPLAY_GATE_MIN_SPEEDUP,
+            "ok": speedup >= REPLAY_GATE_MIN_SPEEDUP,
+        },
+    }
+
+
+# ------------------------------------------------------------- profiling
+
+
+def profile_case(
+    case: BenchCase, *, backend: str = "turbo", out: "str | None" = None
+) -> str:
+    """Run *case* once under :mod:`cProfile`; return a top-20 cumulative
+    table and (optionally) dump the raw stats for ``snakeviz``/``pstats``.
+
+    Follows the :mod:`repro.obs` exporter conventions: the artifact is
+    written next to the results document under a self-describing name
+    (``repro bench --profile`` passes ``<out>.profile.pstats``), and the
+    human-readable view is returned as text for the caller to print —
+    the function never writes to stdout itself.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.postal.runner import run_protocol
+
+    proto = case.protocol()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_protocol(proto, validate=False, collect=False, backend=backend)
+    profiler.disable()
+    if out is not None:
+        profiler.dump_stats(out)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(20)
+    header = (
+        f"profile: {case.family} n={case.n:,} m={case.m} "
+        f"lam={time_repr(case.lam)} backend={backend}\n"
+    )
+    return header + buf.getvalue()
 
 
 # ------------------------------------------------------------- reporting
@@ -522,15 +667,20 @@ def to_json(
     jobs: int = 1,
     plan: "dict | None" = None,
     resilience: "dict | None" = None,
+    replay: "dict | None" = None,
 ) -> str:
     """Serialize *results* to the ``BENCH_turbo.json`` document.
 
     *plan* is the :func:`bench_plan_layer` section (measured separately
     because it benchmarks construction, not simulation); *resilience*
     the :func:`bench_resilience` section (correctness-gated, so its
-    rows never enter the baseline wall-time diff); *jobs* records how
-    the sweep was executed — parallel timings share cores, so a
-    baseline diff across different ``jobs`` values deserves suspicion.
+    rows never enter the baseline wall-time diff); *replay* the
+    :func:`bench_replay` section carrying the replay gate; *jobs*
+    records how the sweep was *requested* — the resolved worker count
+    lands in ``effective_jobs`` (``jobs=0`` means one per CPU, so the
+    two differ exactly when the request was left to the machine).
+    Parallel timings share cores, so a baseline diff across different
+    ``effective_jobs`` values deserves suspicion.
     """
     doc = {
         "schema": SCHEMA,
@@ -539,6 +689,7 @@ def to_json(
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
         "jobs": jobs,
+        "effective_jobs": effective_jobs(jobs),
         "cases": [
             {
                 "family": r.case.family,
@@ -548,7 +699,9 @@ def to_json(
                 "sends": r.sends,
                 "exact_s": round(r.exact_s, 6),
                 "turbo_s": round(r.turbo_s, 6),
+                "replay_s": round(r.replay_s, 6),
                 "speedup": round(r.speedup, 3),
+                "replay_speedup": round(r.replay_speedup, 3),
             }
             for r in results
         ],
@@ -559,6 +712,8 @@ def to_json(
         doc["plan"] = plan
     if resilience is not None:
         doc["resilience"] = resilience
+    if replay is not None:
+        doc["replay"] = replay
     return json.dumps(doc, indent=2) + "\n"
 
 
@@ -571,13 +726,14 @@ def compare_to_baseline(
     """Regressions of *results* against a committed *baseline* document.
 
     A case regresses when its fresh wall time exceeds the baseline's by
-    more than *tolerance* (relative), on either backend.  Cases missing
+    more than *tolerance* (relative), on any backend.  Cases missing
     from the baseline are skipped (the grid may grow); being *faster*
     is never a failure.  Returns human-readable regression lines.
 
     Baselines in any of :data:`BASELINE_SCHEMAS` are accepted — ``/1``
     files predate the runner metadata and plan section but share the
-    per-case layout.
+    per-case layout; pre-``/5`` files have no ``replay_s``, so the
+    replay column is only diffed when the baseline recorded it.
     """
     if baseline.get("schema") not in BASELINE_SCHEMAS:
         raise ValueError(
@@ -597,6 +753,7 @@ def compare_to_baseline(
         for label, fresh, committed in (
             ("exact", r.exact_s, ref["exact_s"]),
             ("turbo", r.turbo_s, ref["turbo_s"]),
+            ("replay", r.replay_s, ref.get("replay_s", 0.0)),
         ):
             if committed > 0 and fresh > committed * (1.0 + tolerance):
                 regressions.append(
@@ -620,11 +777,23 @@ def format_results(results: Sequence[BenchResult]) -> str:
             f"{r.sends:,}",
             f"{r.exact_s:.4f}",
             f"{r.turbo_s:.4f}",
+            f"{r.replay_s:.4f}",
             f"{r.speedup:.2f}x",
+            f"{r.replay_speedup:.2f}x",
         ]
         for r in results
     ]
     return format_table(
-        ["family", "n", "m", "sends", "exact (s)", "turbo (s)", "speedup"],
+        [
+            "family",
+            "n",
+            "m",
+            "sends",
+            "exact (s)",
+            "turbo (s)",
+            "replay (s)",
+            "turbo x",
+            "replay x",
+        ],
         rows,
     )

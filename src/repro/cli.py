@@ -252,6 +252,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         COLLECTIVE_GATE_MIN_SPEEDUP,
         GATE_MIN_SPEEDUP,
         bench_plan_layer,
+        bench_replay,
         bench_resilience,
         collective_gate_result,
         compare_to_baseline,
@@ -265,7 +266,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     mode = "full" if args.full else "smoke"
     jobs = effective_jobs(args.jobs)
     suffix = f", {jobs} workers" if jobs > 1 else ""
-    print(f"perf regression harness ({mode}): exact vs turbo backend{suffix}")
+    print(
+        f"perf regression harness ({mode}): "
+        f"exact vs turbo vs replay backend{suffix}"
+    )
     results = run_bench(mode, progress=print, jobs=jobs)
     print()
     print(format_results(results))
@@ -314,6 +318,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{'held' if rg['within_depth'] else 'BROKEN'} [{rv}]"
         )
         ok = ok and rg["ok"]
+    replay = None
+    if args.replay_n > 0:
+        replay = bench_replay(n=args.replay_n)
+        yg = replay["gate"]
+        yv = "PASS" if yg["ok"] else "FAIL"
+        print(
+            f"replay gate: replay >= {yg['min_speedup']:.0f}x exact for "
+            f"BCAST at n={replay['n']:,} — measured "
+            f"{replay['speedup']:.2f}x (exact {replay['exact_s']:.4f}s, "
+            f"turbo {replay['turbo_s']:.4f}s, replay "
+            f"{replay['replay_s']:.4f}s) [{yv}]"
+        )
+        ok = ok and yg["ok"]
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -336,12 +353,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 to_json(
                     results,
                     mode=mode,
-                    jobs=jobs,
+                    jobs=args.jobs,
                     plan=plan,
                     resilience=resilience,
+                    replay=replay,
                 )
             )
         print(f"\nresults written to {args.out}")
+
+    if args.profile:
+        from repro.bench import BenchCase, profile_case
+        from repro.bench import _FAMILY_M, _LAM
+
+        parts = args.profile.split(":")
+        if len(parts) not in (2, 3):
+            print(
+                f"error: --profile expects FAMILY:N[:BACKEND], "
+                f"got {args.profile!r}"
+            )
+            return 2
+        family = parts[0].upper()
+        n = int(parts[1])
+        backend = parts[2] if len(parts) == 3 else "turbo"
+        case = BenchCase(family, n, _FAMILY_M.get(family, 1), _LAM)
+        dump = (args.out or "bench") + ".profile.pstats"
+        print()
+        print(profile_case(case, backend=backend, out=dump), end="")
+        print(f"profile stats written to {dump}")
     return 0 if ok else 1
 
 
@@ -612,6 +650,8 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         )
     if args.chaos is not None:
         overrides["chaos_rate"] = args.chaos
+    if args.backend != "exact":
+        overrides["backend"] = args.backend
     if overrides:
         opts = replace(opts, **overrides)
 
@@ -620,6 +660,8 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     jobs = effective_jobs(args.jobs)
     mode = "deep" if args.deep else "smoke"
     suffix = f", {jobs} workers" if jobs > 1 else ""
+    if opts.backend != "exact":
+        suffix += f", backend={opts.backend}"
     print(
         f"conformance fuzz ({mode}): {opts.iterations} configs over "
         f"{len(opts.families or families())} families, seed {opts.seed}"
@@ -687,10 +729,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=("exact", "turbo"),
+        choices=("exact", "turbo", "replay"),
         default="exact",
-        help="execution lane (turbo = integer-tick fast lane, "
-        "bit-identical results)",
+        help="execution lane (turbo = integer-tick fast lane, replay = "
+        "vectorized compiled-plan tier; both bit-identical results)",
     )
     p.add_argument("--export", help="write the realized schedule JSON here")
     p.set_defaults(func=cmd_simulate)
@@ -803,6 +845,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the summary table as Markdown",
     )
     p.add_argument(
+        "--backend",
+        choices=("exact", "turbo", "replay"),
+        default="exact",
+        help="execution lane for the simulation leg — the certificates "
+        "are backend-blind, so fuzzing under turbo or replay pins that "
+        "lane against every closed form",
+    )
+    p.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -813,7 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="perf regression harness: exact vs turbo backend wall times",
+        help="perf regression harness: exact vs turbo vs replay wall times",
     )
     mode = p.add_mutually_exclusive_group()
     mode.add_argument(
@@ -867,6 +917,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine size for the resilience gate cases — determinism, "
         "certificates, and the loss-0 ceiling, never wall time "
         "(0 disables the resilience section; default 1000)",
+    )
+    p.add_argument(
+        "--replay-n",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="BCAST size for the replay-tier gate section — replay must "
+        "beat exact by the gate factor (0 disables the replay section; "
+        "default 100000)",
+    )
+    p.add_argument(
+        "--profile",
+        metavar="FAMILY:N[:BACKEND]",
+        help="wrap one extra run of the given case in cProfile; writes "
+        "the pstats dump next to --out (or ./bench.profile.pstats) and "
+        "prints the top-20 cumulative table (backend defaults to turbo)",
     )
     p.set_defaults(func=cmd_bench)
 

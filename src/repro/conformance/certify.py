@@ -226,6 +226,7 @@ def _certify_simulation(
     policy_name: str,
     *,
     keep_system: bool,
+    backend: str = "exact",
 ) -> None:
     cfg = result.config
     policy = (
@@ -235,7 +236,9 @@ def _certify_simulation(
     )
     protocol = oracle.protocol(cfg.n, cfg.m, cfg.lam_time)
     try:
-        run: ProtocolResult = run_protocol(protocol, policy=policy)
+        run: ProtocolResult = run_protocol(
+            protocol, policy=policy, backend=backend
+        )
     except ReproError as exc:
         result.violations.append(
             f"simulation[{policy_name}]: {type(exc).__name__}: {exc}"
@@ -316,7 +319,10 @@ def _certify_simulation(
 
 
 def certify_config(
-    config: ConformanceConfig, *, keep_system: bool = False
+    config: ConformanceConfig,
+    *,
+    keep_system: bool = False,
+    backend: str = "exact",
 ) -> CertResult:
     """Certify one configuration end to end.  Never raises on a model
     violation — inspect :attr:`CertResult.violations`.
@@ -328,6 +334,11 @@ def certify_config(
             in :attr:`CertResult.systems` so a failure artifact can dump
             the trace (costs memory; the fuzzer only sets it when it
             intends to write artifacts).
+        backend: execution lane for the simulation leg (any of
+            :data:`repro.postal.runner.BACKENDS`) — the certificates are
+            backend-blind, so running the fuzz grid under ``"turbo"`` or
+            ``"replay"`` differentially pins those lanes against every
+            closed form.
     """
     oracle = get_oracle(config.family)
     oracle.check_applicable(config.n, config.m, config.lam_time)
@@ -359,11 +370,13 @@ def certify_config(
 
     if config.policy in ("strict", "both"):
         _certify_simulation(
-            result, oracle, "strict", keep_system=keep_system
+            result, oracle, "strict", keep_system=keep_system,
+            backend=backend,
         )
     if config.policy in ("queued", "both") and oracle.supports_queued:
         _certify_simulation(
-            result, oracle, "queued", keep_system=keep_system
+            result, oracle, "queued", keep_system=keep_system,
+            backend=backend,
         )
     if config.policy == "both":
         strict_t = result.sim_times.get("strict")

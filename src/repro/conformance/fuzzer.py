@@ -80,6 +80,10 @@ class FuzzOptions:
         policies: contention policies to draw from.
         artifact_dir: when set, keep finished systems and file failure
             artifacts (including chaos detections) under this directory.
+        backend: execution lane for the simulation leg (``"exact"``,
+            ``"turbo"``, or ``"replay"``) — the certificates are
+            backend-blind, so fuzzing under an alternate lane pins it
+            differentially against every closed form.
     """
 
     seed: int = 0
@@ -92,6 +96,7 @@ class FuzzOptions:
     chaos_rate: float = 0.0
     policies: tuple[str, ...] = POLICIES
     artifact_dir: str | None = None
+    backend: str = "exact"
 
 
 def smoke_options(seed: int = 0, artifact_dir: str | None = None) -> FuzzOptions:
@@ -253,7 +258,7 @@ def _certify_index(
     family = chosen[i % len(chosen)]
     config = sample_config(point_rng(opts.seed, i), family, opts)
     keep = opts.artifact_dir is not None
-    result = certify_config(config, keep_system=keep)
+    result = certify_config(config, keep_system=keep, backend=opts.backend)
 
     if config.chaos_seed is not None:
         if result.ok:

@@ -235,6 +235,38 @@ def _compile_pipeline(
     return keys
 
 
+def _compile_binomial(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
+    """BINOMIAL: the telephone-era binomial split in ticks — the same
+    recurrence as :func:`repro.algorithms.baselines.binomial_schedule`
+    (the sender keeps the low ``size - half`` ranks, hands the top
+    ``half`` — the largest power of two below ``size`` — to
+    ``base + size - half``; the recipient forwards from arrival,
+    ``t + lambda``)."""
+    if m != 1:
+        raise InvalidParameterError(
+            f"BINOMIAL broadcasts a single message; got m={m} "
+            "(use REPEAT/PACK/PIPELINE for m > 1)"
+        )
+    keys: list[int] = []
+    append = keys.append
+    one = domain.scale
+    lam_ticks = domain.to_ticks(lam)
+    stack: list[tuple[int, int, int]] = [(0, n, 0)]
+    while stack:
+        base, size, t = stack.pop()
+        if size == 1:
+            continue
+        half = 1
+        while half * 2 < size:
+            half *= 2
+        j = size - half
+        append((t * n + base) * n + (base + j))  # m = 1: msg index 0
+        stack.append((base, j, t + one))
+        stack.append((base + j, half, t + lam_ticks))
+    keys.sort()
+    return keys
+
+
 def _compile_dtree(
     n: int, m: int, lam: Time, domain: TickDomain, d: int
 ) -> list[int]:
@@ -403,7 +435,14 @@ def _compile_gossip(n: int, m: int, lam: Time, domain: TickDomain) -> list[int]:
 
 # ----------------------------------------------------------------- registry
 
-_BUILDER_FAMILIES = ("BCAST", "REPEAT", "PACK", "PIPELINE-1", "PIPELINE-2")
+_BUILDER_FAMILIES = (
+    "BCAST",
+    "BINOMIAL",
+    "PACK",
+    "PIPELINE-1",
+    "PIPELINE-2",
+    "REPEAT",
+)
 
 #: Collective family -> (compiler, message-count rule).  The rule maps
 #: ``n`` to the plan's message-index space: personalized collectives use
@@ -577,6 +616,8 @@ def compile_plan(
         keys = _compile_pack(n, m, lam, domain)
     elif fam.startswith("PIPELINE"):
         keys = _compile_pipeline(n, m, lam, domain)
+    elif fam == "BINOMIAL":
+        keys = _compile_binomial(n, m, lam, domain)
     else:
         shape = _DTREE_SHAPES.get(fam, None)
         if shape is None:  # DTREE-<d> with an explicit degree

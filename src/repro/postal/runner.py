@@ -16,12 +16,22 @@ Two execution lanes share this entry point:
   live tracing.
 * ``backend="turbo"`` — the integer-tick fast lane
   (:mod:`repro.turbo.fastsim`): the run's rational times are losslessly
-  rescaled to ``int`` ticks, deliveries are direct heap callbacks, and
-  trace records are materialized only when validation or metrics ask.
-  Results are bit-identical to the exact lane for every registered
-  protocol family (pinned by ``tests/test_turbo_equivalence.py``); a
-  protocol whose delays leave the tick grid raises
-  :class:`~repro.errors.TickDomainError` instead of degrading.
+  rescaled to ``int`` ticks, deliveries are direct calendar-queue
+  callbacks, and trace records are materialized only when validation or
+  metrics ask.  Results are bit-identical to the exact lane for every
+  registered protocol family (pinned by
+  ``tests/test_turbo_equivalence.py``); a protocol whose delays leave
+  the tick grid raises :class:`~repro.errors.TickDomainError` instead of
+  degrading.
+* ``backend="replay"`` — the vectorized plan tier
+  (:mod:`repro.turbo.replay`): the protocol is *compiled* to a columnar
+  :class:`~repro.plan.columns.SchedulePlan` (cached across runs by
+  :func:`repro.plan.build_plan`) and executed as batched column passes —
+  no event queue, no generators.  Machine-level results (schedule,
+  completion, sends, ports, metrics) are byte-identical to the other
+  lanes (pinned by ``tests/test_replay_equivalence.py``); only protocols
+  with a registered plan compiler and uniform latency qualify, anything
+  else raises :class:`~repro.errors.InvalidParameterError`.
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ from repro.types import Time, ZERO
 __all__ = ["ProtocolResult", "run_protocol"]
 
 #: Accepted values of ``run_protocol``'s *backend* argument.
-BACKENDS = ("exact", "turbo")
+BACKENDS = ("exact", "turbo", "replay")
 
 
 @dataclass
@@ -94,11 +104,20 @@ def run_protocol(
             and populate ``result.profile`` (exact backend only).
         backend: ``"exact"`` for the general engine, ``"turbo"`` for the
             integer-tick fast lane (identical results, see
-            :mod:`repro.turbo`).
+            :mod:`repro.turbo`), ``"replay"`` for the vectorized plan
+            tier (plan-compilable protocols only).
     """
     if backend not in BACKENDS:
         raise InvalidParameterError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "replay":
+        return _run_protocol_replay(
+            protocol,
+            policy=policy,
+            validate=validate,
+            collect=collect,
+            profile=profile,
         )
     if backend == "turbo":
         return _run_protocol_turbo(
@@ -209,6 +228,113 @@ def _run_protocol_turbo(
         getattr(protocol, "semantics", "broadcast") == "broadcast"
         and latency_fn is None
     )
+    strict = policy is ContentionPolicy.STRICT
+
+    schedule: Schedule | None = None
+    if is_broadcast and strict:
+        if validate:
+            system.flush_trace()
+            schedule = validate_run(system, m=protocol.m, root=protocol.root)
+        else:
+            schedule = system.realized_schedule(
+                m=protocol.m, root=protocol.root, validate=False
+            )
+        completion = schedule.completion_time()
+        sends = len(schedule)
+    else:
+        if validate:
+            system.flush_trace()
+            audit_ports(system)
+        completion = system.completion_time
+        sends = system.send_count
+
+    metrics: RunMetrics | None = None
+    if collect:
+        collector = MetricsCollector()
+        for rec in system.flush_trace():
+            collector.on_record(rec)
+        metrics = collector.finalize(n=system.n, lam=system.lam)
+    return ProtocolResult(
+        schedule=schedule,
+        completion_time=completion,
+        system=system,
+        sends=sends,
+        metrics=metrics,
+        profile=None,
+    )
+
+
+def _replay_family(protocol) -> str:
+    """Map *protocol* to its compiled plan family name.
+
+    Every registered family's protocol ``name`` matches its plan family,
+    except the two parameterized ones: DTREE carries its resolved degree
+    (``DTREE-<d>``) and PIPELINE resolves to the Lemma 14/16 variant
+    inside :func:`~repro.plan.build.canonical_family`.
+    """
+    name = getattr(protocol, "name", None)
+    if name is None:
+        raise InvalidParameterError(
+            f"{type(protocol).__name__} has no family name; the replay "
+            "backend executes compiled plans only — use backend='turbo'"
+        )
+    if name == "DTREE":
+        return f"DTREE-{protocol.d}"
+    return name
+
+
+def _run_protocol_replay(
+    protocol,
+    *,
+    policy: ContentionPolicy,
+    validate: bool,
+    collect: bool,
+    profile: bool,
+) -> ProtocolResult:
+    """The ``backend="replay"`` lane of :func:`run_protocol`.
+
+    The protocol is not *stepped* at all: its family/parameters select a
+    compiled (and cached) :class:`~repro.plan.columns.SchedulePlan`,
+    which :func:`~repro.turbo.replay.replay_plan` executes as batched
+    column passes.  The audit path is the same duck-typed
+    ``validate_run`` / ``audit_ports`` code the other lanes use.
+    """
+    from repro.plan import build_plan, canonical_family, plan_m
+    from repro.turbo.replay import replay_plan
+
+    if profile:
+        raise InvalidParameterError(
+            "engine profiling requires backend='exact' (a vectorized "
+            "replay has no per-event step to instrument)"
+        )
+    if getattr(protocol, "latency_fn", None) is not None:
+        raise InvalidParameterError(
+            "the replay backend compiles uniform-latency plans only; "
+            "pair-dependent latencies need backend='exact' or 'turbo'"
+        )
+    family = canonical_family(
+        _replay_family(protocol), protocol.n, protocol.m, protocol.lam
+    )
+    system = replay_plan(
+        build_plan(
+            family,
+            protocol.n,
+            plan_m(family, protocol.n, protocol.m),
+            protocol.lam,
+        ),
+        policy=policy,
+    )
+    if system.queued_contention:
+        # the static plan queued at a receive port; the live protocol
+        # would adapt its own send times instead (e.g. the gossip ring),
+        # so a replay can no longer claim protocol equivalence
+        raise InvalidParameterError(
+            f"the compiled {family} plan is contention-adaptive under the "
+            "queued policy (its static send times queue at receive ports, "
+            "where the protocol would reschedule); use backend='turbo'"
+        )
+
+    is_broadcast = getattr(protocol, "semantics", "broadcast") == "broadcast"
     strict = policy is ContentionPolicy.STRICT
 
     schedule: Schedule | None = None

@@ -85,16 +85,17 @@ def certify_resilient(
             f"bound {time_repr(bound)} = (m-1) + f_lambda({plan.survivor_count})"
         )
 
-    # -- silence of the dead (scan the compact log directly)
-    from repro.turbo.fastsim import _DELIVER, _SEND
+    # -- silence of the dead (scan the columnar log's packed rows directly)
+    from repro.turbo.runlog import DELIVER, SEND, SEND_RETRANSMIT
 
-    for entry in system._log:
-        code = entry[0]
-        if code == _SEND and plan.crashed_at(entry[2]) is not None:
-            violations.append(f"crashed p{entry[2]} performed a send")
+    for code, _tick, a, b, _c in system._log.rows():
+        if (code == SEND or code == SEND_RETRANSMIT) and (
+            plan.crashed_at(a) is not None
+        ):
+            violations.append(f"crashed p{a} performed a send")
             break
-        if code == _DELIVER and plan.crashed_at(entry[2].dst) is not None:
-            violations.append(f"crashed p{entry[2].dst} received a delivery")
+        if code == DELIVER and plan.crashed_at(b) is not None:
+            violations.append(f"crashed p{b} received a delivery")
             break
 
     # -- exact fault accounting

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Iterable
 
 from repro.core.fibfunc import postal_f
@@ -71,6 +72,23 @@ def trace_digest(system: FaultyTurboSystem) -> str:
         h.update(repr((time_repr(rec.time), rec.kind, _canon(rec.data))).encode())
     h.update(repr(sorted(metrics.to_dict().items(), key=lambda kv: kv[0])).encode())
     return h.hexdigest()
+
+
+@lru_cache(maxsize=256)
+def _replayed_fault_free(n: int, lam: Time) -> Time:
+    """Completion of the compiled BCAST plan at ``(n, lam)``, executed by
+    the vectorized replay tier (:mod:`repro.turbo.replay`).
+
+    This is the *empirical* side of the fault-free optimum: Theorem 6
+    says the optimal single-message broadcast finishes at exactly
+    ``f_lambda(n)``, and the replayed plan realizes that schedule, so
+    the two must agree.  Cached per ``(n, lam)`` — a degradation-curve
+    sweep calls :func:`run_resilient` many times at one machine size.
+    """
+    from repro.plan import build_plan
+    from repro.turbo.replay import replay_plan
+
+    return replay_plan(build_plan("BCAST", n, 1, lam)).completion_time
 
 
 @dataclass(frozen=True)
@@ -200,6 +218,18 @@ def run_resilient(
     env.run()
 
     violations = certify_resilient(protocol, system)
+    fault_free = (m - 1) + Time(postal_f(lam, n))
+    if m == 1 and n >= 2:
+        # cross-check the closed form against the replayed BCAST plan —
+        # the faulted run is certified *relative to* this optimum, so a
+        # drifting f_lambda would silently skew every ratio and bound
+        replayed = _replayed_fault_free(n, lam)
+        if replayed != fault_free:
+            violations = violations + (
+                f"fault-free cross-check: replayed BCAST plan completes "
+                f"at {time_repr(replayed)} but f_lambda({n}) = "
+                f"{time_repr(fault_free)}",
+            )
     completion = ZERO
     for proc in plan.survivors:
         arrivals = protocol.arrivals.get(proc)
@@ -219,7 +249,7 @@ def run_resilient(
         crashed=plan.crashed,
         survivors=plan.survivor_count,
         completion=completion,
-        fault_free=(m - 1) + Time(postal_f(lam, n)),
+        fault_free=fault_free,
         bound=survivor_bound(lam, plan.survivor_count, m),
         sends=system.send_count,
         deliveries=system.delivery_count,

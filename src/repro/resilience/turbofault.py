@@ -16,11 +16,14 @@ at the two mechanical choke points every transmission passes through:
   window opens is suppressed and logged as a crash drop; the receive
   port of a dead processor is never claimed.
 
-The compact log extends the base lane's: ``_SEND`` entries gain a
-``retransmit`` flag (``True`` when the same ``(src, dst, msg)`` triple
-was already sent — the obs tagging the issue asks for) and a new
-``_DROP`` code records every lost or crash-suppressed delivery with its
-reason.  :meth:`flush_trace` materializes these as ``"send"`` records
+The columnar run log extends the base lane's: retransmissions (a send
+of an already-sent ``(src, dst, msg)`` triple — the obs tagging the
+issue asks for) are logged under their own
+:data:`~repro.turbo.runlog.SEND_RETRANSMIT` code, and every lost or
+crash-suppressed delivery lands as a
+:data:`~repro.turbo.runlog.DROP_LOSS` /
+:data:`~repro.turbo.runlog.DROP_CRASH` row.  :meth:`flush_trace`
+materializes these as ``"send"`` records
 carrying ``retransmit: True`` and ``"drop"`` records carrying
 ``reason: "loss" | "crash"`` — a superset of the exact lane's payloads,
 so :class:`~repro.obs.metrics.MetricsCollector` folds them unchanged.
@@ -33,7 +36,6 @@ through port views, delivery records, and the inequality certificate in
 
 from __future__ import annotations
 
-from operator import itemgetter
 from typing import Any, Callable
 
 from repro.errors import InvalidParameterError, ModelError
@@ -44,16 +46,21 @@ from repro.turbo.fastsim import (
     TurboEnvironment,
     TurboEvent,
     TurboSystem,
-    _CONSUME,
-    _DELIVER,
-    _SEND,
+)
+from repro.turbo.runlog import (
+    DELIVER as _DELIVER,
+    DROP_CRASH,
+    DROP_LOSS,
+    SEND as _SEND,
+    SEND_RETRANSMIT as _SEND_RT,
 )
 from repro.types import ProcId, Time, TimeLike
 
 __all__ = ["FaultyTurboSystem", "build_faulty_turbo", "_DROP"]
 
-#: Extra compact-log code: (_DROP, tick, src, dst, msg, reason)
-_DROP = 3
+#: Backward-compatible alias: the fault lane's original single drop code
+#: (reasons now live in the code itself — see :mod:`repro.turbo.runlog`).
+_DROP = DROP_LOSS
 
 
 class FaultyTurboSystem(TurboSystem):
@@ -70,6 +77,16 @@ class FaultyTurboSystem(TurboSystem):
       ``(src, dst, msg)`` triple (ACKs included: a re-ACK is a
       retransmission of the ACK).
     """
+
+    __slots__ = (
+        "plan",
+        "_crash_ticks",
+        "_sent_keys",
+        "dropped",
+        "crash_suppressed_sends",
+        "crash_suppressed_deliveries",
+        "retransmissions",
+    )
 
     def __init__(
         self,
@@ -120,12 +137,12 @@ class FaultyTurboSystem(TurboSystem):
     @property
     def delivery_count(self) -> int:
         """Number of completed deliveries (no trace materialization)."""
-        return sum(1 for entry in self._log if entry[0] == _DELIVER)
+        return self._log.count(_DELIVER)
 
     @property
     def drop_count(self) -> int:
         """Number of logged drops, loss and crash reasons combined."""
-        return sum(1 for entry in self._log if entry[0] == _DROP)
+        return self._log.count(DROP_LOSS, DROP_CRASH)
 
     # ---------------------------------------------------------- primitives
 
@@ -161,7 +178,11 @@ class FaultyTurboSystem(TurboSystem):
             self.retransmissions += 1
         else:
             self._sent_keys.add(key)
-        self._log.append((_SEND, start, src, dst, msg, retransmit))
+        self._lg_code(_SEND_RT if retransmit else _SEND)
+        self._lg_tick(start)
+        self._lg_a(src)
+        self._lg_b(dst)
+        self._lg_c(msg)
         done = TurboEvent(env)
         done._ok = True
         done._value = self.domain.to_time(start)
@@ -169,7 +190,11 @@ class FaultyTurboSystem(TurboSystem):
         dropped, jitter = self.plan.draw(src, dst)
         if dropped:
             self.dropped += 1
-            self._log.append((_DROP, start, src, dst, msg, "loss"))
+            self._lg_code(DROP_LOSS)
+            self._lg_tick(start)
+            self._lg_a(src)
+            self._lg_b(dst)
+            self._lg_c(msg)
             return done
         lat = self._latency_ticks(src, dst) + jitter
         book = self._book_strict if self._strict else self._book_queued
@@ -189,7 +214,11 @@ class FaultyTurboSystem(TurboSystem):
         crash = self._crash_ticks.get(dst)
         if crash is not None and self.env._tick >= crash:
             self.crash_suppressed_deliveries += 1
-            self._log.append((_DROP, self.env._tick, src, dst, msg, "crash"))
+            self._lg_code(DROP_CRASH)
+            self._lg_tick(self.env._tick)
+            self._lg_a(src)
+            self._lg_b(dst)
+            self._lg_c(msg)
             return
         book(start, src, dst, msg, payload)
 
@@ -213,32 +242,40 @@ class FaultyTurboSystem(TurboSystem):
         self._flushed = True
         emit = self.tracer.emit
         to_time = self.domain.to_time
-        for entry in sorted(self._log, key=itemgetter(1)):
-            code = entry[0]
-            if code == _SEND:
-                _, tick, src, dst, msg, retransmit = entry
-                data = {"src": src, "dst": dst, "msg": msg}
-                if retransmit:
+        log = self._log
+        codes, ticks = log.codes, log.ticks
+        col_a, col_b, col_c = log.a, log.b, log.c
+        objs = log.objs
+        for i in log.order_by_tick():
+            code = codes[i]
+            if code == _SEND or code == _SEND_RT:
+                data = {"src": col_a[i], "dst": col_b[i], "msg": col_c[i]}
+                if code == _SEND_RT:
                     data["retransmit"] = True
-                emit(to_time(tick), "send", data)
+                emit(to_time(ticks[i]), "send", data)
             elif code == _DELIVER:
-                record = entry[2]
+                record = objs[col_a[i]]
                 emit(record.arrived_at, "deliver", record)
-            elif code == _DROP:
-                _, tick, src, dst, msg, reason = entry
+            elif code == DROP_LOSS or code == DROP_CRASH:
+                reason = "loss" if code == DROP_LOSS else "crash"
                 emit(
-                    to_time(tick),
+                    to_time(ticks[i]),
                     "drop",
-                    {"src": src, "dst": dst, "msg": msg, "reason": reason},
+                    {
+                        "src": col_a[i],
+                        "dst": col_b[i],
+                        "msg": col_c[i],
+                        "reason": reason,
+                    },
                 )
             else:  # _CONSUME
-                _, tick, dst, record = entry
-                now = to_time(tick)
+                record = objs[col_a[i]]
+                now = to_time(ticks[i])
                 emit(
                     now,
                     "consume",
                     {
-                        "proc": dst,
+                        "proc": col_b[i],
                         "msg": record.msg,
                         "src": record.src,
                         "waited": now - record.arrived_at,

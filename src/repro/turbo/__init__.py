@@ -1,15 +1,21 @@
 """The ``backend="turbo"`` execution lane: lossless integer-tick postal
 simulation.
 
-Two pieces:
+Four pieces:
 
 * :mod:`repro.turbo.ticks` — the :class:`TickDomain` rescaling a run's
   rational times to plain ``int`` ticks (scale = LCM of denominators;
   exact round trip, never a float).
-* :mod:`repro.turbo.fastsim` — the flat event loop and
+* :mod:`repro.turbo.fastsim` — the calendar-queue event loop and
   :class:`TurboSystem`, a drop-in for
   :class:`~repro.postal.machine.PostalSystem` selected via
   ``run_protocol(..., backend="turbo")``.
+* :mod:`repro.turbo.runlog` — the columnar :class:`RunLog` the engine
+  writes (five ``array('q')`` columns; trace records materialize only on
+  demand).
+* :mod:`repro.turbo.replay` — the vectorized plan-replay tier
+  (``backend="replay"``): batched column passes over a compiled
+  :class:`~repro.plan.columns.SchedulePlan`, no event queue at all.
 
 See ``docs/performance.md`` for the exactness argument and the measured
 speedups (``BENCH_turbo.json``).
@@ -22,6 +28,8 @@ from repro.turbo.fastsim import (
     TurboSystem,
     build_turbo,
 )
+from repro.turbo.replay import ReplaySystem, replay_plan
+from repro.turbo.runlog import RunLog
 from repro.turbo.ticks import TickDomain, lcm_denominator
 
 __all__ = [
@@ -31,5 +39,8 @@ __all__ = [
     "TurboEvent",
     "TurboProcess",
     "TurboSystem",
+    "RunLog",
+    "ReplaySystem",
     "build_turbo",
+    "replay_plan",
 ]

@@ -14,20 +14,28 @@ a postal run only ever
 
 This module specializes for that shape:
 
-* **Integer heap keys** — all times are rescaled to plain ``int`` ticks by
-  a :class:`~repro.turbo.ticks.TickDomain` (lossless: scale = LCM of the
-  run's denominators), so heap ordering is C-speed int comparison instead
-  of ``Fraction.__lt__``.
-* **Direct delivery callbacks** — a send books its delivery as one heap
+* **Integer tick keys** — all times are rescaled to plain ``int`` ticks
+  by a :class:`~repro.turbo.ticks.TickDomain` (lossless: scale = LCM of
+  the run's denominators), so event ordering is C-speed int comparison
+  instead of ``Fraction.__lt__``.
+* **Calendar queue** — postal events land on a *dense* tick grid, so the
+  scheduler is a bucket-per-tick calendar (O(1) push and pop) with a
+  bounded look-ahead window, an overflow heap for far-future entries,
+  lazy compaction of consumed buckets, and an automatic fallback to a
+  classic binary heap when the tick spread turns out sparse (see
+  :class:`TurboEnvironment`).
+* **Direct delivery callbacks** — a send books its delivery as one queue
   entry ``(tick, seq, fn, args)``; no ``_send_proc`` / ``_deliver_proc``
   generator pair, no :class:`~repro.sim.resources.Resource` handshake.
   Port bookkeeping is two integer arrays (``send_free`` / ``recv_free``).
-* **No-op tracing fast path** — the run appends compact tuples to an
-  internal log and never touches the :class:`~repro.sim.trace.Tracer`;
-  :meth:`TurboSystem.flush_trace` materializes real
-  :class:`~repro.sim.trace.TraceRecord` objects *on demand* (the
-  validator / metrics path).  A ``validate=False, collect=False`` run
-  allocates zero trace records.
+* **Columnar run log** — the run appends packed integers to a
+  :class:`~repro.turbo.runlog.RunLog` (five ``array('q')`` columns, the
+  layout of :mod:`repro.plan.columns`) and never touches the
+  :class:`~repro.sim.trace.Tracer`; :meth:`TurboSystem.flush_trace`
+  materializes real :class:`~repro.sim.trace.TraceRecord` objects *on
+  demand* (the validator / metrics path).  A ``validate=False,
+  collect=False`` run allocates zero trace records and no per-event
+  Python containers.
 
 Protocols run **unchanged**: :class:`TurboSystem` exposes the same
 ``send`` / ``recv`` / ``env.now`` / ``env.timeout`` surface as
@@ -61,6 +69,13 @@ from repro.postal.machine import ContentionPolicy
 from repro.postal.message import Message
 from repro.sim.trace import Tracer
 from repro.types import ProcId, Time, TimeLike, ZERO, as_time, time_repr
+from repro.turbo.runlog import (
+    CONSUME as _CONSUME,
+    DELIVER as _DELIVER,
+    SEND as _SEND,
+    SEND_RETRANSMIT as _SEND_RT,
+    RunLog,
+)
 from repro.turbo.ticks import TickDomain
 
 __all__ = [
@@ -73,10 +88,14 @@ __all__ = [
 
 _PENDING = object()
 
-#: Compact log entry codes (first tuple element).
-_SEND = 0  # (_SEND, start_tick, src, dst, msg)
-_DELIVER = 1  # (_DELIVER, arrival_tick, Message)
-_CONSUME = 2  # (_CONSUME, tick, dst, Message)
+#: Calendar look-ahead: pushes more than this many ticks past the cursor
+#: go to the overflow heap instead of growing the bucket array.
+_SPAN = 1 << 16
+#: Consumed-bucket prefix length that triggers lazy compaction.
+_COMPACT = 1 << 12
+#: Empty-slot scan debt (net of work found) that flips the loop to the
+#: classic heap — the tick spread is too sparse for a calendar.
+_SPARSE_DEBT = 1 << 12
 
 # Within-tick ordering.  The exact engine breaks same-instant ties by
 # *queueing order* (a global sequence number, with process resumptions
@@ -230,26 +249,75 @@ class TurboProcess(TurboEvent):
 
 
 class TurboEnvironment:
-    """The integer-tick event loop.
+    """The integer-tick event loop, scheduled by a calendar queue.
 
-    Heap entries are ``(tick, seq, fn, args)`` — plain-int ordering, FIFO
-    within a tick via the global *seq* counter (mirroring the exact
-    engine's queueing-order tie-breaks, see the ordering note at module
-    top), and a direct callable instead of an event object + callback
-    list.  The rational clock is recovered on demand: :attr:`now` is
-    ``domain.to_time(tick)``, exact.
+    Postal runs schedule events on a *dense* grid (every tick between
+    start and completion tends to carry work), so the scheduler is a
+    calendar: ``_buckets[i]`` holds the entries due at tick
+    ``_base + i`` as a list of ``(seq, fn, args)``, naturally sorted by
+    the global *seq* counter because entries are appended in scheduling
+    order.  Push and pop are O(1); the heap's O(log E) sift is gone.
+
+    Three mechanisms keep the calendar honest:
+
+    * **Overflow heap** — a push more than :data:`_SPAN` ticks past the
+      cursor goes to a classic ``(tick, seq, fn, args)`` heap instead of
+      growing the bucket array; due overflow groups are merged back into
+      the calendar (by *seq*, preserving FIFO) before processing.
+    * **Lazy compaction** — consumed leading buckets are deleted in
+      O(:data:`_COMPACT`) batches, so the array tracks the active window
+      instead of the whole run.
+    * **Sparse fallback** — a debt counter charges every empty bucket
+      scanned and credits every entry executed; sustained sparse spread
+      (> :data:`_SPARSE_DEBT` net empties) migrates all pending entries
+      to the overflow heap and finishes the run as a plain heap loop, so
+      pathological tick spreads never degrade past the old engine.
+
+    FIFO within a tick via *seq* mirrors the exact engine's
+    queueing-order tie-breaks (see the ordering note at module top).
+    The rational clock is recovered on demand — and cached per tick —
+    by :attr:`now`.
     """
+
+    __slots__ = (
+        "domain",
+        "_tick",
+        "_seq",
+        "_base",
+        "_cursor",
+        "_buckets",
+        "_overflow",
+        "_pending",
+        "_heap_mode",
+        "_scan_debt",
+        "_now_tick",
+        "_now_time",
+    )
 
     def __init__(self, domain: TickDomain | None = None):
         self.domain = domain if domain is not None else TickDomain()
         self._tick = 0
-        self._heap: list[tuple[int, int, Callable, tuple]] = []
         self._seq = 0
+        self._base = 0
+        self._cursor = 0
+        self._buckets: list[list | None] = []
+        self._overflow: list[tuple[int, int, Callable, tuple]] = []
+        self._pending = 0
+        self._heap_mode = False
+        self._scan_debt = 0
+        self._now_tick = 0
+        self._now_time = ZERO
 
     @property
     def now(self) -> Time:
-        """Current simulation time as an exact :class:`~fractions.Fraction`."""
-        return self.domain.to_time(self._tick)
+        """Current simulation time as an exact :class:`~fractions.Fraction`
+        (converted once per tick, then served from a one-slot cache —
+        protocols poll ``env.now`` inside hot loops)."""
+        tick = self._tick
+        if tick != self._now_tick:
+            self._now_tick = tick
+            self._now_time = self.domain.to_time(tick)
+        return self._now_time
 
     # -------------------------------------------------------- construction
 
@@ -283,11 +351,135 @@ class TurboEnvironment:
         if tick < self._tick:
             raise SimulationError("event scheduled in the past")
         self._seq += 1
-        heapq.heappush(self._heap, (tick, self._seq, fn, args))
+        self._pending += 1
+        if self._heap_mode:
+            heapq.heappush(self._overflow, (tick, self._seq, fn, args))
+            return
+        idx = tick - self._base
+        buckets = self._buckets
+        if idx < len(buckets):
+            bucket = buckets[idx]
+            if bucket is None:
+                buckets[idx] = [(self._seq, fn, args)]
+            else:
+                bucket.append((self._seq, fn, args))
+        elif idx < self._cursor + _SPAN:
+            buckets.extend([None] * (idx + 1 - len(buckets)))
+            buckets[idx] = [(self._seq, fn, args)]
+        else:
+            heapq.heappush(self._overflow, (tick, self._seq, fn, args))
+
+    def _next_tick(self) -> int | None:
+        """Tick of the next scheduled entry, or ``None`` (no mutation)."""
+        if not self._pending:
+            return None
+        best = self._overflow[0][0] if self._overflow else None
+        if not self._heap_mode:
+            buckets = self._buckets
+            cursor = self._cursor
+            nbuckets = len(buckets)
+            while cursor < nbuckets:
+                if buckets[cursor] is not None:
+                    cal = self._base + cursor
+                    if best is None or cal < best:
+                        best = cal
+                    break
+                cursor += 1
+        return best
 
     def peek(self) -> Time | None:
         """Time of the next scheduled event, or ``None`` if none remain."""
-        return self.domain.to_time(self._heap[0][0]) if self._heap else None
+        tick = self._next_tick()
+        return self.domain.to_time(tick) if tick is not None else None
+
+    def _pop_overflow_group(self, tick: int) -> list:
+        """Pop every overflow entry due at *tick*, in seq order."""
+        heap = self._overflow
+        pop = heapq.heappop
+        group = []
+        while heap and heap[0][0] == tick:
+            entry = pop(heap)
+            group.append((entry[1], entry[2], entry[3]))
+        return group
+
+    def _switch_to_heap(self, cursor: int) -> None:
+        """Migrate all calendar entries to the overflow heap and stay
+        there — the run's tick spread is too sparse for bucket scans."""
+        heap = self._overflow
+        base = self._base
+        buckets = self._buckets
+        for idx in range(cursor, len(buckets)):
+            bucket = buckets[idx]
+            if bucket:
+                tick = base + idx
+                for seq, fn, args in bucket:
+                    heap.append((tick, seq, fn, args))
+        heapq.heapify(heap)
+        buckets.clear()
+        self._cursor = 0
+        self._heap_mode = True
+
+    def _run_heap(self) -> None:
+        heap = self._overflow
+        pop = heapq.heappop
+        while heap:
+            entry = pop(heap)
+            self._tick = entry[0]
+            self._pending -= 1
+            entry[2](*entry[3])
+
+    def _run_calendar_step(self) -> bool:
+        """Process the next due bucket.  Returns ``False`` if the loop
+        migrated to heap mode instead (caller must re-dispatch)."""
+        buckets = self._buckets
+        nbuckets = len(buckets)
+        cursor = self._cursor
+        while cursor < nbuckets and buckets[cursor] is None:
+            cursor += 1
+        scanned = cursor - self._cursor
+        overflow = self._overflow
+        if cursor == nbuckets:
+            # calendar drained: rebase onto the earliest overflow group
+            otick = overflow[0][0]
+            self._base = otick
+            cursor = 0
+            buckets.clear()
+            buckets.append(self._pop_overflow_group(otick))
+        elif overflow and overflow[0][0] <= self._base + cursor:
+            # an overflow group is due at or before the next bucket:
+            # fold it into the calendar (merging by seq keeps FIFO)
+            otick = overflow[0][0]
+            cursor = otick - self._base
+            group = self._pop_overflow_group(otick)
+            bucket = buckets[cursor]
+            if bucket is not None:
+                group = sorted(bucket + group)
+            buckets[cursor] = group
+        bucket = buckets[cursor]
+        self._scan_debt += scanned - (len(bucket) << 3)
+        if self._scan_debt < 0:
+            self._scan_debt = 0
+        elif self._scan_debt > _SPARSE_DEBT:
+            self._switch_to_heap(cursor)
+            return False
+        self._tick = self._base + cursor
+        self._cursor = cursor
+        # index iteration on purpose: same-tick pushes append to this
+        # live bucket and must run within the tick, in seq order
+        i = 0
+        while i < len(bucket):
+            entry = bucket[i]
+            i += 1
+            entry[1](*entry[2])
+        self._pending -= i
+        buckets[cursor] = None
+        cursor += 1
+        if cursor >= _COMPACT:
+            del buckets[:cursor]
+            self._base += cursor
+            cursor = 0
+        self._cursor = cursor
+        return True
 
     def run(self, until: Any = None) -> None:
         """Run to quiescence (the only mode postal runs need)."""
@@ -296,12 +488,11 @@ class TurboEnvironment:
                 "the turbo engine only runs to quiescence; "
                 "use backend='exact' for bounded runs"
             )
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            entry = pop(heap)
-            self._tick = entry[0]
-            entry[2](*entry[3])
+        while self._pending:
+            if self._heap_mode:
+                self._run_heap()
+                return
+            self._run_calendar_step()
 
 
 class TurboSystem:
@@ -319,6 +510,35 @@ class TurboSystem:
     off the run's grid raises :class:`~repro.errors.TickDomainError`
     (turbo is exact or loud, never approximate).
     """
+
+    __slots__ = (
+        "env",
+        "domain",
+        "_n",
+        "_lam",
+        "_latency_fn",
+        "_policy",
+        "tracer",
+        "_one",
+        "_lam_ticks",
+        "_pair_ticks",
+        "_strict",
+        "_send_free",
+        "_recv_free",
+        "_inbox_items",
+        "_inbox_waiters",
+        "_log",
+        "_lg_code",
+        "_lg_tick",
+        "_lg_a",
+        "_lg_b",
+        "_lg_c",
+        "_lg_objs",
+        "_completion_tick",
+        "_flushed",
+        "_send_views",
+        "_recv_views",
+    )
 
     def __init__(
         self,
@@ -353,7 +573,15 @@ class TurboSystem:
         self._recv_free = [0] * n
         self._inbox_items: list[list[Message]] = [[] for _ in range(n)]
         self._inbox_waiters: list[list[TurboEvent]] = [[] for _ in range(n)]
-        self._log: list[tuple] = []
+        log = RunLog()
+        self._log = log
+        # hot-path column appends, bound once (send/_deliver run per event)
+        self._lg_code = log.codes.append
+        self._lg_tick = log.ticks.append
+        self._lg_a = log.a.append
+        self._lg_b = log.b.append
+        self._lg_c = log.c.append
+        self._lg_objs = log.objs
         self._completion_tick = 0
         self._flushed = False
         self._send_views: list["_PortView"] | None = None
@@ -429,7 +657,11 @@ class TurboSystem:
         if start < now:
             start = now
         self._send_free[src] = start + one
-        self._log.append((_SEND, start, src, dst, msg))
+        self._lg_code(_SEND)
+        self._lg_tick(start)
+        self._lg_a(src)
+        self._lg_b(dst)
+        self._lg_c(msg)
         # completion first, window hop second: the exact engine queues the
         # sender's one-unit timeout before the delivery's gap timeout
         done = TurboEvent(env)
@@ -475,7 +707,14 @@ class TurboSystem:
         arrival = env._tick
         to_time = self.domain.to_time
         record = Message(msg, src, dst, to_time(start), to_time(arrival), payload)
-        self._log.append((_DELIVER, arrival, record))
+        objs = self._lg_objs
+        oid = len(objs)
+        objs.append(record)
+        self._lg_code(_DELIVER)
+        self._lg_tick(arrival)
+        self._lg_a(oid)
+        self._lg_b(dst)
+        self._lg_c(0)
         if arrival > self._completion_tick:
             self._completion_tick = arrival
         # the landing is synchronous (Store.put semantics); only the
@@ -505,7 +744,14 @@ class TurboSystem:
         return ev
 
     def _fire_recv(self, dst: ProcId, ev: TurboEvent) -> None:
-        self._log.append((_CONSUME, self.env._tick, dst, ev._value))
+        objs = self._lg_objs
+        oid = len(objs)
+        objs.append(ev._value)
+        self._lg_code(_CONSUME)
+        self._lg_tick(self.env._tick)
+        self._lg_a(oid)
+        self._lg_b(dst)
+        self._lg_c(0)
         ev._fire()
 
     def cancel_recv(self, dst: ProcId, event: TurboEvent) -> None:
@@ -532,8 +778,9 @@ class TurboSystem:
 
     @property
     def send_count(self) -> int:
-        """Number of sends started (no trace materialization needed)."""
-        return sum(1 for entry in self._log if entry[0] == _SEND)
+        """Number of sends started (a C-speed column count, retransmit
+        rows included)."""
+        return self._log.send_count
 
     def realized_schedule(self, *, m: int = 1, root: int = 0, validate: bool = False):
         """The run's :class:`~repro.core.schedule.Schedule` built straight
@@ -552,9 +799,8 @@ class TurboSystem:
                 "dependent runs are audited via audit_ports + delivery records"
             )
         to_time = self.domain.to_time
-        sends = sorted(
-            (entry for entry in self._log if entry[0] == _SEND), key=itemgetter(1)
-        )
+        sends = [row for row in self._log.rows() if row[0] == _SEND]
+        sends.sort(key=itemgetter(1))
         events = [
             SendEvent(to_time(tick), src, msg, dst)
             for _, tick, src, dst, msg in sends
@@ -578,22 +824,29 @@ class TurboSystem:
         self._flushed = True
         emit = self.tracer.emit
         to_time = self.domain.to_time
-        for entry in sorted(self._log, key=itemgetter(1)):
-            code = entry[0]
+        log = self._log
+        codes, ticks = log.codes, log.ticks
+        col_a, col_b, col_c = log.a, log.b, log.c
+        objs = log.objs
+        for i in log.order_by_tick():
+            code = codes[i]
             if code == _SEND:
-                _, tick, src, dst, msg = entry
-                emit(to_time(tick), "send", {"src": src, "dst": dst, "msg": msg})
+                emit(
+                    to_time(ticks[i]),
+                    "send",
+                    {"src": col_a[i], "dst": col_b[i], "msg": col_c[i]},
+                )
             elif code == _DELIVER:
-                record = entry[2]
+                record = objs[col_a[i]]
                 emit(record.arrived_at, "deliver", record)
             else:  # _CONSUME
-                _, tick, dst, record = entry
-                now = to_time(tick)
+                record = objs[col_a[i]]
+                now = to_time(ticks[i])
                 emit(
                     now,
                     "consume",
                     {
-                        "proc": dst,
+                        "proc": col_b[i],
                         "msg": record.msg,
                         "src": record.src,
                         "waited": now - record.arrived_at,
@@ -606,13 +859,11 @@ class TurboSystem:
         one = self._one
         send_ticks: list[list[int]] = [[] for _ in range(n)]
         recv_ticks: list[list[int]] = [[] for _ in range(n)]
-        for entry in self._log:
-            code = entry[0]
-            if code == _SEND:
-                send_ticks[entry[2]].append(entry[1])
+        for code, tick, a, b, _ in self._log.rows():
+            if code == _SEND or code == _SEND_RT:
+                send_ticks[a].append(tick)
             elif code == _DELIVER:
-                record = entry[2]
-                recv_ticks[record.dst].append(entry[1] - one)
+                recv_ticks[b].append(tick - one)
         to_time = self.domain.to_time
         self._send_views = [
             _PortView(p, [(to_time(t), to_time(t + one)) for t in sorted(ticks)])

@@ -1,0 +1,325 @@
+"""Vectorized plan replay — the top tier of the turbo lane.
+
+``backend="turbo"`` already removes the exact engine's ``Fraction``
+clock and resource handshakes, but it still *steps protocol generators*
+and dispatches one callback chain per event.  A compiled
+:class:`~repro.plan.columns.SchedulePlan` makes all of that unnecessary:
+the full send list is known up front, and in a plan replay there is no
+feedback from deliveries to sends.  :func:`replay_plan` therefore
+executes the plan as a handful of batched column passes — no event
+queue, no callbacks, no generators:
+
+1. **Send starts** — one pass over the rows in plan order computes
+   ``start = max(tick, send_free[sender])`` and advances the sender's
+   port cursor (the per-port prefix-max the event loop performs one pop
+   at a time).
+2. **Window order** — a stable argsort of the realized starts.  Receive
+   windows open at ``start + lambda - 1``; since the offset is constant,
+   sorting by start *is* sorting by window, and stability reproduces the
+   event loop's ``(window tick, seq)`` tie-breaking exactly.
+3. **Receive booking** — one pass in window order updates
+   ``recv_free[dst]``: the strict policy detects colliding windows with
+   the same sorted duplicate scan the event loop performs (first
+   violation in window order raises the byte-identical
+   :class:`~repro.errors.SimultaneousIOError`); the queued policy
+   serializes FIFO, ``arrival = max(window, recv_free) + 1``.
+4. **Views on demand** — completion is the arrival maximum; schedules,
+   port busy intervals, and trace records are materialized lazily from
+   the ``starts`` / ``arrivals`` arrays.
+
+The result is **byte-identical** to running the same plan through
+``SchedulePlan.replay()`` on the turbo event loop: the same realized
+schedule, completion time, send count, port busy intervals, trace-record
+sequence, and the same exception at the same first collision.
+``tests/test_replay_equivalence.py`` pins all of that, plus machine-level
+equivalence (schedule / completion / sends / ports / metrics) against
+full ``exact`` and ``turbo`` protocol runs across every registered
+family.
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import itemgetter
+
+from repro.core.schedule import Schedule, SendEvent
+from repro.errors import ModelError, SimultaneousIOError
+from repro.postal.machine import ContentionPolicy
+from repro.postal.message import Message
+from repro.sim.trace import Tracer
+from repro.turbo.fastsim import _PortView
+from repro.types import ProcId, Time, ZERO, time_repr
+
+__all__ = ["ReplaySystem", "replay_plan"]
+
+
+def replay_plan(plan, *, policy: ContentionPolicy = ContentionPolicy.STRICT):
+    """Execute *plan* with batched column passes (no event loop).
+
+    Args:
+        plan: a compiled :class:`~repro.plan.columns.SchedulePlan`.
+        policy: receive-port contention policy; the strict policy raises
+            :class:`~repro.errors.SimultaneousIOError` on the first
+            colliding receive window, exactly like the event loop.
+
+    Returns:
+        A finished :class:`ReplaySystem` exposing the validator-facing
+        surface of :class:`~repro.turbo.fastsim.TurboSystem`.
+
+    >>> from repro.plan import compile_plan
+    >>> system = replay_plan(compile_plan("BCAST", 64, 1, "5/2"))
+    >>> system.send_count
+    63
+    """
+    n = plan.n
+    one = plan.domain.scale
+    lat = plan.lam_ticks
+    plan_ticks = plan.ticks
+    senders = plan.senders
+    receivers = plan.receivers
+    E = len(plan_ticks)
+
+    # pass 1: realized starts (per-sender prefix-max in plan row order,
+    # which is the event loop's pop order: rows are tick-sorted and the
+    # pre-pushed entries break tick ties by row index)
+    starts = array("q", plan_ticks)
+    send_free = [0] * n
+    for i in range(E):
+        s = senders[i]
+        t = starts[i]
+        f = send_free[s]
+        if t < f:
+            starts[i] = t = f
+        send_free[s] = t + one
+
+    # pass 2: window order (stable by start = stable by window)
+    order = sorted(range(E), key=starts.__getitem__)
+
+    # pass 3: receive booking in window order
+    arrivals = array("q", bytes(8 * E))
+    recv_free = [0] * n
+    woff = lat - one
+    if policy is ContentionPolicy.STRICT:
+        to_time = plan.domain.to_time
+        for i in order:
+            w = starts[i] + woff
+            d = receivers[i]
+            if recv_free[d] > w:
+                raise SimultaneousIOError(
+                    f"p{d}: a message delivery due at t="
+                    f"{time_repr(to_time(w))} could not start receiving "
+                    f"until t={time_repr(to_time(recv_free[d]))} "
+                    f"(simultaneous-I/O violation)"
+                )
+            due = w + one
+            recv_free[d] = due
+            arrivals[i] = due
+    else:
+        contended = False
+        for i in order:
+            w = starts[i] + woff
+            d = receivers[i]
+            f = recv_free[d]
+            if f <= w:
+                due = w + one
+            else:
+                due = f + one
+                contended = True
+            recv_free[d] = due
+            arrivals[i] = due
+
+    system = ReplaySystem(plan, policy, starts, arrivals, order)
+    if policy is not ContentionPolicy.STRICT:
+        system.queued_contention = contended
+    return system
+
+
+class ReplaySystem:
+    """A finished vectorized replay, duck-typing the validator- and
+    collector-facing surface of :class:`~repro.turbo.fastsim.TurboSystem`
+    (``flush_trace`` / ``realized_schedule`` / port views / counters).
+
+    There are no protocol programs in a replay, so no messages are ever
+    consumed — like ``SchedulePlan.replay()`` on the event loop, every
+    delivery stays in its inbox and the trace carries ``send`` and
+    ``deliver`` records only.
+    """
+
+    __slots__ = (
+        "plan",
+        "queued_contention",
+        "tracer",
+        "domain",
+        "_policy",
+        "_one",
+        "_starts",
+        "_arrivals",
+        "_order",
+        "_flushed",
+        "_send_views",
+        "_recv_views",
+    )
+
+    def __init__(self, plan, policy, starts, arrivals, order):
+        self.plan = plan
+        self.tracer = Tracer()
+        self.domain = plan.domain
+        self._policy = policy
+        self._one = plan.domain.scale
+        self._starts = starts
+        self._arrivals = arrivals
+        self._order = order
+        self._flushed = False
+        self._send_views = None
+        self._recv_views = None
+        #: Whether the queued booking pass had to delay any receive — a
+        #: contended plan's replay is still a faithful ``plan.replay()``
+        #: but no longer mirrors the (contention-adaptive) protocol run,
+        #: so the ``backend="replay"`` wiring refuses it.
+        self.queued_contention = False
+
+    # ------------------------------------------------------------ metadata
+
+    @property
+    def n(self) -> int:
+        return self.plan.n
+
+    @property
+    def lam(self) -> Time:
+        return self.plan.lam
+
+    @property
+    def policy(self) -> ContentionPolicy:
+        return self._policy
+
+    @property
+    def uniform_latency(self) -> bool:
+        return True  # plans are compiled for uniform lambda only
+
+    def latency(self, src: ProcId, dst: ProcId) -> Time:
+        return self.plan.lam
+
+    # ------------------------------------------------------ fast accessors
+
+    @property
+    def send_count(self) -> int:
+        return len(self._starts)
+
+    @property
+    def completion_time(self) -> Time:
+        arrivals = self._arrivals
+        if not arrivals:
+            return ZERO
+        return self.domain.to_time(max(arrivals))
+
+    def inbox_size(self, proc: ProcId) -> int:
+        """Deliveries parked at *proc* (nothing consumes in a replay)."""
+        if not 0 <= proc < self.plan.n:
+            raise ModelError(f"processor p{proc} outside 0..{self.plan.n - 1}")
+        return sum(1 for r in self.plan.receivers if r == proc)
+
+    def realized_schedule(
+        self, *, m: int = 1, root: int = 0, validate: bool = False
+    ) -> Schedule:
+        """The realized :class:`~repro.core.schedule.Schedule` (strict
+        policy only, same refusal as the event loop under queued)."""
+        if self._policy is not ContentionPolicy.STRICT:
+            raise ModelError(
+                "schedule reconstruction requires the strict contention policy"
+            )
+        plan = self.plan
+        to_time = self.domain.to_time
+        starts = self._starts
+        rows = [
+            (starts[i], plan.senders[i], plan.msgs[i], plan.receivers[i])
+            for i in range(len(starts))
+        ]
+        rows.sort(key=itemgetter(0))
+        events = [
+            SendEvent(to_time(t), s, k, r) for t, s, k, r in rows
+        ]
+        return Schedule(
+            plan.n, plan.lam, events, m=m, root=root, validate=validate
+        )
+
+    # ------------------------------------------------------ validator views
+
+    def flush_trace(self) -> Tracer:
+        """Materialize the replay into :attr:`tracer` (idempotent), in the
+        byte-identical record order the event loop would produce: entries
+        appear in execution order (sends at their plan tick before
+        deliveries at the same instant), stable-sorted by record time."""
+        if self._flushed:
+            return self.tracer
+        self._flushed = True
+        plan = self.plan
+        starts = self._starts
+        arrivals = self._arrivals
+        order = self._order
+        # execution order first: sends execute at their *plan* tick in row
+        # order (pre-pushed, seq <= E), deliveries at their arrival in
+        # window order (seq > E) — sends win exec-time ties
+        items = [(plan.ticks[i], 0, i) for i in range(len(starts))]
+        items.extend((arrivals[i], 1, pos) for pos, i in enumerate(order))
+        items.sort()
+        # then stable-sort by the *record* time (a deferred send is logged
+        # at its realized start, not at its plan tick)
+        items.sort(
+            key=lambda item: (
+                starts[item[2]] if item[1] == 0 else arrivals[order[item[2]]]
+            )
+        )
+        emit = self.tracer.emit
+        to_time = self.domain.to_time
+        senders, msgs, receivers = plan.senders, plan.msgs, plan.receivers
+        for _, cls, o in items:
+            if cls == 0:
+                emit(
+                    to_time(starts[o]),
+                    "send",
+                    {"src": senders[o], "dst": receivers[o], "msg": msgs[o]},
+                )
+            else:
+                i = order[o]
+                record = Message(
+                    msgs[i],
+                    senders[i],
+                    receivers[i],
+                    to_time(starts[i]),
+                    to_time(arrivals[i]),
+                    None,
+                )
+                emit(record.arrived_at, "deliver", record)
+        return self.tracer
+
+    def _build_port_views(self) -> None:
+        plan = self.plan
+        n = plan.n
+        one = self._one
+        send_ticks: list[list[int]] = [[] for _ in range(n)]
+        recv_ticks: list[list[int]] = [[] for _ in range(n)]
+        starts = self._starts
+        arrivals = self._arrivals
+        senders, receivers = plan.senders, plan.receivers
+        for i in range(len(starts)):
+            send_ticks[senders[i]].append(starts[i])
+            recv_ticks[receivers[i]].append(arrivals[i] - one)
+        to_time = self.domain.to_time
+        self._send_views = [
+            _PortView(p, [(to_time(t), to_time(t + one)) for t in sorted(ticks)])
+            for p, ticks in enumerate(send_ticks)
+        ]
+        self._recv_views = [
+            _PortView(p, [(to_time(t), to_time(t + one)) for t in sorted(ticks)])
+            for p, ticks in enumerate(recv_ticks)
+        ]
+
+    def send_port(self, proc: ProcId) -> _PortView:
+        if self._send_views is None:
+            self._build_port_views()
+        return self._send_views[proc]
+
+    def recv_port(self, proc: ProcId) -> _PortView:
+        if self._recv_views is None:
+            self._build_port_views()
+        return self._recv_views[proc]

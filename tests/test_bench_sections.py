@@ -1,0 +1,122 @@
+"""Unit tests for the bench document sections added in schema ``/5``:
+the per-case replay column, the replay gate, ``effective_jobs``
+recording, the oversubscription warning, and the ``--profile`` hook."""
+
+import json
+import os
+
+import pytest
+
+from repro import bench
+from repro.bench import (
+    BenchCase,
+    BenchResult,
+    REPLAY_GATE_MIN_SPEEDUP,
+    SCHEMA,
+    bench_replay,
+    compare_to_baseline,
+    profile_case,
+    run_bench,
+    run_case,
+    to_json,
+)
+from repro.types import as_time
+
+_LAM = as_time(2)
+
+
+def _fake_results():
+    """A synthetic grid containing both gate cases."""
+    mk = lambda fam, n, ex, tu, sends, rp: BenchResult(
+        BenchCase(fam, n, 1, _LAM), ex, tu, sends, rp
+    )
+    return [
+        mk("BCAST", 10_000, 3.0, 0.5, 9_999, 0.05),
+        mk("ALLGATHER", 100, 1.5, 0.12, 9_999, 0.01),
+    ]
+
+
+def test_to_json_records_replay_and_effective_jobs():
+    doc = json.loads(to_json(_fake_results(), mode="smoke", jobs=0))
+    assert doc["schema"] == SCHEMA == "repro-bench-turbo/5"
+    assert doc["jobs"] == 0
+    assert doc["effective_jobs"] == (os.cpu_count() or 1)
+    case = doc["cases"][0]
+    assert case["replay_s"] == 0.05
+    assert case["replay_speedup"] == 60.0
+    assert case["speedup"] == 6.0
+
+
+def test_to_json_carries_replay_section():
+    replay = {"n": 1000, "speedup": 42.0, "gate": {"ok": True}}
+    doc = json.loads(
+        to_json(_fake_results(), mode="smoke", jobs=1, replay=replay)
+    )
+    assert doc["replay"]["speedup"] == 42.0
+
+
+def test_run_bench_warns_on_oversubscription(monkeypatch):
+    monkeypatch.setattr(bench, "bench_grid", lambda mode: [])
+    monkeypatch.setattr(bench.os, "cpu_count", lambda: 1)
+    with pytest.warns(RuntimeWarning, match="exceeds cpu_count"):
+        run_bench("smoke", jobs=2)
+
+
+def test_run_bench_serial_does_not_warn(monkeypatch, recwarn):
+    monkeypatch.setattr(bench, "bench_grid", lambda mode: [])
+    run_bench("smoke", jobs=1)
+    assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+
+def test_compare_to_baseline_flags_replay_regression():
+    results = _fake_results()
+    base = json.loads(to_json(results, mode="smoke"))
+    slow = [
+        BenchResult(r.case, r.exact_s, r.turbo_s, r.sends, r.replay_s * 2)
+        for r in results
+    ]
+    lines = compare_to_baseline(slow, base, tolerance=0.30)
+    assert lines and all("[replay]" in line for line in lines)
+
+
+def test_compare_to_baseline_skips_pre5_baseline_without_replay():
+    results = _fake_results()
+    base = json.loads(to_json(results, mode="smoke"))
+    base["schema"] = "repro-bench-turbo/4"
+    for case in base["cases"]:
+        del case["replay_s"], case["replay_speedup"]
+    slow = [
+        BenchResult(r.case, r.exact_s, r.turbo_s, r.sends, r.replay_s * 10)
+        for r in results
+    ]
+    assert compare_to_baseline(slow, base, tolerance=0.30) == []
+
+
+def test_run_case_measures_all_three_backends():
+    res = run_case(BenchCase("BCAST", 64, 1, _LAM))
+    assert res.sends == 63
+    assert res.exact_s > 0 and res.turbo_s > 0 and res.replay_s > 0
+    assert res.replay_speedup == res.exact_s / res.replay_s
+
+
+def test_bench_replay_section_shape():
+    section = bench_replay(n=256)
+    assert section["family"] == "BCAST"
+    assert section["sends"] == 255
+    assert section["gate"]["min_speedup"] == REPLAY_GATE_MIN_SPEEDUP
+    assert section["speedup"] > 1.0
+    assert section["replay_s"] < section["exact_s"]
+
+
+def test_profile_case_writes_pstats_and_table(tmp_path):
+    import pstats
+
+    dump = tmp_path / "case.pstats"
+    table = profile_case(
+        BenchCase("BCAST", 64, 1, _LAM), backend="turbo", out=str(dump)
+    )
+    assert dump.exists()
+    assert "run_protocol" in table
+    assert table.startswith("profile: BCAST n=64")
+    stats = pstats.Stats(str(dump))  # the dump is a loadable pstats file
+    assert stats.total_calls > 0

@@ -141,14 +141,15 @@ class TestBenchIntegration:
         out_json = tmp_path / "bench.json"
         code, out = run_cli(
             capsys, "bench", "--smoke", "--plan-n", "0",
-            "--resilience-n", "60", "--out", str(out_json),
+            "--resilience-n", "60", "--replay-n", "0",
+            "--out", str(out_json),
         )
         assert code == 0
         assert "resilience gate: 3 fault cases at n=60" in out
         assert "deterministic=yes, certified=yes" in out
         assert "[PASS]" in out
         doc = json.loads(out_json.read_text())
-        assert doc["schema"] == "repro-bench-turbo/4"
+        assert doc["schema"] == "repro-bench-turbo/5"
         assert doc["resilience"]["gate"]["ok"] is True
         assert len(doc["resilience"]["cases"]) == 3
 
@@ -156,7 +157,8 @@ class TestBenchIntegration:
         out_json = tmp_path / "bench.json"
         code, out = run_cli(
             capsys, "bench", "--smoke", "--plan-n", "0",
-            "--resilience-n", "0", "--out", str(out_json),
+            "--resilience-n", "0", "--replay-n", "0",
+            "--out", str(out_json),
         )
         assert code == 0
         assert "resilience gate" not in out
