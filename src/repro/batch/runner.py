@@ -1,0 +1,205 @@
+"""``run_batch``: execute a grid of plan replays as one batch.
+
+The per-point path (``run_protocol(proto, backend="replay")``) pays,
+for every point, protocol construction, plan-cache lookup *and* the
+materialization of a full event-object
+:class:`~repro.core.schedule.Schedule` with ``Fraction`` times.  A
+batch sweep needs none of that: every point is "replay this compiled
+plan under this policy and summarize".  :func:`run_batch` therefore
+
+1. **compiles or cache-hits each distinct plan once** in the parent
+   (points sharing a ``(family, n, m, lambda)`` key share the plan);
+2. replays each point through :func:`repro.turbo.replay.replay_plan`
+   (NumPy kernels when available, pure-Python fallback otherwise —
+   byte-identical either way);
+3. with ``jobs > 1``, distributes the plans to workers **zero-copy**
+   over shared memory (``transport="shared"``, the default) or by
+   serialized plan bytes (``transport="pickle"``, kept for differential
+   testing) and shards the points with
+   :func:`repro.parallel.parallel_map`, which streams results back in
+   submission order — so the merged output is element-for-element
+   identical to the serial run (the per-point summaries are exact
+   integers/strings, not wall times).
+
+Every :class:`BatchResult` carries a SHA-256 digest over the realized
+``starts`` and ``arrivals`` columns, so "byte-identical" is checkable
+with ``==`` across serial/parallel, kernel/fallback, and
+shared/pickled variants — ``tests/test_batch_differential.py`` does
+exactly that for every plan-compiled family under both policies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.parallel import effective_jobs, parallel_map, warn_if_oversubscribed
+from repro.plan.cache import PlanCache, build_plan
+from repro.plan.columns import SchedulePlan
+from repro.postal.machine import ContentionPolicy
+from repro.turbo.replay import replay_plan
+from repro.types import as_time, time_repr
+
+__all__ = ["BatchPoint", "BatchResult", "run_batch"]
+
+_POLICIES = ("strict", "queued")
+_TRANSPORTS = ("shared", "pickle")
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One grid point: a plan-compiled family at ``(n, m, lambda)``
+    under a contention policy.  ``lam`` is kept as the string/number
+    given (normalized via :func:`repro.types.as_time` at execution), so
+    points pickle small and hash cleanly."""
+
+    family: str
+    n: int
+    m: int = 1
+    lam: "str | int" = 2
+    policy: str = "strict"
+
+    def __post_init__(self):
+        if self.policy not in _POLICIES:
+            raise InvalidParameterError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """The exact, wall-clock-free summary of one replayed point.
+
+    Attributes:
+        family / n / m / lam / policy: the point, with ``lam``
+            canonicalized by :func:`repro.types.time_repr`.
+        completion: the replay's completion time (exact, rendered).
+        sends: send events in the plan.
+        contended: queued policy only — whether FIFO booking delayed
+            any receive (always ``False`` under strict).
+        digest: SHA-256 over the realized ``starts`` and ``arrivals``
+            columns — equal digests mean byte-identical replays.
+    """
+
+    family: str
+    n: int
+    m: int
+    lam: str
+    policy: str
+    completion: str
+    sends: int
+    contended: bool
+    digest: str
+
+
+def _replay_point(plan: SchedulePlan, point: BatchPoint) -> BatchResult:
+    policy = (
+        ContentionPolicy.STRICT
+        if point.policy == "strict"
+        else ContentionPolicy.QUEUED
+    )
+    system = replay_plan(plan, policy=policy)
+    return BatchResult(
+        family=plan.family,
+        n=plan.n,
+        m=plan.m,
+        lam=time_repr(plan.lam),
+        policy=point.policy,
+        completion=time_repr(system.completion_time),
+        sends=system.send_count,
+        contended=system.queued_contention,
+        digest=system.column_digest(),
+    )
+
+
+# ---------------------------------------------------------------- workers
+
+#: Per-process plan cache for pool workers, keyed by shared-segment
+#: name (shared transport) or plan cache key (pickle transport) — each
+#: worker attaches/deserializes any given plan at most once.
+_WORKER_PLANS: dict = {}
+
+
+def _batch_worker(item) -> BatchResult:
+    point, handle, blob = item
+    if handle is not None:
+        plan = _WORKER_PLANS.get(handle.name)
+        if plan is None:
+            plan = SchedulePlan.from_shared(handle)
+            _WORKER_PLANS[handle.name] = plan
+    else:
+        key = PlanCache.key(point.family, point.n, point.m, as_time(point.lam))
+        plan = _WORKER_PLANS.get(key)
+        if plan is None:
+            plan = SchedulePlan.from_bytes(blob)
+            _WORKER_PLANS[key] = plan
+    return _replay_point(plan, point)
+
+
+# ---------------------------------------------------------------- the API
+
+
+def run_batch(
+    points,
+    *,
+    backend: str = "replay",
+    jobs: int = 1,
+    transport: str = "shared",
+) -> list[BatchResult]:
+    """Replay every :class:`BatchPoint` in *points*; results come back
+    in submission order, byte-identical for any ``jobs`` value.
+
+    Args:
+        points: an iterable of :class:`BatchPoint`.
+        backend: only ``"replay"`` — the batch tier *is* the vectorized
+            replay lane (protocol-stepping backends are inherently
+            per-point; use :func:`repro.postal.runner.run_protocol`).
+        jobs: worker processes (``0`` = one per CPU, as everywhere).
+        transport: how plans reach workers — ``"shared"`` maps one
+            shared-memory segment per distinct plan (zero-copy),
+            ``"pickle"`` ships serialized plan bytes per point (the old
+            scheme, kept so the differential suite can pin equality).
+
+    >>> from repro.batch import BatchPoint, run_batch
+    >>> [r.sends for r in run_batch([BatchPoint("BCAST", 64, 1, "5/2")])]
+    [63]
+    """
+    if backend != "replay":
+        raise InvalidParameterError(
+            f"run_batch supports backend='replay' only, got {backend!r}"
+        )
+    if transport not in _TRANSPORTS:
+        raise InvalidParameterError(
+            f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+        )
+    points = list(points)
+
+    # compile or cache-hit each distinct plan exactly once
+    keys = []
+    plans: dict[tuple, SchedulePlan] = {}
+    for point in points:
+        lam = as_time(point.lam)
+        key = PlanCache.key(point.family, point.n, point.m, lam)
+        keys.append(key)
+        if key not in plans:
+            plans[key] = build_plan(point.family, point.n, point.m, lam)
+
+    jobs = effective_jobs(jobs)
+    warn_if_oversubscribed(jobs, what="batch")
+    if jobs <= 1 or len(points) <= 1:
+        return [_replay_point(plans[k], p) for k, p in zip(keys, points)]
+
+    if transport == "shared":
+        from repro.batch.shared import release_shared
+
+        handles = {key: plan.to_shared() for key, plan in plans.items()}
+        try:
+            work = [(p, handles[k], None) for k, p in zip(keys, points)]
+            return parallel_map(_batch_worker, work, jobs=jobs)
+        finally:
+            for handle in handles.values():
+                release_shared(handle)
+    blobs = {key: plan.to_bytes() for key, plan in plans.items()}
+    work = [(p, None, blobs[k]) for k, p in zip(keys, points)]
+    return parallel_map(_batch_worker, work, jobs=jobs)

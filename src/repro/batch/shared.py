@@ -1,0 +1,206 @@
+"""Zero-copy plan distribution over ``multiprocessing.shared_memory``.
+
+``repro.parallel`` workers used to receive their
+:class:`~repro.plan.columns.SchedulePlan` by pickling it into every
+work item — four full column copies per worker per plan.  This module
+puts each plan's columns into **one named shared-memory segment** so
+every worker maps the same physical pages:
+
+* :func:`share_plan` (the engine behind
+  :meth:`SchedulePlan.to_shared()
+  <repro.plan.columns.SchedulePlan.to_shared>`) copies the four columns
+  into a fresh segment and returns a tiny picklable
+  :class:`SharedPlanHandle` — the only thing that crosses the process
+  boundary;
+* :meth:`SchedulePlan.from_shared()
+  <repro.plan.columns.SchedulePlan.from_shared>` attaches and rebuilds
+  the plan with its columns as **zero-copy memoryviews** of the mapped
+  segment (``memoryview(shm.buf)[a:b].cast("q")`` — same buffer
+  protocol as ``array('q')``, so every consumer from ``np.frombuffer``
+  to the pure-Python passes reads it unchanged);
+* ownership is explicit and crash-safe: the *creating* process keeps
+  the segment registered in a module table and unlinks it in
+  :func:`release_shared` (callers wrap distribution in
+  ``try/finally``, so a worker crash — even a hard ``os._exit`` — never
+  leaks the segment: POSIX keeps the name until the owner unlinks, and
+  the owner always does); attached plans hold a
+  :class:`_SharedAttachment` that reference-counts the mapping for the
+  lifetime of the plan's column views and closes it cleanly when the
+  plan is garbage-collected (views released *before* the segment —
+  closing a segment with exported buffers raises ``BufferError``, which
+  under ``python -X dev -W error`` would fail CI as an unraisable
+  finalizer error).
+
+:class:`SharedPlanSet` bundles the pattern for a whole batch: share
+many plans, hand the handle table to workers, unlink everything on
+exit — the shape :func:`repro.batch.runner.run_batch` and the batched
+conformance sweep use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "SharedPlanHandle",
+    "SharedPlanSet",
+    "attach_columns",
+    "release_shared",
+    "share_plan",
+]
+
+_ITEMSIZE = 8  # array('q') / int64 — the only column width plans use
+
+
+@dataclass(frozen=True)
+class SharedPlanHandle:
+    """Everything a worker needs to map a shared plan (all primitives,
+    so the handle pickles in a few dozen bytes regardless of plan size).
+
+    Attributes:
+        name: the shared-memory segment name.
+        family / n / m / lam / root / scale: the plan header —
+            ``lam`` serialized as ``"numerator/denominator"``.
+        count: rows per column.
+    """
+
+    name: str
+    family: str
+    n: int
+    m: int
+    lam: str
+    root: int
+    scale: int
+    count: int
+
+
+#: Segments created by this process, by name — the owner side of the
+#: refcount: workers only ever *attach* (close on GC), the creator
+#: alone unlinks, in :func:`release_shared`.
+_OWNED: "dict[str, shared_memory.SharedMemory]" = {}
+
+
+class _SharedAttachment:
+    """Keeps one attached segment mapped while plan columns view it.
+
+    The plan holds the attachment, the attachment holds the segment and
+    every exported column view.  ``close()`` (idempotent, also run by
+    the finalizer) releases the views *first*, then closes the mapping —
+    never raising, so no unraisable-exception noise under ``-X dev``.
+    """
+
+    __slots__ = ("_shm", "_views", "_closed")
+
+    def __init__(self, shm, views):
+        self._shm = shm
+        self._views = list(views)
+        self._closed = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for view in self._views:
+            try:
+                view.release()
+            except BufferError:  # pragma: no cover - exported sub-view
+                pass
+        self._views.clear()
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - defensive
+            pass
+
+    def __del__(self):  # pragma: no cover - GC timing varies
+        self.close()
+
+
+def share_plan(plan) -> SharedPlanHandle:
+    """Copy *plan*'s four columns into a fresh shared-memory segment.
+
+    The creating process owns the segment; pass the returned handle to
+    workers and call :func:`release_shared` (in a ``finally``) when the
+    batch is done.
+    """
+    count = len(plan.ticks)
+    col_bytes = count * _ITEMSIZE
+    shm = shared_memory.SharedMemory(create=True, size=max(1, 4 * col_bytes))
+    offset = 0
+    for col in (plan.ticks, plan.senders, plan.msgs, plan.receivers):
+        shm.buf[offset:offset + col_bytes] = col.tobytes()
+        offset += col_bytes
+    _OWNED[shm.name] = shm
+    return SharedPlanHandle(
+        name=shm.name,
+        family=plan.family,
+        n=plan.n,
+        m=plan.m,
+        lam=f"{plan.lam.numerator}/{plan.lam.denominator}",
+        root=plan.root,
+        scale=plan.domain.scale,
+        count=count,
+    )
+
+
+def attach_columns(handle: SharedPlanHandle):
+    """Map *handle*'s segment; returns ``(columns, attachment)``.
+
+    *columns* are four zero-copy ``memoryview('q')`` slices (ticks,
+    senders, msgs, receivers); *attachment* must stay alive as long as
+    any column is used (plans store it in their ``_shared`` slot).
+    Attaching always opens a fresh mapping — even in the creator
+    process — so every attachment tears down independently of the
+    owner's handle.
+    """
+    shm = shared_memory.SharedMemory(name=handle.name)
+    col_bytes = handle.count * _ITEMSIZE
+    base = memoryview(shm.buf)
+    columns = tuple(
+        base[i * col_bytes:(i + 1) * col_bytes].cast("q") for i in range(4)
+    )
+    return columns, _SharedAttachment(shm, [base, *columns])
+
+
+def release_shared(handle: SharedPlanHandle) -> None:
+    """Close **and unlink** a segment this process created (no-op for a
+    handle someone else owns — workers never unlink)."""
+    shm = _OWNED.pop(handle.name, None)
+    if shm is None:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already removed
+        pass
+
+
+class SharedPlanSet:
+    """Share a set of plans for one batch; unlink them all on exit.
+
+    >>> from repro.plan import build_plan
+    >>> from repro.plan.columns import SchedulePlan
+    >>> with SharedPlanSet([build_plan("BCAST", 16, 1, "2")]) as shared:
+    ...     handle = shared.handles[0]
+    ...     clone = SchedulePlan.from_shared(handle)
+    ...     clone.completion_time()
+    Fraction(7, 1)
+    """
+
+    def __init__(self, plans):
+        if not isinstance(plans, (list, tuple)):
+            raise InvalidParameterError("SharedPlanSet takes a list of plans")
+        self.handles: list[SharedPlanHandle] = [share_plan(p) for p in plans]
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent)."""
+        while self.handles:
+            release_shared(self.handles.pop())
+
+    def __enter__(self) -> "SharedPlanSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -22,7 +22,7 @@ Two grids:
   ``3*10^2``.
 
 Results serialize to the committed ``BENCH_turbo.json`` (schema
-``repro-bench-turbo/5``; see ``docs/performance.md``).  Since ``/2`` the
+``repro-bench-turbo/6``; see ``docs/performance.md``).  Since ``/2`` the
 document also records the runner (``cpu_count``, ``platform``), the
 ``jobs`` the sweep ran with, and a ``plan`` section benchmarking the
 columnar plan layer (:mod:`repro.plan`) against classic event-object
@@ -30,8 +30,10 @@ schedule construction at BCAST ``n = 10^5``; ``/3`` adds the collective
 cases and a second speedup gate; ``/4`` adds the ``resilience`` section
 (:func:`bench_resilience`); ``/5`` adds a ``replay_s`` wall time per
 case, the standalone ``replay`` gate section (:func:`bench_replay`),
-and records ``effective_jobs`` next to the requested ``jobs``.  Six
-checks gate CI:
+and records ``effective_jobs`` next to the requested ``jobs``; ``/6``
+adds the installed NumPy version (or ``null``) to the header and the
+``bench_batch`` section (:func:`bench_batch`) gating the
+:mod:`repro.batch` tier.  Seven checks gate CI:
 
 * **speedup gate** — turbo must be at least :data:`GATE_MIN_SPEEDUP`
   times faster than exact for BCAST at ``n = 10^4`` (uniform integer
@@ -52,6 +54,12 @@ checks gate CI:
   above the turbo gates because the tier skips the event loop entirely:
   a compiled plan replays as a handful of batched column passes, so
   anything *near* event-loop speed means the vectorization regressed;
+* **batch gate** (``repro bench --batch``) — the :mod:`repro.batch`
+  tier must beat a per-point ``run_protocol(backend="replay")`` sweep
+  by :data:`BATCH_GATE_MIN_SPEEDUP` on the 64-point
+  :func:`batch_grid`, and (NumPy installed) one strict replay at BCAST
+  ``n = 10^5`` must run :data:`BATCH_KERNEL_GATE_MIN_SPEEDUP` faster
+  under the kernels than under the pure-Python passes;
 * **plan gate** — columnar construction must be at least
   :data:`PLAN_GATE_MIN_SPEEDUP` times faster and hold its events in at
   least :data:`PLAN_GATE_MIN_MEM_RATIO` times less storage than the
@@ -85,14 +93,16 @@ import json
 import os
 import platform
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from repro.parallel import effective_jobs, parallel_map
+from repro.parallel import effective_jobs, parallel_map, warn_if_oversubscribed
 from repro.types import Time, as_time, time_repr
 
 __all__ = [
+    "BATCH_GATE_MIN_SPEEDUP",
+    "BATCH_KERNEL_GATE_N",
+    "BATCH_KERNEL_GATE_MIN_SPEEDUP",
     "BenchCase",
     "BenchResult",
     "BASELINE_SCHEMAS",
@@ -108,6 +118,8 @@ __all__ = [
     "RESILIENCE_CASES",
     "RESILIENCE_GATE_N",
     "SCHEMA",
+    "batch_grid",
+    "bench_batch",
     "bench_grid",
     "bench_plan_layer",
     "bench_replay",
@@ -123,19 +135,21 @@ __all__ = [
 ]
 
 #: Schema tag written into every ``BENCH_turbo.json``.
-SCHEMA = "repro-bench-turbo/5"
+SCHEMA = "repro-bench-turbo/6"
 
 #: Schemas :func:`compare_to_baseline` accepts (the per-case layout has
 #: been stable since ``/1``; ``/2`` added runner metadata and the plan
 #: section, ``/3`` the collective cases and gate, ``/4`` the resilience
-#: section, ``/5`` the per-case ``replay_s`` and the replay gate —
-#: extra top-level keys and case fields older readers simply ignore).
+#: section, ``/5`` the per-case ``replay_s`` and the replay gate, ``/6``
+#: the ``numpy`` header field and the ``bench_batch`` section — extra
+#: top-level keys and case fields older readers simply ignore).
 BASELINE_SCHEMAS = (
     "repro-bench-turbo/1",
     "repro-bench-turbo/2",
     "repro-bench-turbo/3",
     "repro-bench-turbo/4",
     "repro-bench-turbo/5",
+    "repro-bench-turbo/6",
 )
 
 #: The acceptance gate: ``(family, n)`` that must clear the speedup bar.
@@ -170,6 +184,20 @@ REPLAY_GATE_N = 100_000
 #: has no event loop to pay for, so "only" event-loop-fast is a
 #: regression of the vectorization itself.
 REPLAY_GATE_MIN_SPEEDUP = 20.0
+
+#: Minimum end-to-end batch-vs-per-point speedup on the 64-point grid
+#: (see :func:`batch_grid`): the batch tier must beat a per-point
+#: ``run_protocol(backend="replay")`` sweep at least this much.
+BATCH_GATE_MIN_SPEEDUP = 3.0
+
+#: Single-case NumPy-kernel gate point: BCAST at this ``n`` (the same
+#: plan the replay and plan gates describe).
+BATCH_KERNEL_GATE_N = 100_000
+
+#: Minimum kernel-vs-pure-Python speedup of one strict replay at
+#: :data:`BATCH_KERNEL_GATE_N` — enforced only when NumPy is installed
+#: (the section records ``numpy: null`` and passes vacuously otherwise).
+BATCH_KERNEL_GATE_MIN_SPEEDUP = 2.0
 
 #: Machine size for the resilience gate cases (recovery at n = 10^3 is
 #: thousands of fault draws per case — enough to make a determinism or
@@ -355,15 +383,7 @@ def run_bench(
     recorded serially).
     """
     grid = bench_grid(mode)
-    cpus = os.cpu_count() or 1
-    if jobs > cpus:
-        warnings.warn(
-            f"bench jobs={jobs} exceeds cpu_count={cpus}; oversubscribed "
-            f"workers time-slice cores, so per-case wall times will be "
-            f"inflated and unsuitable as a baseline",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+    warn_if_oversubscribed(jobs, what="bench")
     if jobs > 1:
         if progress is not None:
             progress(f"  {len(grid)} cases across {jobs} workers ...")
@@ -520,6 +540,123 @@ def bench_replay(*, n: int = REPLAY_GATE_N, lam: Time = _LAM) -> dict:
     }
 
 
+# ------------------------------------------------------------ batch tier
+
+
+def batch_grid():
+    """The 64-point batch gate grid: a BCAST size sweep and a
+    PIPELINE-2 ``(n, m)`` grid, all at the integer gate latency — the
+    same two broadcast regimes the case grid leans on (tree fan-out vs
+    long per-processor send chains)."""
+    from repro.batch import BatchPoint
+
+    points = [
+        BatchPoint("BCAST", n, 1, "2")
+        for n in range(500, 16_500, 500)  # 32 sizes
+    ]
+    points.extend(
+        BatchPoint("PIPELINE-2", n, m, "2")
+        for n in (250, 500, 750, 1_000, 1_250, 1_500, 1_750, 2_000)
+        for m in (2, 3, 4, 5)  # 8 x 4 = 32 points
+    )
+    return points
+
+
+def _per_point_sweep(points) -> None:
+    """The baseline the batch gate measures against: one full
+    ``run_protocol(backend="replay")`` per point, exactly what the
+    sweep drivers did before the batch tier."""
+    from repro.conformance.oracles import get_oracle
+    from repro.postal.runner import run_protocol
+
+    for point in points:
+        proto = get_oracle(point.family).protocol(
+            n=point.n, m=point.m, lam=as_time(point.lam)
+        )
+        run_protocol(proto, validate=False, collect=False, backend="replay")
+
+
+def bench_batch(*, jobs: int = 1, kernel_n: int = BATCH_KERNEL_GATE_N) -> dict:
+    """The ``"bench_batch"`` section (schema ``/6``): two measurements,
+    two gates.
+
+    * **sweep gate** — wall time of the 64-point :func:`batch_grid`
+      through :func:`repro.batch.run_batch` vs the per-point
+      ``run_protocol(backend="replay")`` sweep it replaces, both with
+      every plan already cached (the gate measures execution, not
+      compilation).  Must clear :data:`BATCH_GATE_MIN_SPEEDUP`.
+    * **kernel gate** — one strict BCAST replay at *kernel_n* with the
+      NumPy kernels vs the pure-Python passes (forced via
+      ``REPRO_NUMPY=off``).  Must clear
+      :data:`BATCH_KERNEL_GATE_MIN_SPEEDUP` when NumPy is installed;
+      records ``numpy: null`` and passes vacuously otherwise.
+    """
+    from repro.batch import run_batch
+    from repro.batch.kernels import kernels_enabled, numpy_version
+    from repro.plan import build_plan
+    from repro.turbo.replay import replay_plan
+
+    points = batch_grid()
+    # warm the plan cache so neither side pays compilation
+    for point in points:
+        build_plan(point.family, point.n, point.m, as_time(point.lam))
+
+    per_point_s = _best_of(lambda: _per_point_sweep(points), budget_s=2.0)
+    batch_s = _best_of(lambda: run_batch(points, jobs=jobs), budget_s=2.0)
+    speedup = per_point_s / batch_s if batch_s > 0 else float("inf")
+    sweep_ok = speedup >= BATCH_GATE_MIN_SPEEDUP
+
+    plan = build_plan("BCAST", kernel_n, 1, _LAM)
+    kernel = {
+        "family": "BCAST",
+        "n": kernel_n,
+        "m": 1,
+        "lam": time_repr(_LAM),
+        "numpy": numpy_version(),
+    }
+    saved = os.environ.get("REPRO_NUMPY")
+    try:
+        os.environ["REPRO_NUMPY"] = "off"
+        python_s = _best_of(lambda: replay_plan(plan), budget_s=1.0, reps=5)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NUMPY", None)
+        else:
+            os.environ["REPRO_NUMPY"] = saved
+    kernel["python_s"] = round(python_s, 6)
+    if kernels_enabled():
+        numpy_s = _best_of(lambda: replay_plan(plan), budget_s=1.0, reps=5)
+        kernel_speedup = python_s / numpy_s if numpy_s > 0 else float("inf")
+        kernel["numpy_s"] = round(numpy_s, 6)
+        kernel["speedup"] = round(kernel_speedup, 3)
+        kernel_ok = kernel_speedup >= BATCH_KERNEL_GATE_MIN_SPEEDUP
+    else:
+        kernel["numpy_s"] = None
+        kernel["speedup"] = None
+        kernel_ok = True  # no NumPy: the fallback *is* the implementation
+    kernel["gate"] = {
+        "min_speedup": BATCH_KERNEL_GATE_MIN_SPEEDUP,
+        "ok": kernel_ok,
+    }
+
+    return {
+        "points": len(points),
+        "families": sorted({p.family for p in points}),
+        "lam": time_repr(_LAM),
+        "jobs": jobs,
+        "per_point_s": round(per_point_s, 6),
+        "batch_s": round(batch_s, 6),
+        "speedup": round(speedup, 3),
+        "kernel": kernel,
+        "gate": {
+            "min_speedup": BATCH_GATE_MIN_SPEEDUP,
+            "sweep_ok": sweep_ok,
+            "kernel_ok": kernel_ok,
+            "ok": sweep_ok and kernel_ok,
+        },
+    }
+
+
 # ------------------------------------------------------------- profiling
 
 
@@ -668,6 +805,7 @@ def to_json(
     plan: "dict | None" = None,
     resilience: "dict | None" = None,
     replay: "dict | None" = None,
+    batch: "dict | None" = None,
 ) -> str:
     """Serialize *results* to the ``BENCH_turbo.json`` document.
 
@@ -675,19 +813,26 @@ def to_json(
     because it benchmarks construction, not simulation); *resilience*
     the :func:`bench_resilience` section (correctness-gated, so its
     rows never enter the baseline wall-time diff); *replay* the
-    :func:`bench_replay` section carrying the replay gate; *jobs*
+    :func:`bench_replay` section carrying the replay gate; *batch* the
+    :func:`bench_batch` section carrying the batch-tier gates; *jobs*
     records how the sweep was *requested* — the resolved worker count
     lands in ``effective_jobs`` (``jobs=0`` means one per CPU, so the
     two differ exactly when the request was left to the machine).
     Parallel timings share cores, so a baseline diff across different
-    ``effective_jobs`` values deserves suspicion.
+    ``effective_jobs`` values deserves suspicion.  Since ``/6`` the
+    header also records the installed NumPy version (or ``null``) —
+    the replay wall times depend on whether the kernels ran, so a
+    baseline diff should compare like with like.
     """
+    from repro.batch.kernels import numpy_version
+
     doc = {
         "schema": SCHEMA,
         "mode": mode,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy_version(),
         "jobs": jobs,
         "effective_jobs": effective_jobs(jobs),
         "cases": [
@@ -714,6 +859,8 @@ def to_json(
         doc["resilience"] = resilience
     if replay is not None:
         doc["replay"] = replay
+    if batch is not None:
+        doc["bench_batch"] = batch
     return json.dumps(doc, indent=2) + "\n"
 
 

@@ -331,6 +331,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{replay['replay_s']:.4f}s) [{yv}]"
         )
         ok = ok and yg["ok"]
+    batch = None
+    if args.batch:
+        from repro.bench import bench_batch
+
+        batch = bench_batch()
+        bg = batch["gate"]
+        bv = "PASS" if bg["ok"] else "FAIL"
+        print(
+            f"batch gate: run_batch >= {bg['min_speedup']:.0f}x per-point "
+            f"replay over {batch['points']} points — measured "
+            f"{batch['speedup']:.2f}x (per-point {batch['per_point_s']:.4f}s, "
+            f"batch {batch['batch_s']:.4f}s) [{bv}]"
+        )
+        kernel = batch["kernel"]
+        kg = kernel["gate"]
+        if kernel["numpy_s"] is None:
+            why = (
+                "disabled by REPRO_NUMPY"
+                if kernel["numpy"] is not None
+                else "not installed"
+            )
+            print(
+                f"kernel gate: NumPy {why} — pure-Python passes "
+                "are the implementation [SKIP]"
+            )
+        else:
+            kv = "PASS" if kg["ok"] else "FAIL"
+            print(
+                f"kernel gate: NumPy passes >= {kg['min_speedup']:.0f}x "
+                f"pure-Python for BCAST at n={kernel['n']:,} — measured "
+                f"{kernel['speedup']:.2f}x (python {kernel['python_s']:.4f}s, "
+                f"numpy {kernel['numpy_s']:.4f}s, NumPy {kernel['numpy']}) "
+                f"[{kv}]"
+            )
+        ok = ok and bg["ok"]
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -357,6 +392,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     plan=plan,
                     resilience=resilience,
                     replay=replay,
+                    batch=batch,
                 )
             )
         print(f"\nresults written to {args.out}")
@@ -652,6 +688,15 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         overrides["chaos_rate"] = args.chaos
     if args.backend != "exact":
         overrides["backend"] = args.backend
+    if args.batch:
+        if args.backend != "replay":
+            print(
+                "error: --batch pre-compiles and shares schedule plans, "
+                "which only the replay backend executes — add "
+                "--backend replay"
+            )
+            return 2
+        overrides["batch"] = True
     if overrides:
         opts = replace(opts, **overrides)
 
@@ -662,6 +707,8 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     suffix = f", {jobs} workers" if jobs > 1 else ""
     if opts.backend != "exact":
         suffix += f", backend={opts.backend}"
+    if opts.batch:
+        suffix += ", shared batch plans"
     print(
         f"conformance fuzz ({mode}): {opts.iterations} configs over "
         f"{len(opts.families or families())} families, seed {opts.seed}"
@@ -859,6 +906,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (0 = one per CPU; the "
         "report is identical for any value — default 1)",
     )
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="batch plan distribution (requires --backend replay): "
+        "pre-sample the grid, compile each distinct plan once, and map "
+        "it into workers over shared memory instead of rebuilding "
+        "per point — the report is byte-identical either way",
+    )
     p.set_defaults(func=cmd_conformance)
 
     p = sub.add_parser(
@@ -926,6 +981,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="BCAST size for the replay-tier gate section — replay must "
         "beat exact by the gate factor (0 disables the replay section; "
         "default 100000)",
+    )
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="measure the batch tier (repro.batch): 64-point sweep vs "
+        "per-point replay plus the NumPy-kernel gate at BCAST n=10^5 "
+        "(the bench_batch section)",
     )
     p.add_argument(
         "--profile",

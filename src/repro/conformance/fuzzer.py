@@ -84,6 +84,13 @@ class FuzzOptions:
             ``"turbo"``, or ``"replay"``) — the certificates are
             backend-blind, so fuzzing under an alternate lane pins it
             differentially against every closed form.
+        batch: pre-sample the whole grid in the parent (the per-point
+            seed derivation makes the pre-sampled configs identical to
+            what each worker would draw), compile each distinct plan
+            once, and hand workers zero-copy shared-memory handles
+            instead of letting every worker rebuild every plan.
+            Requires ``backend="replay"`` — the only lane that executes
+            plans.  The report is byte-identical with or without it.
     """
 
     seed: int = 0
@@ -97,6 +104,7 @@ class FuzzOptions:
     policies: tuple[str, ...] = POLICIES
     artifact_dir: str | None = None
     backend: str = "exact"
+    batch: bool = False
 
 
 def smoke_options(seed: int = 0, artifact_dir: str | None = None) -> FuzzOptions:
@@ -241,6 +249,31 @@ def point_rng(seed: int, index: int) -> random.Random:
     return random.Random(derive_seed(seed, "fuzz", index))
 
 
+#: Shared-memory segments whose plans this process already installed in
+#: the default plan cache — attach each segment once per worker, not once
+#: per grid point.
+_INSTALLED: "set[str]" = set()
+
+
+def _install_shared_plans(handles: tuple) -> None:
+    """Attach each not-yet-seen shared plan and seed the default cache.
+
+    Runs in the worker (or in-process on the serial path).  The attached
+    plan's columns are zero-copy views of the parent's segment, so the
+    certifier's :func:`~repro.plan.cache.build_plan` lookups hit without
+    rebuilding or even copying the schedule.
+    """
+    from repro.plan.cache import default_cache
+    from repro.plan.columns import SchedulePlan
+
+    cache = default_cache()
+    for handle in handles:
+        if handle.name in _INSTALLED:
+            continue
+        cache.put(SchedulePlan.from_shared(handle))
+        _INSTALLED.add(handle.name)
+
+
 def _certify_index(
     args: "tuple[FuzzOptions, tuple[str, ...], int]",
 ) -> "tuple[int, str, CertResult, str | None, str]":
@@ -253,8 +286,15 @@ def _certify_index(
     names are content-hashed, so serial and parallel runs produce the
     same files), and the unpicklable live systems are stripped before
     the result crosses the process boundary.
+
+    Batch runs append a tuple of
+    :class:`~repro.batch.shared.SharedPlanHandle` as a fourth element;
+    the handles are attached once per process and pre-seed the plan
+    cache before certification.
     """
-    opts, chosen, i = args
+    opts, chosen, i, *rest = args
+    if rest:
+        _install_shared_plans(rest[0])
     family = chosen[i % len(chosen)]
     config = sample_config(point_rng(opts.seed, i), family, opts)
     keep = opts.artifact_dir is not None
@@ -280,6 +320,37 @@ def _certify_index(
     return (i, family, result, artifact, outcome)
 
 
+def _share_grid_plans(opts: FuzzOptions, chosen: "tuple[str, ...]") -> tuple:
+    """Pre-sample the whole grid and share each distinct plan once.
+
+    Point ``i`` owns its RNG (:func:`point_rng`), so replaying the same
+    stream here yields *exactly* the configs each worker will draw —
+    the pre-compiled plans are the ones the certifier would have built.
+    Returns a tuple of :class:`~repro.batch.shared.SharedPlanHandle`;
+    the caller must :func:`~repro.batch.shared.release_shared` each.
+    """
+    from repro.batch.shared import release_shared, share_plan
+    from repro.plan.cache import PlanCache, build_plan
+
+    seen: "set[tuple]" = set()
+    handles: "list" = []
+    try:
+        for i in range(opts.iterations):
+            family = chosen[i % len(chosen)]
+            config = sample_config(point_rng(opts.seed, i), family, opts)
+            key = PlanCache.key(config.family, config.n, config.m, config.lam_time)
+            if key in seen:
+                continue
+            seen.add(key)
+            plan = build_plan(config.family, config.n, config.m, config.lam_time)
+            handles.append(share_plan(plan))
+    except BaseException:
+        for handle in handles:
+            release_shared(handle)
+        raise
+    return tuple(handles)
+
+
 def run_fuzz(opts: FuzzOptions, *, jobs: int = 1) -> FuzzReport:
     """Certify ``opts.iterations`` seeded grid points.
 
@@ -303,8 +374,28 @@ def run_fuzz(opts: FuzzOptions, *, jobs: int = 1) -> FuzzReport:
     report = FuzzReport(options=opts)
     started = _wallclock.perf_counter()
 
-    work = [(opts, chosen, i) for i in range(opts.iterations)]
-    outcomes = parallel_map(_certify_index, work, jobs=jobs)
+    handles: tuple = ()
+    if opts.batch:
+        if opts.backend != "replay":
+            raise InvalidParameterError(
+                "batch plan distribution pre-compiles schedule plans, "
+                "which only the replay backend executes; got "
+                f"backend={opts.backend!r}"
+            )
+        handles = _share_grid_plans(opts, chosen)
+
+    work: "list[tuple]" = [
+        (opts, chosen, i) if not handles else (opts, chosen, i, handles)
+        for i in range(opts.iterations)
+    ]
+    try:
+        outcomes = parallel_map(_certify_index, work, jobs=jobs)
+    finally:
+        if handles:
+            from repro.batch.shared import release_shared
+
+            for handle in handles:
+                release_shared(handle)
 
     for i, family, result, artifact, outcome in outcomes:  # index order
         stats = report.stats.setdefault(family, FamilyStats())

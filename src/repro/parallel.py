@@ -27,13 +27,20 @@ from __future__ import annotations
 import hashlib
 import math
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["derive_seed", "shard", "parallel_map", "effective_jobs"]
+__all__ = [
+    "derive_seed",
+    "shard",
+    "parallel_map",
+    "effective_jobs",
+    "warn_if_oversubscribed",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -67,6 +74,36 @@ def effective_jobs(jobs: "int | None") -> int:
     if jobs < 0:
         raise InvalidParameterError(f"need jobs >= 0, got {jobs}")
     return jobs
+
+
+#: Whether this process already warned about oversubscription — sweep
+#: drivers call :func:`warn_if_oversubscribed` per sharded call, and
+#: repeating the identical warning for every shard is pure noise.
+_warned_oversubscribed = False
+
+
+def warn_if_oversubscribed(jobs: int, *, what: str = "sweep") -> bool:
+    """Emit the oversubscription :class:`RuntimeWarning` **at most once
+    per process** when *jobs* exceeds the CPU count.
+
+    Oversubscribed workers time-slice cores, so per-case wall times are
+    inflated and unsuitable as a baseline — worth saying once, not once
+    per sharded call.  Returns whether a warning was emitted (tests
+    reset the module flag ``_warned_oversubscribed`` to re-arm it).
+    """
+    global _warned_oversubscribed
+    cpus = os.cpu_count() or 1
+    if jobs <= cpus or _warned_oversubscribed:
+        return False
+    _warned_oversubscribed = True
+    warnings.warn(
+        f"{what} jobs={jobs} exceeds cpu_count={cpus}; oversubscribed "
+        f"workers time-slice cores, so per-case wall times will be "
+        f"inflated and unsuitable as a baseline",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return True
 
 
 def shard(count: int, jobs: int) -> list[range]:

@@ -14,7 +14,9 @@ so the second construction is pure waste.  :func:`build_plan` wraps
   :meth:`~repro.plan.columns.SchedulePlan.to_bytes` format, so a *fresh
   process* (a new CI shard, the next nightly run) skips construction
   entirely.  Writes are atomic (`tmp` + :func:`os.replace`); unreadable
-  or foreign files are treated as misses, never as errors;
+  or foreign files are treated as misses, never as errors — but each
+  discarded file is logged at ``WARNING`` on ``repro.plan.cache`` so
+  corruption never hides behind a silent rebuild;
 * **off**: every lookup misses (benchmarking construction itself, or
   ruling the cache out while debugging).
 
@@ -27,6 +29,7 @@ temp directory).
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import tempfile
 from collections import OrderedDict
@@ -56,6 +59,11 @@ _MODES = ("off", "mem", "disk")
 #: Bumped together with the on-disk column format so stale files from an
 #: older layout can never be decoded into the wrong shape.
 _KEY_VERSION = "repro-plan/1"
+
+#: Disk-level robustness events (truncated / mismatched cache files
+#: being discarded) are logged loudly here — a rebuild is correct but
+#: should never be silent, or real corruption hides behind it.
+logger = logging.getLogger("repro.plan.cache")
 
 
 def _default_dir() -> Path:
@@ -170,11 +178,25 @@ class PlanCache:
             return None
         try:
             plan = SchedulePlan.from_bytes(data)
-        except PlanCacheError:
-            return None  # truncated/foreign file: rebuild, don't crash
+        except PlanCacheError as exc:
+            # truncated/foreign file: rebuild, don't crash — but loudly,
+            # so disk corruption never hides behind a silent recompile
+            logger.warning(
+                "discarding corrupt plan cache file %s (%s); "
+                "the plan will be rebuilt", path, exc,
+            )
+            return None
         expect_fam, n, m, lam = key
         if (plan.family, plan.n, plan.m, plan.lam) != (expect_fam, n, m, lam):
-            return None  # hash collision or tampered file
+            logger.warning(
+                "discarding plan cache file %s: content is %s but the key "
+                "demands %s (hash collision or tampered file); "
+                "the plan will be rebuilt",
+                path,
+                (plan.family, plan.n, plan.m, str(plan.lam)),
+                (expect_fam, n, m, str(lam)),
+            )
+            return None
         return plan
 
     def _write_disk(self, key: tuple, plan: SchedulePlan) -> None:

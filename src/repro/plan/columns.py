@@ -95,6 +95,7 @@ class SchedulePlan:
         "msgs",
         "receivers",
         "_lam_ticks",
+        "_shared",
     )
 
     def __init__(
@@ -138,6 +139,7 @@ class SchedulePlan:
         self.msgs = msgs
         self.receivers = receivers
         self._lam_ticks = domain.to_ticks(lam)  # raises if lam off-grid
+        self._shared = None  # shared-memory keepalive (from_shared only)
 
     # ------------------------------------------------------------ accessors
 
@@ -512,6 +514,50 @@ class SchedulePlan:
             push(t, send, s, r, k)
         env.run()
         return system
+
+    # -------------------------------------------------------- shared memory
+
+    def to_shared(self):
+        """Export the four columns into a named shared-memory segment.
+
+        Returns a picklable
+        :class:`~repro.batch.shared.SharedPlanHandle` (a few dozen
+        bytes) that any process can pass to :meth:`from_shared`.  The
+        *calling* process owns the segment: release it with
+        :func:`repro.batch.shared.release_shared` — in a ``finally``,
+        so a crashed worker can never leak it —
+        or manage a whole batch with
+        :class:`~repro.batch.shared.SharedPlanSet`.
+        """
+        from repro.batch.shared import share_plan
+
+        return share_plan(self)
+
+    @classmethod
+    def from_shared(cls, handle) -> "SchedulePlan":
+        """Attach to a segment created by :meth:`to_shared`.
+
+        The returned plan's columns are **zero-copy** ``memoryview('q')``
+        slices of the mapped segment (the buffer protocol makes them
+        interchangeable with ``array('q')`` everywhere — replay kernels,
+        audits, serialization).  The plan keeps the mapping alive for
+        its own lifetime and closes it when garbage-collected; it never
+        unlinks (only the creating process does).
+        """
+        from repro.batch.shared import attach_columns
+
+        columns, attachment = attach_columns(handle)
+        plan = cls(
+            handle.family,
+            handle.n,
+            handle.m,
+            as_time(handle.lam),
+            TickDomain(handle.scale),
+            *columns,
+            root=handle.root,
+        )
+        plan._shared = attachment
+        return plan
 
     # -------------------------------------------------------- serialization
 

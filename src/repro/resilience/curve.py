@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.parallel import derive_seed, parallel_map
+from repro.parallel import derive_seed, parallel_map, warn_if_oversubscribed
 from repro.resilience.runner import ResilienceResult, run_resilient
 from repro.types import TimeLike, as_time, time_repr
 
@@ -94,6 +94,7 @@ def degradation_curve(
         for crash in crash_rates
         for loss in loss_rates
     ]
+    warn_if_oversubscribed(jobs, what="resilience curve")
     return parallel_map(_run_point, specs, jobs=jobs, chunksize=1)
 
 

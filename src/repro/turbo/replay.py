@@ -35,12 +35,23 @@ sequence, and the same exception at the same first collision.
 equivalence (schedule / completion / sends / ports / metrics) against
 full ``exact`` and ``turbo`` protocol runs across every registered
 family.
+
+When NumPy is installed (the ``repro[speed]`` extra) the three passes
+run as whole-column kernels from :mod:`repro.batch.kernels` over
+zero-copy views of the plan columns; ``REPRO_NUMPY=off`` (or an absent
+NumPy) takes the pure-Python passes below.  The two implementations are
+byte-identical — same arrays, same order, same first-collision
+exception — which ``tests/test_batch_differential.py`` pins per family
+and policy.
 """
 
 from __future__ import annotations
 
+import hashlib
 from array import array
 from operator import itemgetter
+
+from repro.batch.kernels import replay_passes
 
 from repro.core.schedule import Schedule, SendEvent
 from repro.errors import ModelError, SimultaneousIOError
@@ -71,6 +82,14 @@ def replay_plan(plan, *, policy: ContentionPolicy = ContentionPolicy.STRICT):
     >>> system.send_count
     63
     """
+    fast = replay_passes(plan, policy)
+    if fast is not None:
+        starts, order, arrivals, contended = fast
+        system = ReplaySystem(plan, policy, starts, arrivals, order)
+        if policy is not ContentionPolicy.STRICT:
+            system.queued_contention = contended
+        return system
+
     n = plan.n
     one = plan.domain.scale
     lat = plan.lam_ticks
@@ -211,6 +230,16 @@ class ReplaySystem:
         if not arrivals:
             return ZERO
         return self.domain.to_time(max(arrivals))
+
+    def column_digest(self) -> str:
+        """SHA-256 over the realized ``starts`` and ``arrivals`` columns
+        (hex).  Two replays with equal digests realized byte-identical
+        timings — the equality check the batch tier streams back
+        instead of the arrays themselves."""
+        h = hashlib.sha256()
+        h.update(self._starts.tobytes())
+        h.update(self._arrivals.tobytes())
+        return h.hexdigest()
 
     def inbox_size(self, proc: ProcId) -> int:
         """Deliveries parked at *proc* (nothing consumes in a replay)."""

@@ -1,0 +1,187 @@
+"""Byte-identity of the batch sweep engine across every execution mode.
+
+:func:`repro.batch.run_batch` promises that its result stream is
+*identical* — field for field, digest for digest — no matter how the
+sweep executes.  This suite pins that promise differentially over every
+plan-compiled family (broadcast and collective) under both contention
+policies, one comparison per axis:
+
+* **fallback** — ``REPRO_NUMPY=off`` forces the pure-Python replay
+  passes; results must match the NumPy kernels exactly (the kernel
+  contract is byte-identity, not approximate agreement).
+* **shared** — ``jobs=4`` with zero-copy shared-memory plan
+  distribution must match the serial in-process sweep.
+* **pickle** — ``jobs=4`` with pickled plan blobs must match too, so
+  the transport is an implementation detail, never an observable.
+
+The serial reference itself is also pinned against a direct
+:func:`~repro.turbo.replay.replay_plan` execution, closing the loop to
+the already-pinned replay tier (``tests/test_replay_equivalence.py``).
+"""
+
+import os
+import warnings
+from contextlib import contextmanager
+
+import pytest
+
+from repro.batch import run_batch
+from repro.batch.runner import BatchPoint
+from repro.errors import InvalidParameterError
+from repro.plan import build_plan, plan_families
+from repro.plan.build import collective_plan_families
+
+#: One applicable-by-construction grid point per family (PIPELINE-1
+#: needs ``m <= floor(lam)``, PIPELINE-2 ``m >= ceil(lam)``, the
+#: single-message families pin ``m = 1``).  Rational lambdas on the
+#: pipelines exercise the tick-domain scaling.
+CONFIGS = {
+    "BCAST": (12, 1, "2"),
+    "BINOMIAL": (12, 1, "2"),
+    "DTREE-BINARY": (12, 1, "2"),
+    "DTREE-LATENCY": (12, 1, "2"),
+    "DTREE-LINE": (12, 1, "2"),
+    "PACK": (10, 3, "2"),
+    "PIPELINE-1": (10, 2, "5/2"),
+    "PIPELINE-2": (10, 3, "5/2"),
+    "REPEAT": (10, 3, "2"),
+    "STAR": (12, 1, "2"),
+    "ALLGATHER": (8, 1, "2"),
+    "ALLREDUCE": (8, 1, "2"),
+    "ALLTOALL": (8, 1, "2"),
+    "BARRIER": (8, 1, "2"),
+    "BRUCK-ALLGATHER": (8, 1, "2"),
+    "GATHER": (8, 1, "2"),
+    "GOSSIP-RING": (8, 1, "2"),
+    "REDUCE": (8, 1, "2"),
+    "SCATTER": (8, 1, "2"),
+}
+
+FAMILIES = sorted(CONFIGS)
+POLICIES = ("strict", "queued")
+
+POINTS = [
+    BatchPoint(family, *CONFIGS[family], policy=policy)
+    for family in FAMILIES
+    for policy in POLICIES
+]
+
+
+def test_config_table_covers_every_plan_family():
+    """The suite must grow with the registry: a newly plan-compiled
+    family without a CONFIGS row fails here, not silently."""
+    registered = set(plan_families()) | set(collective_plan_families())
+    assert registered == set(CONFIGS)
+
+
+def _by_key(results):
+    table = {(r.family, r.policy): r for r in results}
+    assert len(table) == len(results)  # no duplicate grid points
+    return table
+
+
+@contextmanager
+def _quiet_oversubscription():
+    """``jobs=4`` legitimately exceeds small CI runners' CPU counts; the
+    once-per-process warning is the tested behavior of
+    ``tests/test_bench_sections.py``, noise here."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+@pytest.fixture(scope="session")
+def serial_results():
+    """The reference: in-process, one worker, default transport."""
+    return _by_key(run_batch(POINTS, jobs=1))
+
+
+@pytest.fixture(scope="session")
+def fallback_results():
+    """Pure-Python replay passes (``REPRO_NUMPY=off``)."""
+    saved = os.environ.get("REPRO_NUMPY")
+    os.environ["REPRO_NUMPY"] = "off"
+    try:
+        return _by_key(run_batch(POINTS, jobs=1))
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NUMPY", None)
+        else:
+            os.environ["REPRO_NUMPY"] = saved
+
+
+@pytest.fixture(scope="session")
+def shared_results():
+    """Four workers mapping plans from shared memory."""
+    with _quiet_oversubscription():
+        return _by_key(run_batch(POINTS, jobs=4, transport="shared"))
+
+
+@pytest.fixture(scope="session")
+def pickle_results():
+    """Four workers receiving pickled plan blobs."""
+    with _quiet_oversubscription():
+        return _by_key(run_batch(POINTS, jobs=4, transport="pickle"))
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("family", FAMILIES)
+class TestByteIdentity:
+    def test_numpy_vs_fallback(self, serial_results, fallback_results, family, policy):
+        assert serial_results[family, policy] == fallback_results[family, policy]
+
+    def test_serial_vs_shared_jobs4(self, serial_results, shared_results, family, policy):
+        assert serial_results[family, policy] == shared_results[family, policy]
+
+    def test_serial_vs_pickle_jobs4(self, serial_results, pickle_results, family, policy):
+        assert serial_results[family, policy] == pickle_results[family, policy]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_serial_matches_direct_replay(serial_results, family):
+    """Close the loop: run_batch's digest/completion are exactly what a
+    direct replay of the same plan produces."""
+    from repro.postal.machine import ContentionPolicy
+    from repro.turbo.replay import replay_plan
+    from repro.types import time_repr
+
+    n, m, lam = CONFIGS[family]
+    plan = build_plan(family, n, m, lam)
+    system = replay_plan(plan, policy=ContentionPolicy.STRICT)
+    got = serial_results[family, "strict"]
+    assert got.completion == time_repr(system.completion_time)
+    assert got.digest == system.column_digest()
+    assert got.sends == len(plan)
+
+
+def test_results_stream_in_submission_order():
+    pts = [BatchPoint("BCAST", n, 1, "2") for n in (9, 3, 17, 5)]
+    got = run_batch(pts, jobs=1)
+    assert [r.n for r in got] == [9, 3, 17, 5]
+
+
+def test_jobs_beyond_point_count_is_exact(serial_results):
+    with _quiet_oversubscription():
+        got = _by_key(run_batch(POINTS[:3] + POINTS[-3:], jobs=16))
+    for key, result in got.items():
+        assert result == serial_results[key]
+
+
+def test_rejects_unknown_backend():
+    with pytest.raises(InvalidParameterError, match="backend"):
+        run_batch([BatchPoint("BCAST", 4)], backend="exact")
+
+
+def test_rejects_unknown_transport():
+    with pytest.raises(InvalidParameterError, match="transport"):
+        run_batch([BatchPoint("BCAST", 4)], jobs=2, transport="carrier-pigeon")
+
+
+def test_point_rejects_unknown_policy():
+    with pytest.raises(InvalidParameterError, match="policy"):
+        BatchPoint("BCAST", 4, policy="lax")
+
+
+def test_empty_batch_is_empty():
+    with _quiet_oversubscription():
+        assert run_batch([], jobs=4) == []

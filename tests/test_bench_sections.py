@@ -1,18 +1,24 @@
-"""Unit tests for the bench document sections added in schema ``/5``:
-the per-case replay column, the replay gate, ``effective_jobs``
-recording, the oversubscription warning, and the ``--profile`` hook."""
+"""Unit tests for the bench document sections added in schemas ``/5``
+and ``/6``: the per-case replay column, the replay gate,
+``effective_jobs`` recording, the (warn-once) oversubscription warning,
+the ``--profile`` hook, and the ``/6`` batch tier — the ``bench_batch``
+section, its two gates, and the NumPy version stamped in the header."""
 
 import json
 import os
 
 import pytest
 
-from repro import bench
+from repro import bench, parallel
 from repro.bench import (
+    BATCH_GATE_MIN_SPEEDUP,
+    BATCH_KERNEL_GATE_MIN_SPEEDUP,
     BenchCase,
     BenchResult,
     REPLAY_GATE_MIN_SPEEDUP,
     SCHEMA,
+    batch_grid,
+    bench_batch,
     bench_replay,
     compare_to_baseline,
     profile_case,
@@ -38,13 +44,21 @@ def _fake_results():
 
 def test_to_json_records_replay_and_effective_jobs():
     doc = json.loads(to_json(_fake_results(), mode="smoke", jobs=0))
-    assert doc["schema"] == SCHEMA == "repro-bench-turbo/5"
+    assert doc["schema"] == SCHEMA == "repro-bench-turbo/6"
     assert doc["jobs"] == 0
     assert doc["effective_jobs"] == (os.cpu_count() or 1)
     case = doc["cases"][0]
     assert case["replay_s"] == 0.05
     assert case["replay_speedup"] == 60.0
     assert case["speedup"] == 6.0
+
+
+def test_to_json_records_numpy_version():
+    from repro.batch.kernels import numpy_version
+
+    doc = json.loads(to_json(_fake_results(), mode="smoke"))
+    assert "numpy" in doc
+    assert doc["numpy"] == numpy_version()  # installed version or None
 
 
 def test_to_json_carries_replay_section():
@@ -58,12 +72,27 @@ def test_to_json_carries_replay_section():
 def test_run_bench_warns_on_oversubscription(monkeypatch):
     monkeypatch.setattr(bench, "bench_grid", lambda mode: [])
     monkeypatch.setattr(bench.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(parallel, "_warned_oversubscribed", False)  # re-arm
     with pytest.warns(RuntimeWarning, match="exceeds cpu_count"):
         run_bench("smoke", jobs=2)
 
 
+def test_oversubscription_warning_fires_at_most_once_per_process(
+    monkeypatch, recwarn
+):
+    monkeypatch.setattr(bench, "bench_grid", lambda mode: [])
+    monkeypatch.setattr(bench.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(parallel, "_warned_oversubscribed", False)  # re-arm
+    run_bench("smoke", jobs=2)
+    run_bench("smoke", jobs=4)  # second sharded call: same process, silent
+    assert (
+        len([w for w in recwarn if w.category is RuntimeWarning]) == 1
+    )
+
+
 def test_run_bench_serial_does_not_warn(monkeypatch, recwarn):
     monkeypatch.setattr(bench, "bench_grid", lambda mode: [])
+    monkeypatch.setattr(parallel, "_warned_oversubscribed", False)  # re-arm
     run_bench("smoke", jobs=1)
     assert not [w for w in recwarn if w.category is RuntimeWarning]
 
@@ -120,3 +149,53 @@ def test_profile_case_writes_pstats_and_table(tmp_path):
     assert table.startswith("profile: BCAST n=64")
     stats = pstats.Stats(str(dump))  # the dump is a loadable pstats file
     assert stats.total_calls > 0
+
+
+def test_batch_grid_shape():
+    points = batch_grid()
+    assert len(points) == 64
+    assert {p.family for p in points} == {"BCAST", "PIPELINE-2"}
+    assert len({(p.family, p.n, p.m) for p in points}) == 64  # all distinct
+
+
+def test_bench_batch_section_shape():
+    from repro.batch.kernels import kernels_enabled
+
+    section = bench_batch(kernel_n=512)
+    assert section["points"] == 64
+    assert section["gate"]["min_speedup"] == BATCH_GATE_MIN_SPEEDUP
+    assert section["per_point_s"] > 0 and section["batch_s"] > 0
+    # speedup is rounded from the *raw* ratio; per_point_s/batch_s are
+    # independently rounded to 6dp, so recombining them is only close
+    assert section["speedup"] == pytest.approx(
+        section["per_point_s"] / section["batch_s"], rel=1e-3
+    )
+    kernel = section["kernel"]
+    assert kernel["n"] == 512
+    assert kernel["gate"]["min_speedup"] == BATCH_KERNEL_GATE_MIN_SPEEDUP
+    assert kernel["python_s"] > 0
+    from repro.batch.kernels import numpy_version
+
+    assert kernel["numpy"] == numpy_version()  # installed version or None
+    if kernels_enabled():
+        assert kernel["numpy_s"] > 0
+    else:
+        # no kernels (absent or REPRO_NUMPY=off): vacuous, never a failure
+        assert kernel["numpy_s"] is None and kernel["speedup"] is None
+        assert kernel["gate"]["ok"] is True
+    assert section["gate"]["ok"] == (
+        section["gate"]["sweep_ok"] and section["gate"]["kernel_ok"]
+    )
+
+
+def test_to_json_carries_batch_section():
+    batch = {"points": 64, "speedup": 9.0, "gate": {"ok": True}}
+    doc = json.loads(
+        to_json(_fake_results(), mode="smoke", jobs=1, batch=batch)
+    )
+    assert doc["bench_batch"]["speedup"] == 9.0
+
+
+def test_to_json_omits_batch_section_when_not_measured():
+    doc = json.loads(to_json(_fake_results(), mode="smoke"))
+    assert "bench_batch" not in doc

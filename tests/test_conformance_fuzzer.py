@@ -235,3 +235,72 @@ class TestCli:
         out = capsys.readouterr().out
         assert rc == 0
         assert "PIPELINE-2" in out
+
+
+class TestBatchPlanDistribution:
+    """``FuzzOptions(batch=True)``: pre-compiled, shared-memory plans
+    must be invisible in the report — byte-identical outcomes — and the
+    segments must never outlive the run."""
+
+    def _report_signature(self, report):
+        return (
+            report.ok,
+            report.total_runs,
+            {
+                family: (s.runs, s.certified, s.failed, s.chaos_missed)
+                for family, s in sorted(report.stats.items())
+            },
+        )
+
+    def test_batch_requires_replay_backend(self):
+        with pytest.raises(InvalidParameterError, match="replay"):
+            run_fuzz(_quick(backend="exact", batch=True))
+
+    def test_batch_report_is_identical_to_plain(self):
+        plain = run_fuzz(_quick(seed=11, backend="replay"))
+        batch = run_fuzz(_quick(seed=11, backend="replay", batch=True))
+        assert plain.ok and batch.ok
+        assert self._report_signature(plain) == self._report_signature(batch)
+
+    def test_batch_parallel_is_identical_to_serial(self):
+        serial = run_fuzz(_quick(seed=12, backend="replay", batch=True))
+        parallel = run_fuzz(
+            _quick(seed=12, backend="replay", batch=True), jobs=2
+        )
+        assert self._report_signature(serial) == self._report_signature(
+            parallel
+        )
+
+    def test_batch_releases_every_segment(self):
+        shm = Path("/dev/shm")
+        if not shm.is_dir():
+            pytest.skip("no /dev/shm to scan for leaks")
+        before = {p.name for p in shm.iterdir()}
+        run_fuzz(_quick(seed=13, backend="replay", batch=True), jobs=2)
+        assert {p.name for p in shm.iterdir()} <= before
+
+    def test_cli_batch_rejects_non_replay_backend(self, capsys):
+        from repro.cli import main
+
+        rc = main(["conformance", "--batch", "--iterations", "4"])
+        assert rc == 2
+        assert "--backend replay" in capsys.readouterr().out
+
+    def test_cli_batch_smoke(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "conformance",
+                "--batch",
+                "--backend",
+                "replay",
+                "--seed",
+                "3",
+                "--iterations",
+                "12",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shared batch plans" in out

@@ -1,0 +1,117 @@
+"""Disk-level robustness of the plan cache.
+
+A corrupt, truncated, or foreign ``*.plan`` file must never crash a
+sweep — the cache treats it as a miss, rebuilds, and overwrites — but it
+must also never be *silent*: every discarded file logs a ``WARNING`` on
+``repro.plan.cache``, because a quietly self-healing cache is exactly
+where real corruption (bad disk, racing writers, tampering) hides.
+
+The fresh-subprocess test pins the end-to-end behavior a CI shard would
+see: a new interpreter with a poisoned disk cache exits 0 and surfaces
+the discard on stderr (the ``logging`` last-resort handler — no logging
+configuration required).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.plan import build_plan
+from repro.plan.cache import PlanCache
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    return PlanCache(mode="disk", directory=tmp_path)
+
+
+def _poison(cache: PlanCache, key: tuple, data: bytes):
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(data)
+    return path
+
+
+def test_truncated_file_is_discarded_and_rebuilt(disk_cache, caplog):
+    plan = build_plan("BCAST", 12, 1, "2", cache=disk_cache)
+    key = disk_cache.key("BCAST", 12, 1, "2")
+    path = _poison(disk_cache, key, plan.to_bytes()[:17])
+    disk_cache.clear()  # drop the memory level, force the disk read
+
+    with caplog.at_level("WARNING", logger="repro.plan.cache"):
+        rebuilt = build_plan("BCAST", 12, 1, "2", cache=disk_cache)
+    assert rebuilt == plan
+    assert "discarding corrupt plan cache file" in caplog.text
+    assert str(path) in caplog.text
+    # the rebuild overwrote the poisoned file with a good one
+    disk_cache.clear()
+    with caplog.at_level("WARNING", logger="repro.plan.cache"):
+        caplog.clear()
+        again = build_plan("BCAST", 12, 1, "2", cache=disk_cache)
+    assert again == plan
+    assert caplog.text == ""
+    assert disk_cache.disk_hits == 1
+
+
+def test_garbage_bytes_are_discarded(disk_cache, caplog):
+    key = disk_cache.key("STAR", 8, 1, "2")
+    _poison(disk_cache, key, b"\x00not a plan at all\xff" * 3)
+    with caplog.at_level("WARNING", logger="repro.plan.cache"):
+        plan = build_plan("STAR", 8, 1, "2", cache=disk_cache)
+    assert plan.family == "STAR"
+    assert "discarding corrupt plan cache file" in caplog.text
+
+
+def test_wrong_content_under_right_hash_is_discarded(disk_cache, caplog):
+    """A *well-formed* plan file whose header contradicts the key (hash
+    collision, tampering, or a renamed file) is rejected too."""
+    impostor = build_plan("STAR", 8, 1, "2", cache=PlanCache(mode="off"))
+    key = disk_cache.key("BCAST", 12, 1, "2")
+    _poison(disk_cache, key, impostor.to_bytes())
+    with caplog.at_level("WARNING", logger="repro.plan.cache"):
+        plan = build_plan("BCAST", 12, 1, "2", cache=disk_cache)
+    assert (plan.family, plan.n) == ("BCAST", 12)
+    assert "hash collision or tampered file" in caplog.text
+    assert "STAR" in caplog.text and "BCAST" in caplog.text
+
+
+def test_empty_file_is_discarded(disk_cache, caplog):
+    key = disk_cache.key("BCAST", 6, 1, "3")
+    _poison(disk_cache, key, b"")
+    with caplog.at_level("WARNING", logger="repro.plan.cache"):
+        plan = build_plan("BCAST", 6, 1, "3", cache=disk_cache)
+    assert plan.n == 6
+    assert "discarding corrupt plan cache file" in caplog.text
+
+
+def test_fresh_subprocess_recovers_loudly(tmp_path):
+    """A brand-new interpreter hitting a poisoned disk cache: exit 0,
+    correct plan, and the discard visible on stderr without any logging
+    setup (the last-resort handler)."""
+    seed_cache = PlanCache(mode="disk", directory=tmp_path)
+    plan = build_plan("BCAST", 12, 1, "2", cache=seed_cache)
+    key = seed_cache.key("BCAST", 12, 1, "2")
+    _poison(seed_cache, key, plan.to_bytes()[:9])
+
+    script = (
+        "from repro.plan import build_plan\n"
+        "p = build_plan('BCAST', 12, 1, '2')\n"
+        "print(p.completion_time())\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={
+            "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src"),
+            "REPRO_PLAN_CACHE": "disk",
+            "REPRO_PLAN_CACHE_DIR": str(tmp_path),
+            "PATH": "/usr/bin:/bin",
+        },
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "discarding corrupt plan cache file" in proc.stderr
+    assert proc.stdout.strip() == str(plan.completion_time())
