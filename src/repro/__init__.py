@@ -33,6 +33,7 @@ from repro.errors import (
     ScheduleError,
     SimulationError,
     SimultaneousIOError,
+    TuningError,
 )
 from repro.core.fibfunc import GeneralizedFibonacci, postal_F, postal_f
 from repro.core.schedule import Schedule, SendEvent
@@ -62,6 +63,14 @@ from repro.algorithms import (
 from repro.mpi import SimComm
 from repro.parallel import derive_seed, parallel_map
 from repro.plan import PlanCache, SchedulePlan, build_plan, compile_plan
+from repro.tune import (
+    TuneCache,
+    TuningTable,
+    derive_table,
+    rank,
+    select_protocol,
+    verify_table,
+)
 from repro.obs import (
     CriticalPath,
     EngineProfile,
@@ -126,6 +135,13 @@ __all__ = [
     "compile_plan",
     "build_plan",
     "PlanCache",
+    "TuningError",
+    "TuneCache",
+    "TuningTable",
+    "select_protocol",
+    "rank",
+    "derive_table",
+    "verify_table",
     "derive_seed",
     "parallel_map",
     "render_tree",

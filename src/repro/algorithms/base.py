@@ -17,7 +17,7 @@ from repro.errors import InvalidParameterError
 from repro.postal.machine import PostalSystem
 from repro.postal.message import Message
 from repro.sim.engine import Event
-from repro.types import ProcId, Time, TimeLike, as_time
+from repro.types import ProcId, TimeLike, as_time
 
 __all__ = ["Protocol", "InboxBuffer"]
 

@@ -30,8 +30,7 @@ exactly that for every plan-compiled family under both policies.
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import InvalidParameterError
 from repro.parallel import effective_jobs, parallel_map, warn_if_oversubscribed
@@ -91,6 +90,25 @@ class BatchResult:
     sends: int
     contended: bool
     digest: str
+
+
+def _resolve_auto(point: BatchPoint) -> BatchPoint:
+    """Resolve ``family="auto"`` / ``"auto:<workload>"`` points through
+    the tuner (restricted to plan-compilable families, since the batch
+    tier replays compiled plans); concrete points pass through."""
+    from repro.tune.model import auto_workload, select_protocol
+
+    if auto_workload(point.family) is None:
+        return point
+    family = select_protocol(
+        auto_workload(point.family) or "broadcast",
+        point.n,
+        m=point.m,
+        lam=as_time(point.lam),
+        policy=point.policy,
+        require_plan=True,
+    )
+    return replace(point, family=family)
 
 
 def _replay_point(plan: SchedulePlan, point: BatchPoint) -> BatchResult:
@@ -173,7 +191,7 @@ def run_batch(
         raise InvalidParameterError(
             f"transport must be one of {_TRANSPORTS}, got {transport!r}"
         )
-    points = list(points)
+    points = [_resolve_auto(p) for p in points]
 
     # compile or cache-hit each distinct plan exactly once
     keys = []

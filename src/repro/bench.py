@@ -94,6 +94,7 @@ import os
 import platform
 import time
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Callable, Iterable, Sequence
 
 from repro.parallel import effective_jobs, parallel_map, warn_if_oversubscribed
@@ -118,12 +119,15 @@ __all__ = [
     "RESILIENCE_CASES",
     "RESILIENCE_GATE_N",
     "SCHEMA",
+    "TUNE_GATE_POINTS",
+    "TUNE_GATE_TOLERANCE",
     "batch_grid",
     "bench_batch",
     "bench_grid",
     "bench_plan_layer",
     "bench_replay",
     "bench_resilience",
+    "bench_tune",
     "collective_gate_result",
     "compare_to_baseline",
     "format_results",
@@ -135,14 +139,15 @@ __all__ = [
 ]
 
 #: Schema tag written into every ``BENCH_turbo.json``.
-SCHEMA = "repro-bench-turbo/6"
+SCHEMA = "repro-bench-turbo/7"
 
 #: Schemas :func:`compare_to_baseline` accepts (the per-case layout has
 #: been stable since ``/1``; ``/2`` added runner metadata and the plan
 #: section, ``/3`` the collective cases and gate, ``/4`` the resilience
 #: section, ``/5`` the per-case ``replay_s`` and the replay gate, ``/6``
-#: the ``numpy`` header field and the ``bench_batch`` section — extra
-#: top-level keys and case fields older readers simply ignore).
+#: the ``numpy`` header field and the ``bench_batch`` section, ``/7``
+#: the ``bench_tune`` section — extra top-level keys and case fields
+#: older readers simply ignore).
 BASELINE_SCHEMAS = (
     "repro-bench-turbo/1",
     "repro-bench-turbo/2",
@@ -150,6 +155,7 @@ BASELINE_SCHEMAS = (
     "repro-bench-turbo/4",
     "repro-bench-turbo/5",
     "repro-bench-turbo/6",
+    "repro-bench-turbo/7",
 )
 
 #: The acceptance gate: ``(family, n)`` that must clear the speedup bar.
@@ -198,6 +204,26 @@ BATCH_KERNEL_GATE_N = 100_000
 #: :data:`BATCH_KERNEL_GATE_N` — enforced only when NumPy is installed
 #: (the section records ``numpy: null`` and passes vacuously otherwise).
 BATCH_KERNEL_GATE_MIN_SPEEDUP = 2.0
+
+#: Auto-selection gate points: ``(n, m, lam)`` broadcast queries the
+#: tuner must answer at least as well as the *worst* applicable fixed
+#: family, and within :data:`TUNE_GATE_TOLERANCE` of the *best* one.
+#: Completion times are exact rationals, so this gate is deterministic —
+#: it measures decision quality, never wall clocks.
+TUNE_GATE_POINTS = (
+    (64, 1, "2"),
+    (64, 4, "2"),
+    (256, 1, "5/2"),
+    (256, 4, "5/2"),
+    (1024, 1, "2"),
+    (1024, 2, "4"),
+)
+
+#: Relative slack over the best fixed family's exact completion time the
+#: auto-selected family is allowed (the tuner ranks upper-bound families
+#: by their bounds when calibration is capped, so "within 25% of
+#: optimal" is the contract, "never worse than the worst" the floor).
+TUNE_GATE_TOLERANCE = 0.25
 
 #: Machine size for the resilience gate cases (recovery at n = 10^3 is
 #: thousands of fault draws per case — enough to make a determinism or
@@ -695,6 +721,63 @@ def profile_case(
     return header + buf.getvalue()
 
 
+def bench_tune(points=TUNE_GATE_POINTS) -> dict:
+    """The auto-selection gate: the ``bench_tune`` section.
+
+    For every pinned broadcast point, measure the **exact** completion
+    time of each applicable fixed family on the turbo lane, ask the
+    tuner for its pick, and require the pick to be (a) no slower than
+    the worst fixed family and (b) within :data:`TUNE_GATE_TOLERANCE`
+    of the best.  Everything here is exact rational arithmetic — the
+    gate is deterministic and machine-independent.
+    """
+    from repro.conformance.oracles import REGISTRY
+    from repro.tune import measure, select_protocol
+
+    rows = []
+    all_ok = True
+    for n, m, lam in points:
+        lam_t = as_time(lam)
+        completions = {
+            fam: measure(fam, n, m, lam_t)[0]
+            for fam, oracle in sorted(REGISTRY.items())
+            if oracle.semantics == "broadcast"
+            and oracle.applicable(n, m, lam_t)
+        }
+        auto = select_protocol("broadcast", n, m=m, lam=lam_t)
+        auto_completion = completions[auto]
+        best_family = min(completions, key=lambda f: (completions[f], f))
+        worst_family = max(completions, key=lambda f: (completions[f], f))
+        best = completions[best_family]
+        worst = completions[worst_family]
+        bar = best * (1 + Fraction(TUNE_GATE_TOLERANCE).limit_denominator())
+        ok = auto_completion <= worst and auto_completion <= bar
+        all_ok = all_ok and ok
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "lam": time_repr(lam_t),
+                "auto": auto,
+                "auto_completion": time_repr(auto_completion),
+                "best_family": best_family,
+                "best_completion": time_repr(best),
+                "worst_family": worst_family,
+                "worst_completion": time_repr(worst),
+                "families": len(completions),
+                "ok": ok,
+            }
+        )
+    return {
+        "points": rows,
+        "gate": {
+            "ok": all_ok,
+            "tolerance": TUNE_GATE_TOLERANCE,
+            "points": len(rows),
+        },
+    }
+
+
 # ------------------------------------------------------------- reporting
 
 
@@ -806,6 +889,7 @@ def to_json(
     resilience: "dict | None" = None,
     replay: "dict | None" = None,
     batch: "dict | None" = None,
+    tune: "dict | None" = None,
 ) -> str:
     """Serialize *results* to the ``BENCH_turbo.json`` document.
 
@@ -814,7 +898,9 @@ def to_json(
     the :func:`bench_resilience` section (correctness-gated, so its
     rows never enter the baseline wall-time diff); *replay* the
     :func:`bench_replay` section carrying the replay gate; *batch* the
-    :func:`bench_batch` section carrying the batch-tier gates; *jobs*
+    :func:`bench_batch` section carrying the batch-tier gates; *tune*
+    the :func:`bench_tune` section carrying the (deterministic,
+    exact-arithmetic) auto-selection gate; *jobs*
     records how the sweep was *requested* — the resolved worker count
     lands in ``effective_jobs`` (``jobs=0`` means one per CPU, so the
     two differ exactly when the request was left to the machine).
@@ -861,6 +947,8 @@ def to_json(
         doc["replay"] = replay
     if batch is not None:
         doc["bench_batch"] = batch
+    if tune is not None:
+        doc["bench_tune"] = tune
     return json.dumps(doc, indent=2) + "\n"
 
 

@@ -1,0 +1,238 @@
+"""Generic two-level (memory LRU + optional disk) artifact caching.
+
+:class:`TwoLevelCache` is the machinery behind
+:class:`repro.plan.cache.PlanCache` and
+:class:`repro.tune.cache.TuneCache`: an exact-LRU
+:class:`~collections.OrderedDict` of live objects in front of an
+optional directory of content-hashed files, with atomic writes
+(``tmp`` + :func:`os.replace`) and miss-not-error semantics for
+unreadable or foreign files.  Each concrete cache supplies
+
+* the artifact noun used in diagnostics (``artifact``),
+* its environment knobs (``env_mode`` / ``env_dir``) and file suffix,
+* the canonical text hashed into a file name (:meth:`content_text`),
+* the byte codec (:meth:`encode` / :meth:`decode`, with
+  ``decode_errors`` naming the exceptions that mean "corrupt file"),
+* and an optional identity check (:meth:`check`) guarding against hash
+  collisions or tampered files.
+
+The mode is one of ``off`` (every lookup misses), ``mem`` (LRU only,
+the default), or ``disk`` (LRU plus persistent files), resolved from
+the subclass's ``env_mode`` variable unless given explicitly.
+Discarded disk files are logged at ``WARNING`` on the subclass's
+logger so corruption never hides behind a silent rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Tuple, Type
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["TwoLevelCache", "DEFAULT_CAPACITY", "MODES"]
+
+#: In-memory LRU capacity (entries, not bytes); sweeps in this repo hold
+#: well under this many distinct configurations.
+DEFAULT_CAPACITY = 128
+
+MODES = ("off", "mem", "disk")
+
+
+class TwoLevelCache:
+    """Memory-LRU-plus-disk cache of immutable, content-keyed artifacts.
+
+    Args:
+        mode: ``"off"``, ``"mem"``, or ``"disk"``; defaults to the
+            subclass's ``env_mode`` environment variable or ``"mem"``.
+        directory: disk cache root (``disk`` mode only); defaults to the
+            subclass's ``env_dir`` environment variable or
+            :meth:`default_directory`.
+        capacity: LRU entry cap for the memory level.
+    """
+
+    #: Noun used in error and warning messages ("plan", "tuning table").
+    artifact = "artifact"
+    #: Environment variable selecting the mode.
+    env_mode = "REPRO_CACHE"
+    #: Environment variable overriding the disk directory.
+    env_dir = "REPRO_CACHE_DIR"
+    #: File suffix for disk entries (also drives :meth:`clear`'s glob).
+    suffix = ".bin"
+    #: Logger that receives discard warnings.
+    logger = logging.getLogger("repro.caching")
+    #: Exception types :meth:`decode` raises on a corrupt payload.
+    decode_errors: Tuple[Type[BaseException], ...] = ()
+
+    def __init__(
+        self,
+        *,
+        mode: "str | None" = None,
+        directory: "Path | str | None" = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        if mode is None:
+            mode = os.environ.get(self.env_mode, "mem").strip().lower() or "mem"
+        if mode not in MODES:
+            raise InvalidParameterError(
+                f"{self.artifact} cache mode must be one of {MODES}, "
+                f"got {mode!r} (check ${self.env_mode})"
+            )
+        if capacity < 1:
+            raise InvalidParameterError(f"need capacity >= 1, got {capacity}")
+        self.mode = mode
+        if directory:
+            self.directory = Path(directory)
+        else:
+            env = os.environ.get(self.env_dir)
+            self.directory = Path(env) if env else self.default_directory()
+        self.capacity = capacity
+        self._mem: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------ subclass hooks
+
+    def default_directory(self) -> Path:
+        """Disk root used when neither ``directory`` nor ``env_dir`` is set."""
+        raise NotImplementedError
+
+    def content_text(self, key: Any) -> str:
+        """Canonical text whose SHA-256 names the disk file for *key*."""
+        raise NotImplementedError
+
+    def encode(self, obj: Any) -> bytes:
+        """Serialize *obj* for the disk level."""
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> Any:
+        """Deserialize a disk payload (raise one of ``decode_errors``)."""
+        raise NotImplementedError
+
+    def check(self, key: Any, obj: Any) -> bool:
+        """Whether a decoded *obj* really is the artifact *key* names.
+
+        Subclasses log their own discard warning and return ``False`` on
+        a mismatch (hash collision or tampered file).
+        """
+        return True
+
+    # ----------------------------------------------------------------- keys
+
+    def path_for(self, key: Any) -> Path:
+        """Content-hashed disk location of *key* (exists or not)."""
+        digest = hashlib.sha256(self.content_text(key).encode()).hexdigest()
+        return self.directory / f"{digest}{self.suffix}"
+
+    # --------------------------------------------------------------- lookup
+
+    def lookup(self, key: Any) -> Any:
+        """The cached artifact for *key*, or ``None`` (always ``None`` in
+        ``off`` mode)."""
+        if self.mode == "off":
+            self.misses += 1
+            return None
+        obj = self._mem.get(key)
+        if obj is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return obj
+        if self.mode == "disk":
+            obj = self._read_disk(key)
+            if obj is not None:
+                self._remember(key, obj)
+                self.hits += 1
+                self.disk_hits += 1
+                return obj
+        self.misses += 1
+        return None
+
+    def store(self, key: Any, obj: Any) -> None:
+        """Remember *obj* under *key* (no-op in ``off`` mode)."""
+        if self.mode == "off":
+            return
+        self._remember(key, obj)
+        if self.mode == "disk":
+            self._write_disk(key, obj)
+
+    def _remember(self, key: Any, obj: Any) -> None:
+        self._mem[key] = obj
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.capacity:
+            self._mem.popitem(last=False)
+
+    # ----------------------------------------------------------------- disk
+
+    def _read_disk(self, key: Any) -> Any:
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            obj = self.decode(data)
+        except self.decode_errors as exc:
+            # truncated/foreign file: rebuild, don't crash — but loudly,
+            # so disk corruption never hides behind a silent recompile
+            self.logger.warning(
+                "discarding corrupt %s cache file %s (%s); "
+                "the %s will be rebuilt",
+                self.artifact, path, exc, self.artifact,
+            )
+            return None
+        if not self.check(key, obj):
+            return None
+        return obj
+
+    def _write_disk(self, key: Any, obj: Any) -> None:
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(self.encode(obj))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # read-only FS / quota: the cache is best-effort
+
+    # ----------------------------------------------------------- management
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the memory level (and the disk files when ``disk=True``)."""
+        self._mem.clear()
+        self.hits = self.misses = self.disk_hits = 0
+        if disk and self.mode == "disk":
+            try:
+                for path in self.directory.glob(f"*{self.suffix}"):
+                    path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def stats(self) -> dict:
+        """``{"mode", "entries", "hits", "misses", "disk_hits"}``."""
+        return {
+            "mode": self.mode,
+            "entries": len(self._mem),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(mode={self.mode!r}, "
+            f"entries={len(self._mem)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

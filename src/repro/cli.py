@@ -64,9 +64,24 @@ from repro.core.multi import pack_schedule, pipeline_schedule, repeat_schedule
 from repro.core.serialize import dumps_schedule, tree_to_dict
 from repro.report.render import render_gantt, render_tree
 from repro.report.tables import format_table
-from repro.types import as_time, time_repr
+from repro.types import as_time as _parse_time, time_repr
 
 __all__ = ["main", "build_parser"]
+
+
+def as_time(value):
+    """CLI-boundary time parsing: an unparseable ``--lam``/``--t``
+    literal becomes a one-line ``error:`` exit (via
+    :class:`~repro.errors.InvalidParameterError` and :func:`main`'s
+    central handler), never a ``Fraction`` traceback."""
+    from repro.errors import InvalidParameterError
+
+    try:
+        return _parse_time(value)
+    except (ValueError, TypeError, ZeroDivisionError) as exc:
+        raise InvalidParameterError(
+            f"invalid time value {value!r}: {exc}"
+        ) from exc
 
 
 def _build_schedule(algorithm: str, n: int, m: int, lam):
@@ -109,6 +124,15 @@ def _protocol_for(algorithm: str, n: int, m: int, lam):
     )
 
     algorithm = algorithm.lower()
+    if algorithm == "auto" or algorithm.startswith("auto:"):
+        # tuner-selected family; ReproError from an unknown workload or
+        # an inapplicable point surfaces through main()'s error handler
+        from repro.conformance.oracles import get_oracle
+        from repro.tune.model import resolve_family
+
+        resolved = resolve_family(algorithm, n, m, lam)
+        print(f"auto-selected family: {resolved}", file=sys.stderr)
+        return get_oracle(resolved).protocol(n=n, m=m, lam=lam)
     if algorithm == "bcast":
         return BcastProtocol(n, lam)
     if algorithm == "repeat":
@@ -245,6 +269,112 @@ def cmd_phase(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.tune import TuningTable, cached_table, rank, verify_table
+
+    if args.verify:
+        ok, fresh, committed_text, fresh_text = verify_table(
+            args.verify, jobs=args.jobs, progress=print
+        )
+        if ok:
+            print(
+                f"tuning table {args.verify} verified: "
+                f"{len(fresh)} entries, content hash "
+                f"{fresh.content_hash[:16]}... matches the fresh derivation"
+            )
+            return 0
+        print(
+            f"tuning table {args.verify} DRIFTED from the fresh "
+            f"derivation ({len(fresh)} entries)", file=sys.stderr,
+        )
+        committed_lines = committed_text.splitlines()
+        fresh_lines = fresh_text.splitlines()
+        shown = 0
+        for i, (old, new) in enumerate(zip(committed_lines, fresh_lines)):
+            if old != new:
+                print(f"  line {i + 1}: committed {old.strip()!r} "
+                      f"vs fresh {new.strip()!r}", file=sys.stderr)
+                shown += 1
+                if shown >= 10:
+                    break
+        if len(committed_lines) != len(fresh_lines):
+            print(
+                f"  length: committed {len(committed_lines)} lines "
+                f"vs fresh {len(fresh_lines)}", file=sys.stderr,
+            )
+        if args.fresh_out:
+            Path(args.fresh_out).write_text(fresh_text)
+            print(f"fresh table written to {args.fresh_out}",
+                  file=sys.stderr)
+        return 1
+
+    if args.sweep:
+        table = cached_table(jobs=args.jobs)
+        rows = [
+            (e.workload, e.n, e.m, e.lam, e.policy, e.winner,
+             e.ranking[0].predicted)
+            for e in table.entries
+        ]
+        print(
+            format_table(
+                ("workload", "n", "m", "lambda", "policy", "winner",
+                 "predicted"),
+                rows,
+            )
+        )
+        print(f"\n{len(table)} entries, grid {table.grid}, "
+              f"content hash {table.content_hash[:16]}...")
+        if args.out:
+            table.save(args.out)
+            print(f"table written to {args.out}")
+        return 0
+
+    if args.n is None:
+        raise SystemExit("tune: provide --n (or use --sweep / --verify)")
+    lam = as_time(args.lam)
+    committed = TuningTable.load(args.table) if args.table else None
+    entry = (
+        committed.lookup(args.workload, args.n, args.m, lam, args.policy)
+        if committed is not None
+        else None
+    )
+    if entry is not None:
+        rows = [
+            (r.family, r.predicted, "yes" if r.exact else "UB",
+             r.measured or "-", r.sends if r.sends is not None else "-")
+            for r in entry.ranking
+        ]
+        source = f"committed table {args.table}"
+        winner = entry.winner
+    else:
+        ranking = rank(
+            args.workload, args.n, args.m, lam,
+            policy=args.policy, calibrate=not args.no_calibrate,
+        )
+        rows = [
+            (c.family, time_repr(c.predicted), "yes" if c.exact else "UB",
+             time_repr(c.measured) if c.measured is not None else "-",
+             c.sends if c.sends is not None else "-")
+            for c in ranking
+        ]
+        source = "derived on the spot"
+        winner = ranking[0].family
+    print(
+        f"tune: workload={args.workload} n={args.n} m={args.m} "
+        f"lambda={time_repr(lam)} policy={args.policy} ({source})"
+    )
+    print()
+    print(
+        format_table(
+            ("family", "predicted", "exact", "measured", "sends"), rows
+        )
+    )
+    print(f"\nselected: {winner}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -366,6 +496,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 f"[{kv}]"
             )
         ok = ok and bg["ok"]
+    tune = None
+    if args.tune:
+        from repro.bench import bench_tune
+
+        tune = bench_tune()
+        tg = tune["gate"]
+        tv = "PASS" if tg["ok"] else "FAIL"
+        print(
+            f"tune gate: auto selection within {tg['tolerance']:.0%} of "
+            f"the best fixed family (and never past the worst) over "
+            f"{tg['points']} pinned points — exact arithmetic [{tv}]"
+        )
+        for row in tune["points"]:
+            if not row["ok"]:
+                print(
+                    f"  FAIL at n={row['n']} m={row['m']} "
+                    f"lam={row['lam']}: auto {row['auto']} = "
+                    f"{row['auto_completion']} vs best "
+                    f"{row['best_family']} = {row['best_completion']}"
+                )
+        ok = ok and tg["ok"]
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -393,6 +544,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     resilience=resilience,
                     replay=replay,
                     batch=batch,
+                    tune=tune,
                 )
             )
         print(f"\nresults written to {args.out}")
@@ -917,6 +1069,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_conformance)
 
     p = sub.add_parser(
+        "tune",
+        help="postal autotuner: rank families for a query, sweep the "
+        "pinned grid into a tuning table, or drift-check a committed one",
+    )
+    p.add_argument("--workload", default="broadcast",
+                   help="broadcast, allgather, allreduce, reduce, "
+                   "scatter, gather, alltoall, or barrier")
+    p.add_argument("--n", type=int, help="machine size for a single query")
+    p.add_argument("--m", type=int, default=1,
+                   help="message count (broadcast workload only)")
+    p.add_argument("--lam", default="2",
+                   help="postal latency (int, decimal, or ratio)")
+    p.add_argument("--policy", choices=("strict", "queued"),
+                   default="strict")
+    p.add_argument(
+        "--no-calibrate", action="store_true",
+        help="rank by closed forms only, skipping turbo tie-break runs",
+    )
+    p.add_argument(
+        "--table", metavar="PATH",
+        help="consult this committed tuning table first in query mode",
+    )
+    p.add_argument(
+        "--sweep", action="store_true",
+        help="derive the full pinned grid (through the two-level "
+        "$REPRO_TUNE_CACHE) and print the table",
+    )
+    p.add_argument(
+        "--verify", metavar="PATH",
+        help="re-derive PATH's grid and fail (exit 1) unless the fresh "
+        "table is byte-identical — the CI drift check",
+    )
+    p.add_argument(
+        "--out", metavar="PATH",
+        help="with --sweep: write the canonical table JSON here",
+    )
+    p.add_argument(
+        "--fresh-out", metavar="PATH",
+        help="with --verify: on drift, write the fresh table here "
+        "(CI uploads it as an artifact)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the calibration sweep (0 = one per "
+        "CPU; any value derives byte-identical tables)",
+    )
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
         "bench",
         help="perf regression harness: exact vs turbo vs replay wall times",
     )
@@ -988,6 +1189,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the batch tier (repro.batch): 64-point sweep vs "
         "per-point replay plus the NumPy-kernel gate at BCAST n=10^5 "
         "(the bench_batch section)",
+    )
+    p.add_argument(
+        "--tune",
+        action="store_true",
+        help="run the auto-selection gate (the bench_tune section): the "
+        "tuner's pick must match the best fixed family within tolerance "
+        "on a pinned grid — exact arithmetic, no wall clocks",
     )
     p.add_argument(
         "--profile",
@@ -1072,9 +1280,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError` — off-grid tick
+    domains, bad parameter values, inapplicable tuning queries, ...)
+    are reported as a one-line ``error:`` message on stderr with exit
+    code 2, never as a traceback."""
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -43,7 +43,7 @@ from repro.obs.metrics import cross_check_metrics
 from repro.postal.machine import ContentionPolicy
 from repro.postal.runner import ProtocolResult, run_protocol
 from repro.postal.validator import validate_run
-from repro.types import Time, TimeLike, as_time, time_repr
+from repro.types import Time, as_time, time_repr
 
 from repro.conformance.chaos import corrupt_schedule
 from repro.conformance.oracles import Oracle, get_oracle

@@ -40,7 +40,7 @@ Broadcast families additionally certify the Lemma 5 population bound
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.algorithms import (

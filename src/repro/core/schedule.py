@@ -30,7 +30,6 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from repro.core.stepfunc import TabulatedStepFunction
 from repro.errors import (
     InvalidParameterError,
-    PortBusyError,
     ScheduleError,
     SimultaneousIOError,
 )

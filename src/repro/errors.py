@@ -19,6 +19,7 @@ __all__ = [
     "ProcessInterrupt",
     "TickDomainError",
     "PlanCacheError",
+    "TuningError",
 ]
 
 
@@ -67,6 +68,12 @@ class TickDomainError(InvalidParameterError):
 class PlanCacheError(ReproError):
     """A serialized schedule plan could not be decoded (truncated file,
     foreign magic, or a header that disagrees with its column payload)."""
+
+
+class TuningError(ReproError):
+    """The autotuner cannot answer a query (no applicable family at the
+    requested point) or a tuning-table artifact is invalid (malformed
+    payload, unknown schema, or a content hash that does not match)."""
 
 
 class ProcessInterrupt(ReproError):

@@ -3,7 +3,8 @@
 Repeated bench and conformance sweeps rebuild the *same* schedules over
 and over — every ``(family, n, m, lambda)`` grid point is deterministic,
 so the second construction is pure waste.  :func:`build_plan` wraps
-:func:`repro.plan.build.compile_plan` with a :class:`PlanCache`:
+:func:`repro.plan.build.compile_plan` with a :class:`PlanCache`, a
+concrete :class:`repro.caching.TwoLevelCache`:
 
 * **mem** (default): an exact-LRU :class:`~collections.OrderedDict` of
   live :class:`~repro.plan.columns.SchedulePlan` objects, capped at
@@ -28,17 +29,14 @@ temp directory).
 
 from __future__ import annotations
 
-import hashlib
 import logging
-import os
-import tempfile
-from collections import OrderedDict
 from pathlib import Path
 
-from repro.errors import InvalidParameterError, PlanCacheError
+from repro.caching import DEFAULT_CAPACITY, TwoLevelCache
+from repro.errors import PlanCacheError
 from repro.plan.build import canonical_family, compile_plan, plan_m
 from repro.plan.columns import SchedulePlan
-from repro.types import Time, TimeLike, as_time
+from repro.types import TimeLike, as_time
 
 __all__ = [
     "PlanCache",
@@ -48,13 +46,8 @@ __all__ = [
     "DEFAULT_CAPACITY",
 ]
 
-#: In-memory LRU capacity (plans, not bytes); a full conformance smoke
-#: grid holds well under this many distinct configurations.
-DEFAULT_CAPACITY = 128
-
 _ENV_MODE = "REPRO_PLAN_CACHE"
 _ENV_DIR = "REPRO_PLAN_CACHE_DIR"
-_MODES = ("off", "mem", "disk")
 
 #: Bumped together with the on-disk column format so stale files from an
 #: older layout can never be decoded into the wrong shape.
@@ -66,14 +59,7 @@ _KEY_VERSION = "repro-plan/1"
 logger = logging.getLogger("repro.plan.cache")
 
 
-def _default_dir() -> Path:
-    env = os.environ.get(_ENV_DIR)
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro" / "plans"
-
-
-class PlanCache:
+class PlanCache(TwoLevelCache):
     """Two-level (memory LRU, optional disk) cache of compiled plans.
 
     Args:
@@ -84,29 +70,15 @@ class PlanCache:
         capacity: LRU entry cap for the memory level.
     """
 
-    def __init__(
-        self,
-        *,
-        mode: "str | None" = None,
-        directory: "Path | str | None" = None,
-        capacity: int = DEFAULT_CAPACITY,
-    ):
-        if mode is None:
-            mode = os.environ.get(_ENV_MODE, "mem").strip().lower() or "mem"
-        if mode not in _MODES:
-            raise InvalidParameterError(
-                f"plan cache mode must be one of {_MODES}, got {mode!r} "
-                f"(check ${_ENV_MODE})"
-            )
-        if capacity < 1:
-            raise InvalidParameterError(f"need capacity >= 1, got {capacity}")
-        self.mode = mode
-        self.directory = Path(directory) if directory else _default_dir()
-        self.capacity = capacity
-        self._mem: "OrderedDict[tuple, SchedulePlan]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
+    artifact = "plan"
+    env_mode = _ENV_MODE
+    env_dir = _ENV_DIR
+    suffix = ".plan"
+    logger = logger
+    decode_errors = (PlanCacheError,)
+
+    def default_directory(self) -> Path:
+        return Path.home() / ".cache" / "repro" / "plans"
 
     # ----------------------------------------------------------------- keys
 
@@ -120,15 +92,34 @@ class PlanCache:
         fam = canonical_family(family, n, m, lam)
         return (fam, n, plan_m(fam, n, m), lam)
 
-    def path_for(self, key: tuple) -> Path:
-        """Content-hashed disk location of *key* (exists or not)."""
+    def content_text(self, key: tuple) -> str:
         fam, n, m, lam = key
-        text = (
+        return (
             f"{_KEY_VERSION}|{fam}|{n}|{m}|"
             f"{lam.numerator}/{lam.denominator}|root=0"
         )
-        digest = hashlib.sha256(text.encode()).hexdigest()
-        return self.directory / f"{digest}.plan"
+
+    # ---------------------------------------------------------------- codec
+
+    def encode(self, plan: SchedulePlan) -> bytes:
+        return plan.to_bytes()
+
+    def decode(self, data: bytes) -> SchedulePlan:
+        return SchedulePlan.from_bytes(data)
+
+    def check(self, key: tuple, plan: SchedulePlan) -> bool:
+        expect_fam, n, m, lam = key
+        if (plan.family, plan.n, plan.m, plan.lam) != (expect_fam, n, m, lam):
+            logger.warning(
+                "discarding plan cache file %s: content is %s but the key "
+                "demands %s (hash collision or tampered file); "
+                "the plan will be rebuilt",
+                self.path_for(key),
+                (plan.family, plan.n, plan.m, str(plan.lam)),
+                (expect_fam, n, m, str(lam)),
+            )
+            return False
+        return True
 
     # --------------------------------------------------------------- lookup
 
@@ -137,113 +128,13 @@ class PlanCache:
         if self.mode == "off":
             self.misses += 1
             return None
-        key = self.key(family, n, m, lam)
-        plan = self._mem.get(key)
-        if plan is not None:
-            self._mem.move_to_end(key)
-            self.hits += 1
-            return plan
-        if self.mode == "disk":
-            plan = self._read_disk(key)
-            if plan is not None:
-                self._remember(key, plan)
-                self.hits += 1
-                self.disk_hits += 1
-                return plan
-        self.misses += 1
-        return None
+        return self.lookup(self.key(family, n, m, lam))
 
     def put(self, plan: SchedulePlan) -> None:
         """Remember *plan* (no-op in ``off`` mode)."""
         if self.mode == "off":
             return
-        key = self.key(plan.family, plan.n, plan.m, plan.lam)
-        self._remember(key, plan)
-        if self.mode == "disk":
-            self._write_disk(key, plan)
-
-    def _remember(self, key: tuple, plan: SchedulePlan) -> None:
-        self._mem[key] = plan
-        self._mem.move_to_end(key)
-        while len(self._mem) > self.capacity:
-            self._mem.popitem(last=False)
-
-    # ----------------------------------------------------------------- disk
-
-    def _read_disk(self, key: tuple) -> "SchedulePlan | None":
-        path = self.path_for(key)
-        try:
-            data = path.read_bytes()
-        except OSError:
-            return None
-        try:
-            plan = SchedulePlan.from_bytes(data)
-        except PlanCacheError as exc:
-            # truncated/foreign file: rebuild, don't crash — but loudly,
-            # so disk corruption never hides behind a silent recompile
-            logger.warning(
-                "discarding corrupt plan cache file %s (%s); "
-                "the plan will be rebuilt", path, exc,
-            )
-            return None
-        expect_fam, n, m, lam = key
-        if (plan.family, plan.n, plan.m, plan.lam) != (expect_fam, n, m, lam):
-            logger.warning(
-                "discarding plan cache file %s: content is %s but the key "
-                "demands %s (hash collision or tampered file); "
-                "the plan will be rebuilt",
-                path,
-                (plan.family, plan.n, plan.m, str(plan.lam)),
-                (expect_fam, n, m, str(lam)),
-            )
-            return None
-        return plan
-
-    def _write_disk(self, key: tuple, plan: SchedulePlan) -> None:
-        path = self.path_for(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=path.stem, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(plan.to_bytes())
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
-        except OSError:
-            pass  # read-only FS / quota: the cache is best-effort
-
-    # ----------------------------------------------------------- management
-
-    def clear(self, *, disk: bool = False) -> None:
-        """Drop the memory level (and the disk files when ``disk=True``)."""
-        self._mem.clear()
-        self.hits = self.misses = self.disk_hits = 0
-        if disk and self.mode == "disk":
-            try:
-                for path in self.directory.glob("*.plan"):
-                    path.unlink(missing_ok=True)
-            except OSError:
-                pass
-
-    def stats(self) -> dict:
-        """``{"mode", "entries", "hits", "misses", "disk_hits"}``."""
-        return {
-            "mode": self.mode,
-            "entries": len(self._mem),
-            "hits": self.hits,
-            "misses": self.misses,
-            "disk_hits": self.disk_hits,
-        }
-
-    def __repr__(self) -> str:
-        return (
-            f"PlanCache(mode={self.mode!r}, entries={len(self._mem)}, "
-            f"hits={self.hits}, misses={self.misses})"
-        )
+        self.store(self.key(plan.family, plan.n, plan.m, plan.lam), plan)
 
 
 # ------------------------------------------------------- process-wide cache

@@ -54,6 +54,37 @@ __all__ = ["ProtocolResult", "run_protocol"]
 BACKENDS = ("exact", "turbo", "replay")
 
 
+def _protocol_from_family(
+    family: str,
+    n: "int | None",
+    m: int,
+    lam,
+    *,
+    policy: ContentionPolicy,
+    backend: str,
+):
+    """Build a protocol from a family-name (or ``"auto"``) string."""
+    # local imports: the tuner and the oracle registry both sit above
+    # this module in the import graph
+    from repro.conformance.oracles import get_oracle
+    from repro.tune.model import resolve_family
+    from repro.types import as_time
+
+    if n is None:
+        raise InvalidParameterError(
+            f"running protocol {family!r} by name requires n"
+        )
+    lam_t = as_time(lam)
+    resolved = resolve_family(
+        family, n, m, lam_t,
+        policy=policy.value,
+        require_plan=(backend == "replay"),
+    )
+    oracle = get_oracle(resolved)
+    oracle.check_applicable(n, m, lam_t)
+    return oracle.protocol(n, m, lam_t)
+
+
 @dataclass
 class ProtocolResult:
     """Outcome of one protocol execution.
@@ -87,6 +118,9 @@ def run_protocol(
     collect: bool = True,
     profile: bool = False,
     backend: str = "exact",
+    n: "int | None" = None,
+    m: int = 1,
+    lam=1,
 ) -> ProtocolResult:
     """Execute *protocol* (a :class:`repro.algorithms.base.Protocol`) on a
     fresh ``MPS(n, lambda)`` and audit the run.
@@ -95,7 +129,13 @@ def run_protocol(
     finished and all messages delivered).
 
     Args:
-        protocol: the distributed program to execute.
+        protocol: the distributed program to execute — either a
+            :class:`~repro.algorithms.base.Protocol` instance, or a
+            family-name string (``"BCAST"``, ``"auto"``,
+            ``"auto:allgather"``, ...) resolved through the oracle
+            registry and, for auto specs, the :mod:`repro.tune`
+            selector.  String protocols require *n* (and take *m* /
+            *lam* from the keyword arguments).
         policy: receive-port contention policy.
         validate: audit the run against the postal model.
         collect: attach a live :class:`~repro.obs.metrics.
@@ -106,10 +146,17 @@ def run_protocol(
             integer-tick fast lane (identical results, see
             :mod:`repro.turbo`), ``"replay"`` for the vectorized plan
             tier (plan-compilable protocols only).
+        n: machine size (string protocols only).
+        m: message count (string protocols only).
+        lam: latency (string protocols only).
     """
     if backend not in BACKENDS:
         raise InvalidParameterError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if isinstance(protocol, str):
+        protocol = _protocol_from_family(
+            protocol, n, m, lam, policy=policy, backend=backend
         )
     if backend == "replay":
         return _run_protocol_replay(

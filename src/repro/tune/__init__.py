@@ -1,0 +1,81 @@
+"""``repro.tune`` — the postal autotuner.
+
+The paper's central question is *which* broadcasting algorithm to run
+for given postal parameters: this package answers it mechanically.  For
+a query ``(workload, n, m, lambda, policy)`` the selector ranks every
+applicable oracle family by its closed-form running time, settles ties
+(and near-miss upper bounds) with deterministic calibration runs on the
+turbo lane, and — over a pinned grid — assembles the decisions into a
+content-hashed, byte-reproducible :class:`TuningTable` that CI verifies
+against the committed ``TUNING_postal.json``.
+
+Entry points:
+
+* :func:`select_protocol` — one query, one family name;
+* ``family="auto"`` / ``"auto:<workload>"`` in
+  :func:`repro.run_protocol` and :func:`repro.run_batch`;
+* :func:`derive_table` / :func:`verify_table` — build or drift-check a
+  table (the ``repro tune`` CLI drives these);
+* :func:`cached_table` — lookup-or-derive through the two-level
+  :class:`TuneCache` (``$REPRO_TUNE_CACHE``).
+"""
+
+from repro.tune.calibrate import CALIBRATION_MARGIN, CALIBRATION_MAX_N, measure
+from repro.tune.cache import (
+    TuneCache,
+    cached_table,
+    configure_tune_cache,
+    default_tune_cache,
+)
+from repro.tune.derive import (
+    GRID_ID,
+    TuneQuery,
+    default_queries,
+    derive_entry,
+    derive_table,
+    verify_table,
+)
+from repro.tune.model import (
+    Candidate,
+    WORKLOADS,
+    auto_workload,
+    candidate_families,
+    rank,
+    resolve_family,
+    select_protocol,
+    workloads,
+)
+from repro.tune.table import (
+    TABLE_SCHEMA,
+    RankedEntry,
+    TableEntry,
+    TuningTable,
+)
+
+__all__ = [
+    "CALIBRATION_MARGIN",
+    "CALIBRATION_MAX_N",
+    "Candidate",
+    "GRID_ID",
+    "RankedEntry",
+    "TABLE_SCHEMA",
+    "TableEntry",
+    "TuneCache",
+    "TuneQuery",
+    "TuningTable",
+    "WORKLOADS",
+    "auto_workload",
+    "cached_table",
+    "candidate_families",
+    "configure_tune_cache",
+    "default_queries",
+    "default_tune_cache",
+    "derive_entry",
+    "derive_table",
+    "measure",
+    "rank",
+    "resolve_family",
+    "select_protocol",
+    "verify_table",
+    "workloads",
+]

@@ -1,0 +1,149 @@
+"""Tuning-table caching on the two-level ``PlanCache`` machinery.
+
+:class:`TuneCache` is a second concrete
+:class:`repro.caching.TwoLevelCache` — the same memory-LRU-plus-
+atomic-disk engine that memoizes compiled plans, pointed at derived
+:class:`~repro.tune.table.TuningTable` artifacts instead.  The mode
+comes from ``$REPRO_TUNE_CACHE`` (``off`` / ``mem`` / ``disk``), the
+disk root from ``$REPRO_TUNE_CACHE_DIR`` (default
+``~/.cache/repro/tune``), and disk entries are the canonical JSON bytes
+themselves — a cache file *is* a valid tuning table, and a tampered one
+is discarded (loudly, on the ``repro.tune.cache`` logger) because
+:meth:`~repro.tune.table.TuningTable.from_json` authenticates the
+embedded content hash.
+
+:func:`cached_table` is the lookup-or-derive entry point the CLI's
+query/sweep modes use: deriving the default grid takes seconds, reading
+it back takes none.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+from pathlib import Path
+
+from repro.caching import DEFAULT_CAPACITY, TwoLevelCache
+from repro.errors import TuningError
+from repro.tune.derive import GRID_ID, TuneQuery, default_queries, derive_table
+from repro.tune.table import TABLE_SCHEMA, TuningTable
+
+__all__ = [
+    "TuneCache",
+    "cached_table",
+    "default_tune_cache",
+    "configure_tune_cache",
+]
+
+_ENV_MODE = "REPRO_TUNE_CACHE"
+_ENV_DIR = "REPRO_TUNE_CACHE_DIR"
+
+logger = logging.getLogger("repro.tune.cache")
+
+
+def _grid_key(grid: str, queries: "tuple[TuneQuery, ...]") -> tuple:
+    """Cache key for a derivation: schema, grid id, and a digest of the
+    exact query list (so a custom grid never aliases the default)."""
+    text = "\x1f".join(
+        f"{q.workload}|{q.n}|{q.m}|{q.lam}|{q.policy}" for q in queries
+    )
+    return (TABLE_SCHEMA, grid, hashlib.sha256(text.encode()).hexdigest())
+
+
+class TuneCache(TwoLevelCache):
+    """Two-level (memory LRU, optional disk) cache of tuning tables.
+
+    Args:
+        mode: ``"off"``, ``"mem"``, or ``"disk"``; defaults to
+            ``$REPRO_TUNE_CACHE`` or ``"mem"``.
+        directory: disk cache root (``disk`` mode only); defaults to
+            ``$REPRO_TUNE_CACHE_DIR`` or ``~/.cache/repro/tune``.
+        capacity: LRU entry cap for the memory level.
+    """
+
+    artifact = "tuning table"
+    env_mode = _ENV_MODE
+    env_dir = _ENV_DIR
+    suffix = ".tune.json"
+    logger = logger
+    decode_errors = (TuningError,)
+
+    def default_directory(self) -> Path:
+        return Path.home() / ".cache" / "repro" / "tune"
+
+    key = staticmethod(_grid_key)
+
+    def content_text(self, key: tuple) -> str:
+        schema, grid, digest = key
+        return f"{schema}|{grid}|{digest}"
+
+    def encode(self, table: TuningTable) -> bytes:
+        return table.to_json().encode()
+
+    def decode(self, data: bytes) -> TuningTable:
+        try:
+            text = data.decode()
+        except UnicodeDecodeError as exc:
+            raise TuningError(f"tuning table is not UTF-8: {exc}") from exc
+        return TuningTable.from_json(text)
+
+    def check(self, key: tuple, table: TuningTable) -> bool:
+        _, grid, _ = key
+        if table.grid != grid:
+            logger.warning(
+                "discarding tuning table cache file %s: content is for "
+                "grid %r but the key demands %r (hash collision or "
+                "tampered file); the tuning table will be rederived",
+                self.path_for(key), table.grid, grid,
+            )
+            return False
+        return True
+
+
+# ------------------------------------------------------- process-wide cache
+
+_DEFAULT: "TuneCache | None" = None
+
+
+def default_tune_cache() -> TuneCache:
+    """The process-wide cache (created lazily from the environment)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = TuneCache()
+    return _DEFAULT
+
+
+def configure_tune_cache(
+    *,
+    mode: "str | None" = None,
+    directory: "Path | str | None" = None,
+    capacity: int = DEFAULT_CAPACITY,
+) -> TuneCache:
+    """Replace the process-wide cache (returns the new one)."""
+    global _DEFAULT
+    _DEFAULT = TuneCache(mode=mode, directory=directory, capacity=capacity)
+    return _DEFAULT
+
+
+def cached_table(
+    queries: "tuple[TuneQuery, ...] | None" = None,
+    *,
+    jobs: int = 1,
+    grid: str = GRID_ID,
+    cache: "TuneCache | None" = None,
+) -> TuningTable:
+    """:func:`~repro.tune.derive.derive_table` through a cache.
+
+    A hit returns the cached table (derived earlier in this process, or
+    read back from disk in ``disk`` mode — a fresh CI shard skips the
+    whole calibration sweep); a miss derives, remembers, and returns.
+    """
+    if cache is None:
+        cache = default_tune_cache()
+    qs = tuple(queries) if queries is not None else default_queries()
+    key = _grid_key(grid, qs)
+    table = cache.lookup(key)
+    if table is None:
+        table = derive_table(qs, jobs=jobs, grid=grid)
+        cache.store(key, table)
+    return table

@@ -1,0 +1,155 @@
+"""Table derivation: sweep a query grid, in parallel, reproducibly.
+
+:func:`derive_table` maps :func:`~repro.tune.model.rank` over a grid of
+:class:`TuneQuery` points — :func:`default_queries` pins the grid that
+ships as ``TUNING_postal.json`` — through
+:func:`repro.parallel.parallel_map`, so the sweep uses worker processes
+exactly like the bench and conformance sweeps do (order-preserving
+merge, serial fallback, :func:`~repro.parallel.warn_if_oversubscribed`
+consulted once per process).  Every per-query decision is a pure
+function of the query, so the assembled
+:class:`~repro.tune.table.TuningTable` is byte-identical regardless of
+``jobs``.
+
+:func:`verify_table` is the CI drift check: re-derive the committed
+table's grid and compare **bytes**.  A mismatch means the selector, an
+oracle closed form, a protocol implementation, or the grid itself
+changed without the table being regenerated — exactly the class of
+silent drift a committed artifact exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import TuningError
+from repro.parallel import effective_jobs, parallel_map, warn_if_oversubscribed
+from repro.tune.model import rank
+from repro.tune.table import RankedEntry, TableEntry, TuningTable, frac_str
+from repro.types import as_time
+
+__all__ = [
+    "GRID_ID",
+    "TuneQuery",
+    "default_queries",
+    "derive_entry",
+    "derive_table",
+    "verify_table",
+]
+
+#: Identifier of the grid :func:`default_queries` generates; stamped
+#: into (and hashed with) every table derived from it.
+GRID_ID = "postal-default/1"
+
+
+@dataclass(frozen=True)
+class TuneQuery:
+    """One grid point (picklable: lambda travels as a string)."""
+
+    workload: str
+    n: int
+    m: int
+    lam: str
+    policy: str = "strict"
+
+
+def default_queries() -> "tuple[TuneQuery, ...]":
+    """The pinned :data:`GRID_ID` grid behind ``TUNING_postal.json``.
+
+    Broadcast sweeps machine sizes, message counts, and integral plus
+    fractional latencies; the collectives sweep a smaller cross since
+    each has at most three registered families.
+    """
+    queries: "list[TuneQuery]" = []
+    for n in (4, 16, 64, 256):
+        for lam in ("1", "2", "5/2", "4"):
+            for m in (1, 4):
+                queries.append(TuneQuery("broadcast", n, m, lam))
+    for workload in (
+        "allgather", "allreduce", "alltoall", "barrier",
+        "gather", "reduce", "scatter",
+    ):
+        for n in (4, 16, 64):
+            for lam in ("2", "5/2"):
+                queries.append(TuneQuery(workload, n, 1, lam))
+    return tuple(queries)
+
+
+def derive_entry(query: TuneQuery) -> TableEntry:
+    """Resolve one query into a table entry (pure; runs in workers)."""
+    ranking = rank(
+        query.workload, query.n, query.m, query.lam, policy=query.policy
+    )
+    ranked = tuple(
+        RankedEntry(
+            family=c.family,
+            predicted=frac_str(c.predicted),
+            exact=c.exact,
+            measured=None if c.measured is None else frac_str(c.measured),
+            sends=c.sends,
+        )
+        for c in ranking
+    )
+    return TableEntry(
+        workload=query.workload,
+        n=query.n,
+        m=query.m,
+        lam=frac_str(as_time(query.lam)),
+        policy=query.policy,
+        winner=ranked[0].family,
+        ranking=ranked,
+    )
+
+
+def derive_table(
+    queries: "tuple[TuneQuery, ...] | None" = None,
+    *,
+    jobs: int = 1,
+    grid: str = GRID_ID,
+    progress: "Callable[[str], None] | None" = None,
+) -> TuningTable:
+    """Derive a :class:`~repro.tune.table.TuningTable` over *queries*
+    (default: the :data:`GRID_ID` grid) using *jobs* workers.
+
+    The output is independent of *jobs* — entries come back in query
+    order and every entry is a pure function of its query.
+    """
+    if queries is None:
+        queries = default_queries()
+    warn_if_oversubscribed(effective_jobs(jobs), what="tune calibration")
+    if progress is not None:
+        progress(
+            f"deriving {len(queries)} tuning entries "
+            f"(jobs={effective_jobs(jobs)})"
+        )
+    entries = parallel_map(derive_entry, queries, jobs=jobs)
+    return TuningTable(grid=grid, entries=tuple(entries))
+
+
+def verify_table(
+    path: "Path | str",
+    *,
+    jobs: int = 1,
+    progress: "Callable[[str], None] | None" = None,
+) -> "tuple[bool, TuningTable, str, str]":
+    """Re-derive the committed table at *path* and compare bytes.
+
+    Returns ``(ok, fresh_table, committed_text, fresh_text)``.  The
+    committed file must parse and authenticate
+    (:meth:`~repro.tune.table.TuningTable.from_json` raises
+    :class:`~repro.errors.TuningError` otherwise); drift — any byte
+    difference between it and the fresh derivation of the same grid —
+    is reported, not raised, so callers can save the fresh table.
+    """
+    try:
+        committed_text = Path(path).read_text()
+    except OSError as exc:
+        raise TuningError(
+            f"cannot read tuning table {path}: {exc}"
+        ) from exc
+    committed = TuningTable.from_json(committed_text)
+    fresh = derive_table(jobs=jobs, grid=committed.grid, progress=progress)
+    fresh_text = fresh.to_json()
+    return fresh_text == committed_text, fresh, committed_text, fresh_text

@@ -1,0 +1,244 @@
+"""The :class:`TuningTable` artifact: versioned, content-hashed, and
+byte-reproducible.
+
+A table is a flat list of resolved tuning decisions — one
+:class:`TableEntry` per ``(workload, n, m, lambda, policy)`` query, each
+carrying the winning family plus the full ranked candidate list with the
+closed-form prediction and (where calibration ran) the measured exact
+completion time and send count.  All times are exact rationals rendered
+as ``p/q`` strings, so serialization is a pure function of the decision:
+deriving the same grid twice — serially, with ``--jobs 4``, or on
+another machine — produces **identical bytes**, which is what lets CI
+diff a freshly derived table against the committed one
+(``repro tune --verify``).
+
+The JSON layout is canonical: sorted keys, two-space indent, a trailing
+newline, and a ``content_hash`` field holding the SHA-256 of the
+compact-encoded payload (everything except the hash itself).
+:meth:`TuningTable.from_json` refuses payloads whose schema is unknown
+or whose recomputed hash disagrees — a tampered or hand-edited table is
+an error, not a silent input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import TuningError
+from repro.types import TimeLike, as_time
+
+__all__ = [
+    "TABLE_SCHEMA",
+    "RankedEntry",
+    "TableEntry",
+    "TuningTable",
+]
+
+#: Bump when the payload layout changes; ``from_json`` rejects others.
+TABLE_SCHEMA = "repro-tune/1"
+
+
+def frac_str(t: TimeLike) -> str:
+    """Canonical ``p/q`` (or integer ``p``) rendering used in tables."""
+    f = as_time(t)
+    if f.denominator == 1:
+        return str(f.numerator)
+    return f"{f.numerator}/{f.denominator}"
+
+
+@dataclass(frozen=True)
+class RankedEntry:
+    """One candidate family's standing in a resolved query.
+
+    Attributes:
+        family: registry name.
+        predicted: the oracle closed form at the query point (``p/q``).
+        exact: whether that closed form is exact (vs. an upper bound).
+        measured: calibrated exact completion time (``p/q``), or ``None``
+            when calibration was not needed for this candidate.
+        sends: calibrated total send count, or ``None``.
+    """
+
+    family: str
+    predicted: str
+    exact: bool
+    measured: "str | None" = None
+    sends: "int | None" = None
+
+    def payload(self) -> dict:
+        doc: dict = {
+            "family": self.family,
+            "predicted": self.predicted,
+            "exact": self.exact,
+        }
+        if self.measured is not None:
+            doc["measured"] = self.measured
+        if self.sends is not None:
+            doc["sends"] = self.sends
+        return doc
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "RankedEntry":
+        return cls(
+            family=doc["family"],
+            predicted=doc["predicted"],
+            exact=doc["exact"],
+            measured=doc.get("measured"),
+            sends=doc.get("sends"),
+        )
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One resolved query: the winner plus the full ranking."""
+
+    workload: str
+    n: int
+    m: int
+    lam: str
+    policy: str
+    winner: str
+    ranking: "tuple[RankedEntry, ...]"
+
+    def key(self) -> tuple:
+        return (self.workload, self.n, self.m, as_time(self.lam), self.policy)
+
+    def payload(self) -> dict:
+        return {
+            "workload": self.workload,
+            "n": self.n,
+            "m": self.m,
+            "lam": self.lam,
+            "policy": self.policy,
+            "winner": self.winner,
+            "ranking": [r.payload() for r in self.ranking],
+        }
+
+    @classmethod
+    def from_payload(cls, doc: dict) -> "TableEntry":
+        return cls(
+            workload=doc["workload"],
+            n=doc["n"],
+            m=doc["m"],
+            lam=doc["lam"],
+            policy=doc["policy"],
+            winner=doc["winner"],
+            ranking=tuple(
+                RankedEntry.from_payload(r) for r in doc["ranking"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TuningTable:
+    """A content-hashed set of tuning decisions for one query grid.
+
+    Attributes:
+        grid: the grid identifier the entries were derived from (e.g.
+            ``"postal-default/1"``), part of the hashed payload.
+        entries: resolved queries in derivation order.
+    """
+
+    grid: str
+    entries: "tuple[TableEntry, ...]"
+    schema: str = TABLE_SCHEMA
+
+    # -------------------------------------------------------- serialization
+
+    def payload(self) -> dict:
+        """Everything that is hashed (i.e. all but the hash itself)."""
+        return {
+            "schema": self.schema,
+            "grid": self.grid,
+            "entries": [e.payload() for e in self.entries],
+        }
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the compact canonical payload."""
+        compact = json.dumps(
+            self.payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(compact.encode()).hexdigest()
+
+    def to_json(self) -> str:
+        """The canonical byte-reproducible rendering (sorted keys,
+        two-space indent, trailing newline, embedded content hash)."""
+        doc = self.payload()
+        doc["content_hash"] = self.content_hash
+        return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningTable":
+        """Parse and authenticate a serialized table.
+
+        Raises:
+            TuningError: malformed JSON, unknown schema, or a content
+                hash that does not match the payload.
+        """
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TuningError(f"tuning table is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise TuningError("tuning table must be a JSON object")
+        schema = doc.get("schema")
+        if schema != TABLE_SCHEMA:
+            raise TuningError(
+                f"unsupported tuning table schema {schema!r} "
+                f"(expected {TABLE_SCHEMA!r})"
+            )
+        try:
+            table = cls(
+                grid=doc["grid"],
+                entries=tuple(
+                    TableEntry.from_payload(e) for e in doc["entries"]
+                ),
+                schema=schema,
+            )
+        except (KeyError, TypeError) as exc:
+            raise TuningError(f"malformed tuning table: {exc}") from exc
+        claimed = doc.get("content_hash")
+        if claimed != table.content_hash:
+            raise TuningError(
+                f"tuning table content hash mismatch: file claims "
+                f"{claimed!r} but the payload hashes to "
+                f"{table.content_hash!r} (tampered or hand-edited table)"
+            )
+        return table
+
+    def save(self, path: "Path | str") -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "TuningTable":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise TuningError(f"cannot read tuning table {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    # --------------------------------------------------------------- lookup
+
+    def lookup(
+        self,
+        workload: str,
+        n: int,
+        m: int = 1,
+        lam: TimeLike = 1,
+        policy: str = "strict",
+    ) -> "TableEntry | None":
+        """The entry for an exact query match, or ``None``."""
+        want = (workload, n, m, as_time(lam), policy)
+        for entry in self.entries:
+            if entry.key() == want:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)

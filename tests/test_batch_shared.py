@@ -32,7 +32,6 @@ from repro.batch.shared import (
     SharedPlanSet,
     attach_columns,
     release_shared,
-    share_plan,
 )
 from repro.plan import build_plan
 from repro.plan.columns import SchedulePlan

@@ -33,9 +33,9 @@ _LAM = as_time(2)
 
 def _fake_results():
     """A synthetic grid containing both gate cases."""
-    mk = lambda fam, n, ex, tu, sends, rp: BenchResult(
-        BenchCase(fam, n, 1, _LAM), ex, tu, sends, rp
-    )
+    def mk(fam, n, ex, tu, sends, rp):
+        return BenchResult(BenchCase(fam, n, 1, _LAM), ex, tu, sends, rp)
+
     return [
         mk("BCAST", 10_000, 3.0, 0.5, 9_999, 0.05),
         mk("ALLGATHER", 100, 1.5, 0.12, 9_999, 0.01),
@@ -44,7 +44,7 @@ def _fake_results():
 
 def test_to_json_records_replay_and_effective_jobs():
     doc = json.loads(to_json(_fake_results(), mode="smoke", jobs=0))
-    assert doc["schema"] == SCHEMA == "repro-bench-turbo/6"
+    assert doc["schema"] == SCHEMA == "repro-bench-turbo/7"
     assert doc["jobs"] == 0
     assert doc["effective_jobs"] == (os.cpu_count() or 1)
     case = doc["cases"][0]

@@ -1,6 +1,5 @@
 """Tests for Theorem 7 bounds and the appendix claims (Lemmas 19-26)."""
 
-import math
 from fractions import Fraction
 
 import pytest

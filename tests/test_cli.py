@@ -1,7 +1,6 @@
 """Tests for the command-line interface (python -m repro ...)."""
 
 import json
-from fractions import Fraction
 
 import pytest
 

@@ -1,0 +1,101 @@
+"""CLI error paths exit non-zero with a one-line message, never a
+traceback: unknown backend, off-grid / out-of-model lambda, a bad
+``--jobs`` count, and a ``repro tune`` query no family can serve.
+
+Central handling lives in :func:`repro.cli.main`: any
+:class:`~repro.errors.ReproError` escaping a subcommand prints
+``error: <message>`` on stderr and returns exit code 2 (matching
+argparse's own usage-error code); argparse-level rejections keep their
+native ``SystemExit``.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli_err(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestUnknownBackend:
+    def test_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--n", "14", "--lam", "2",
+                  "--backend", "warp"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'warp'" in err
+
+
+class TestBadLambda:
+    def test_below_model_floor(self, capsys):
+        # the postal model needs lambda >= 1; the turbo lane must not
+        # even be entered
+        code, out, err = run_cli_err(
+            capsys, "simulate", "--n", "10", "--lam", "1/3",
+            "--backend", "turbo",
+        )
+        assert code == 2
+        assert err == "error: the postal model requires lambda >= 1, got 1/3\n"
+        assert "Traceback" not in err
+
+    def test_unparseable(self, capsys):
+        code, _, err = run_cli_err(
+            capsys, "tune", "--workload", "broadcast", "--n", "8",
+            "--lam", "fast",
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+
+class TestBadJobs:
+    def test_negative_jobs(self, capsys):
+        code, _, err = run_cli_err(
+            capsys, "bench", "--smoke", "--jobs", "-3",
+            "--plan-n", "0", "--resilience-n", "0", "--replay-n", "0",
+        )
+        assert code == 2
+        assert err == "error: need jobs >= 0, got -3\n"
+
+    def test_negative_jobs_on_tune(self, capsys):
+        code, _, err = run_cli_err(
+            capsys, "tune", "--sweep", "--jobs", "-1",
+        )
+        assert code == 2
+        assert err == "error: need jobs >= 0, got -1\n"
+
+
+class TestInapplicableTuneQuery:
+    def test_multi_message_allgather(self, capsys):
+        # the allgather families are single-message only, so no family
+        # can serve (workload=allgather, m=2)
+        code, _, err = run_cli_err(
+            capsys, "tune", "--workload", "allgather",
+            "--n", "16", "--m", "2", "--lam", "2",
+        )
+        assert code == 2
+        assert err == (
+            "error: no registered family is applicable to "
+            "workload='allgather' at (n=16, m=2, lambda=2); eligible "
+            "families: ALLGATHER, BRUCK-ALLGATHER, GOSSIP-RING\n"
+        )
+
+    def test_unknown_workload(self, capsys):
+        code, _, err = run_cli_err(
+            capsys, "tune", "--workload", "multicast", "--n", "8",
+        )
+        assert code == 2
+        assert err.startswith("error: unknown workload 'multicast'")
+        assert "Traceback" not in err
+
+    def test_tiny_n(self, capsys):
+        code, _, err = run_cli_err(
+            capsys, "tune", "--workload", "broadcast", "--n", "1",
+        )
+        assert code == 2
+        assert err == "error: need n >= 2 to tune, got n=1\n"

@@ -20,7 +20,6 @@ from repro.collectives.scatter import scatter_time
 from repro.core.fibfunc import postal_f
 from repro.core.schedule import check_intervals_disjoint
 from repro.postal import run_protocol
-from repro.types import Time
 
 from tests.grids import LAMBDAS
 

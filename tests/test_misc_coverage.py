@@ -2,15 +2,11 @@
 
 from fractions import Fraction
 
-import pytest
-
 from repro.algorithms.base import InboxBuffer
 from repro.core.bcast import bcast_schedule
 from repro.core.multi import repeat_schedule
-from repro.errors import InvalidParameterError
 from repro.postal import PostalSystem
 from repro.sim.engine import Environment
-from repro.types import Time
 
 
 class TestInboxBuffer:

@@ -17,7 +17,7 @@ from repro.algorithms.pipeline_protocol import PipelineProtocol
 from repro.algorithms.repeat_protocol import RepeatProtocol
 from repro.core.analysis import bcast_time, pipeline_time
 from repro.extensions.faulty import LossyPostalSystem
-from repro.obs import MetricsCollector, RunMetrics, collect_metrics
+from repro.obs import MetricsCollector, collect_metrics
 from repro.postal.runner import run_protocol
 from repro.sim.engine import Environment
 from repro.sim.trace import TRACE_KINDS, Tracer

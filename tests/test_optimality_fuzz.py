@@ -15,7 +15,6 @@ from hypothesis import strategies as st
 
 from repro.core.fibfunc import postal_f
 from repro.core.schedule import Schedule, SendEvent
-from repro.types import Time
 
 from tests.grids import rationals
 

@@ -176,12 +176,16 @@ class TestS43:
 
     def test_regime_ordering(self):
         """Line wins the m->inf regime; star wins the lambda->inf regime."""
-        line = lambda n, m, lam: dtree_schedule(
-            n, m, lam, 1, validate=False
-        ).completion_time()
-        star = lambda n, m, lam: dtree_schedule(
-            n, m, lam, n - 1, validate=False
-        ).completion_time()
+        def line(n, m, lam):
+            return dtree_schedule(
+                n, m, lam, 1, validate=False
+            ).completion_time()
+
+        def star(n, m, lam):
+            return dtree_schedule(
+                n, m, lam, n - 1, validate=False
+            ).completion_time()
+
         assert line(6, 400, 2) < star(6, 400, 2)
         assert star(6, 2, 300) < line(6, 2, 300)
 

@@ -19,7 +19,6 @@ rational latencies (5/2, 7/3 included), plus:
 
 import subprocess
 import sys
-from fractions import Fraction
 
 import pytest
 

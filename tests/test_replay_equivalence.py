@@ -30,7 +30,7 @@ from repro.errors import (
     SimultaneousIOError,
     TickDomainError,
 )
-from repro.plan import build_plan, compile_plan, plan_families, plan_m
+from repro.plan import compile_plan, plan_families, plan_m
 from repro.postal.machine import ContentionPolicy
 from repro.postal.message import Message
 from repro.postal.runner import run_protocol

@@ -149,7 +149,7 @@ class TestBenchIntegration:
         assert "deterministic=yes, certified=yes" in out
         assert "[PASS]" in out
         doc = json.loads(out_json.read_text())
-        assert doc["schema"] == "repro-bench-turbo/6"
+        assert doc["schema"] == "repro-bench-turbo/7"
         assert doc["resilience"]["gate"]["ok"] is True
         assert len(doc["resilience"]["cases"]) == 3
 

@@ -24,7 +24,7 @@ from repro.resilience import FaultPlan, run_resilient
 from repro.turbo.ticks import TickDomain
 from repro.parallel import derive_seed
 
-from .grids import lambdas, rationals
+from .grids import lambdas
 
 pytestmark = pytest.mark.resilience
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.bcast import bcast_schedule, bcast_tree
 from repro.core.multi import pipeline_schedule
-from repro.core.schedule import Schedule, SendEvent
+from repro.core.schedule import Schedule
 from repro.core.serialize import (
     dumps_schedule,
     loads_schedule,
@@ -16,7 +16,6 @@ from repro.core.serialize import (
     tree_to_dict,
 )
 from repro.errors import ScheduleError
-from repro.types import Time
 
 from tests.grids import LAMBDAS
 

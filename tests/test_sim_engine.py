@@ -5,8 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.errors import ProcessInterrupt, SimulationError
-from repro.sim.engine import Environment, Event
-from repro.types import Time
+from repro.sim.engine import Environment
 
 
 class TestClock:
